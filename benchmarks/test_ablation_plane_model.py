@@ -1,0 +1,84 @@
+"""Ablation (Sec. II-B): how the local ground plane is modeled.
+
+The paper's extension folds the plane return into precomputed *loop*
+inductance tables instead of carrying an explicit plane model in the
+final netlist.  Two questions quantified here:
+
+1. how finely must the plane be meshed during characterization (strip
+   count convergence), and
+2. how wrong is ignoring the plane return entirely (the difference the
+   loop-table extension exists to capture).
+"""
+
+from conftest import report, run_once
+
+from repro.constants import GHz, to_nH, um
+from repro.geometry.trace import TraceBlock
+from repro.peec.ground_plane import plane_under_block
+from repro.peec.loop import LoopProblem
+
+
+def cpw(length=um(2000)):
+    return TraceBlock.coplanar_waveguide(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        length=length, thickness=um(2), z_bottom=um(5),
+    )
+
+
+def test_plane_strip_convergence(benchmark):
+    strip_counts = (1, 3, 5, 9, 15, 25)
+
+    def sweep():
+        values = []
+        for n in strip_counts:
+            block = cpw()
+            plane = plane_under_block(block, gap=um(3), n_strips=n)
+            problem = LoopProblem(block, plane=plane, n_width=1, n_thickness=1)
+            values.append(problem.loop_rl(GHz(3.2))[1])
+        return values
+
+    values = run_once(benchmark, sweep)
+    reference = values[-1]
+    report(
+        "Plane mesh convergence (CPW over plane, loop L)",
+        header=("strips", "loop L [nH]", "vs finest"),
+        rows=[
+            (f"{n}", f"{to_nH(v):.4f}",
+             f"{abs(v - reference) / reference * 100:.2f} %")
+            for n, v in zip(strip_counts, values)
+        ],
+    )
+
+    # convergent: each refinement moves the answer less
+    deltas = [abs(a - b) for a, b in zip(values, values[1:])]
+    assert deltas[-1] < deltas[0]
+    # ~10 strips is already within 2 % of the finest model
+    idx_9 = strip_counts.index(9)
+    assert abs(values[idx_9] - reference) / reference < 0.02
+
+
+def test_ignoring_plane_overestimates_inductance(benchmark):
+    def compare():
+        block = cpw()
+        no_plane = LoopProblem(block, n_width=1, n_thickness=1)
+        plane = plane_under_block(block, gap=um(3), n_strips=15)
+        with_plane = LoopProblem(block, plane=plane, n_width=1, n_thickness=1)
+        return no_plane.loop_rl(GHz(3.2))[1], with_plane.loop_rl(GHz(3.2))[1]
+
+    l_no_plane, l_with_plane = run_once(benchmark, compare)
+    report(
+        "Effect of the local plane return on loop L",
+        header=("model", "loop L [nH]"),
+        rows=[
+            ("coplanar returns only", f"{to_nH(l_no_plane):.4f}"),
+            ("+ plane return (loop table)", f"{to_nH(l_with_plane):.4f}"),
+        ],
+    )
+    print(f"  ignoring the plane overestimates loop L by "
+          f"{(l_no_plane / l_with_plane - 1) * 100:.1f} %")
+
+    # the plane provides a lower-inductance return: tables built without
+    # it would be pessimistic, which is why the loop-table extension
+    # exists
+    assert l_with_plane < l_no_plane
+    assert l_no_plane / l_with_plane > 1.05

@@ -1,0 +1,77 @@
+"""Figs. 1-3: CPW clock-net delay with and without inductance.
+
+Paper: 6000 um co-planar waveguide clock net, 40-ohm-class driver.
+Delay buffer-to-sink = 28.01 ps (RC netlist) vs 47.6 ps (RLC netlist),
+with overshoot/undershoot visible only in the RLC waveform.
+
+Shape asserted here: including L increases the delay by well over 1.5x,
+the RLC delay lands in the paper's few-tens-of-ps range, and ringing
+appears only with inductance.
+"""
+
+from conftest import report, run_once
+
+from repro.constants import to_nH, to_pF, to_ps
+from repro.experiments import run_fig1
+
+
+def test_fig1_delay_comparison(benchmark):
+    result = run_once(benchmark, run_fig1)
+
+    report(
+        "Figs. 1-3: CPW clock net, delay without/with inductance",
+        header=("quantity", "paper", "measured"),
+        rows=[
+            ("delay RC [ps]", "28.01", f"{to_ps(result.delay_rc):.2f}"),
+            ("delay RLC [ps]", "47.60", f"{to_ps(result.delay_rlc):.2f}"),
+            ("delay ratio", "1.70", f"{result.delay_ratio:.2f}"),
+            ("overshoot RLC", "visible", f"{result.overshoot_rlc * 100:.1f} %"),
+            ("undershoot RLC", "visible", f"{result.undershoot_rlc * 100:.1f} %"),
+            ("overshoot RC", "none", f"{result.overshoot_rc * 100:.1f} %"),
+            ("extracted R [ohm]", "-", f"{result.rlc.resistance:.2f}"),
+            ("extracted L [nH]", "-", f"{to_nH(result.rlc.inductance):.3f}"),
+            ("extracted C [pF]", "-", f"{to_pF(result.rlc.capacitance):.3f}"),
+        ],
+    )
+
+    # inductance slows the net down substantially
+    assert result.delay_rlc > 1.5 * result.delay_rc
+    # and lands in the paper's range of tens of ps for a 6 mm net
+    assert 20e-12 < result.delay_rlc < 100e-12
+    # ringing only with L
+    assert result.overshoot_rlc > 0.05
+    assert result.undershoot_rlc > 0.0
+    assert result.overshoot_rc < 0.01
+
+
+def test_fig1_driver_impedance_crossover(benchmark):
+    """Where the inductance effect switches on: Rs vs Z0 crossover.
+
+    The paper motivates the effect with 'large driver and therefore
+    smaller source impedance'.  Sweeping the drive resistance shows the
+    overshoot and the delay penalty appearing as Rs drops below the
+    line's characteristic impedance (~27 ohm for this geometry).
+    """
+    resistances = (5.0, 15.0, 25.0, 35.0, 60.0)
+
+    def sweep():
+        return [run_fig1(drive_resistance=rs) for rs in resistances]
+
+    results = run_once(benchmark, sweep)
+    z0 = (results[0].rlc.inductance / results[0].rlc.capacitance) ** 0.5
+
+    report(
+        f"Driver-impedance crossover (line Z0 ~ {z0:.0f} ohm)",
+        header=("Rs [ohm]", "delay ratio", "overshoot [%]"),
+        rows=[
+            (f"{rs:.0f}", f"{r.delay_ratio:.2f}", f"{r.overshoot_rlc * 100:.1f}")
+            for rs, r in zip(resistances, results)
+        ],
+    )
+
+    overshoots = [r.overshoot_rlc for r in results]
+    # overshoot decays monotonically as the driver weakens ...
+    assert all(a >= b - 1e-9 for a, b in zip(overshoots, overshoots[1:]))
+    # ... and is effectively gone once Rs is well above Z0
+    assert overshoots[0] > 0.2
+    assert overshoots[-1] < 0.01

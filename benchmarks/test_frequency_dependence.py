@@ -1,0 +1,63 @@
+"""Sec. III: why tables are characterized at the significant frequency.
+
+"In addition, the inductance depends on the skin depth, which is a
+function of frequency.  We run RI3 under the significant frequency ...
+defined as 0.32/t_r."
+
+Shape asserted: loop R rises and loop L falls with frequency (skin and
+proximity effects); characterizing at DC instead of the significant
+frequency of a fast edge costs several percent of loop L, while
+characterizing at the *right* significant frequency is self-consistent.
+"""
+
+import numpy as np
+from conftest import report, run_once
+
+from repro.constants import GHz, to_nH, um
+from repro.core.frequency import significant_frequency
+from repro.geometry.trace import TraceBlock
+from repro.peec.loop import LoopProblem
+from repro.peec.sweep import loop_frequency_sweep
+
+FREQUENCIES = (1e7, 1e8, 1e9, 3.2e9, 6.4e9, 2e10, 5e10)
+
+
+def run_sweep():
+    block = TraceBlock.coplanar_waveguide(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        length=um(2000), thickness=um(2),
+    )
+    problem = LoopProblem(block, n_width=8, n_thickness=4, grading=1.5)
+    return loop_frequency_sweep(problem, FREQUENCIES)
+
+
+def test_rl_frequency_dependence(benchmark):
+    sweep = run_once(benchmark, run_sweep)
+
+    report(
+        "Loop R(f) and L(f) of the Fig. 1 CPW (2 mm)",
+        header=("f [GHz]", "R [ohm]", "L [nH]"),
+        rows=[
+            (f"{f / 1e9:.2f}", f"{r:.3f}", f"{to_nH(l):.4f}")
+            for f, r, l in zip(sweep.frequencies, sweep.resistance,
+                               sweep.inductance)
+        ],
+    )
+    f_sig_100ps = significant_frequency(100e-12)
+    f_sig_30ps = significant_frequency(30e-12)
+    err_dc = sweep.characterization_error(used=1e7, actual=f_sig_30ps)
+    err_sig = sweep.characterization_error(used=f_sig_100ps,
+                                           actual=f_sig_30ps)
+    print(f"  L error using a DC table for a 30 ps edge:        "
+          f"{err_dc * 100:.1f} %")
+    print(f"  L error using a 100 ps-edge table for a 30 ps edge: "
+          f"{err_sig * 100:.1f} %")
+
+    # skin effect: R at 50 GHz well above the low-frequency value
+    assert sweep.resistance_ratio > 1.5
+    # proximity crowding: L decreases monotonically
+    assert np.all(np.diff(sweep.inductance) <= 1e-18)
+    # characterizing at DC for a fast edge is materially wrong ...
+    assert err_dc > 0.05
+    # ... and a nearby significant frequency is far better
+    assert err_sig < err_dc

@@ -1,0 +1,47 @@
+"""Sec. IV: the "at least equal width" guard-wire rule.
+
+"Since the width of each ground wire is the same as that of the signal
+wire and the shielding will improve if wider ground wires are used, we
+have the at least equal width conclusion."
+
+Shape asserted: at every guard-to-signal width ratio the cascading
+error stays negligible (the segments are inductively self-contained),
+and widening the guards tightens the return loop (lower loop L) --
+the two facts behind the rule.
+"""
+
+from conftest import report, run_once
+
+from repro.cascade.guard_rule import guard_width_study
+from repro.cascade.tree import figure6a_tree
+from repro.constants import GHz, to_nH, um
+
+RATIOS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def test_guard_width_rule(benchmark):
+    def run():
+        return guard_width_study(
+            figure6a_tree(spacing=um(6)),
+            width_ratios=RATIOS,
+            frequency=GHz(3),
+        )
+
+    study = run_once(benchmark, run)
+    report(
+        "Guard width vs cascading fidelity (Fig. 6(a) tree, 6 um spacing)",
+        header=("guard/signal", "cascading error", "loop L [nH]"),
+        rows=[
+            (f"{p.width_ratio:.2f}",
+             f"{p.cascading_error * 100:.3f} %",
+             f"{to_nH(p.loop_inductance):.4f}")
+            for p in study.points
+        ],
+    )
+
+    # guarded segments cascade essentially exactly at every ratio
+    assert all(p.cascading_error < 0.01 for p in study.points)
+    assert study.rule_holds(tolerance=0.05)
+    # wider guards shield better: the loop inductance falls monotonically
+    inductances = [p.loop_inductance for p in study.points]
+    assert all(a >= b for a, b in zip(inductances, inductances[1:]))

@@ -1,0 +1,54 @@
+"""Sec. V: clock-skew error from omitting inductance.
+
+Paper: "without consideration of inductance in the clock skew
+calculation, the difference can be more than 10%.  If there is ringing
+due to inductance effect on the clock signal, the result can be even
+devastating."
+
+Shape asserted: on an asymmetric buffered H-tree in the strong-driver
+regime, the RC-only netlist mispredicts both the maximum insertion delay
+and the skew by more than 10 %.
+"""
+
+from conftest import report, run_once
+
+from repro.constants import to_ps
+from repro.experiments import run_htree_skew
+
+
+def test_htree_skew_rc_vs_rlc(benchmark):
+    result = run_once(benchmark, run_htree_skew)
+    comparison = result.comparison
+
+    rc_delays = comparison.rc.delays
+    rlc_delays = comparison.rlc.delays
+    report(
+        "Sec. V: H-tree sink delays, RC-only vs RLC netlist",
+        header=("sink", "RC delay [ps]", "RLC delay [ps]", "error"),
+        rows=[
+            (sink,
+             f"{to_ps(rc_delays[sink]):.2f}",
+             f"{to_ps(rlc):.2f}",
+             f"{abs(rlc - rc_delays[sink]) / rlc * 100:.1f} %")
+            for sink, rlc in sorted(rlc_delays.items())
+        ],
+    )
+    report(
+        "Skew summary",
+        header=("quantity", "paper", "measured"),
+        rows=[
+            ("skew RC [ps]", "-", f"{to_ps(result.rc_skew):.2f}"),
+            ("skew RLC [ps]", "-", f"{to_ps(result.rlc_skew):.2f}"),
+            ("skew error w/o L", "> 10 %",
+             f"{result.skew_discrepancy_percent:.1f} %"),
+            ("max-delay error w/o L", "-",
+             f"{result.delay_discrepancy_percent:.1f} %"),
+        ],
+    )
+
+    # the paper's headline claim
+    assert result.skew_discrepancy_percent > 10.0
+    # RC underestimates the true (RLC) delays: flight time is missing
+    assert comparison.rlc.max_delay > comparison.rc.max_delay
+    # skew itself is worse than the RC netlist suggests
+    assert result.rlc_skew > result.rc_skew

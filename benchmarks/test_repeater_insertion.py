@@ -1,0 +1,66 @@
+"""Extension: RLC-aware repeater insertion on table extraction.
+
+The companion application of this inductance-modeling work (Cao et al.
+2000, same group): RC analysis over-inserts repeaters on long lines
+because it misses the time-of-flight floor that inductance imposes.
+The table-based extractor makes the whole stage-count sweep a handful
+of spline lookups.
+
+Shape asserted: repeaters help long lines under both models, the RLC
+optimum needs no more stages than the RC optimum, and the RLC delay
+curve sits above the RC curve (the flight-time floor).
+"""
+
+from conftest import report, run_once
+
+from repro.clocktree.buffers import ClockBuffer
+from repro.clocktree.configs import CoplanarWaveguideConfig
+from repro.clocktree.repeaters import optimal_repeaters
+from repro.constants import GHz, fF, ps, to_ps, um
+from repro.core.extraction import TableBasedExtractor
+
+LINE_LENGTH = um(10000)
+
+
+def test_repeater_insertion_rc_vs_rlc(benchmark):
+    def run():
+        config = CoplanarWaveguideConfig(
+            signal_width=um(10), ground_width=um(5), spacing=um(1),
+            thickness=um(2), height_below=um(2),
+        )
+        tables = TableBasedExtractor.characterize(
+            config, frequency=GHz(6.4),
+            widths=[um(5), um(10), um(15)],
+            lengths=[um(250), um(1000), um(4000), um(10000)],
+        )
+        extractor = tables.as_clocktree_extractor()
+        buffer = ClockBuffer(drive_resistance=40.0, input_capacitance=fF(30),
+                             supply=1.8, rise_time=ps(50))
+        rc = optimal_repeaters(extractor, LINE_LENGTH, buffer,
+                               include_inductance=False, max_count=10)
+        rlc = optimal_repeaters(extractor, LINE_LENGTH, buffer,
+                                include_inductance=True, max_count=10)
+        return rc, rlc
+
+    rc, rlc = run_once(benchmark, run)
+    report(
+        "Repeater insertion on a 10 mm guarded line (per stage-count delay)",
+        header=("stages", "RC delay [ps]", "RLC delay [ps]"),
+        rows=[
+            (f"{c_rc.count}", f"{to_ps(c_rc.total_delay):.1f}",
+             f"{to_ps(c_rlc.total_delay):.1f}")
+            for c_rc, c_rlc in zip(rc.candidates, rlc.candidates)
+        ],
+    )
+    print(f"  RC optimum: {rc.optimal_count} stages "
+          f"({to_ps(rc.best.total_delay):.1f} ps); "
+          f"RLC optimum: {rlc.optimal_count} stages "
+          f"({to_ps(rlc.best.total_delay):.1f} ps)")
+
+    assert rc.optimal_count > 1
+    # the flight-time floor: inductance never helps and never wants more
+    # repeaters than the RC analysis suggests
+    assert rlc.optimal_count <= rc.optimal_count
+    assert rlc.best.total_delay >= rc.best.total_delay
+    # both curves flatten: beyond the optimum, extra stages buy nothing
+    assert rc.delay_of(10) >= rc.best.total_delay

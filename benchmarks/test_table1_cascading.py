@@ -1,0 +1,74 @@
+"""Table I: linear cascading of guarded-segment loop inductances.
+
+Paper values:
+
+    structure   Loop L from RI3   Eff. L from S/P comb.   error
+    Fig. 6(a)   (garbled in txt)  --                      3.57 %
+    Fig. 6(b)   --                --                      1.55 %
+
+Shape asserted: the series/parallel combination of independently
+extracted segments reproduces the full-structure extraction within a few
+percent, and the error grows as the guard spacing loosens (the basis of
+the 'at least equal width' guard rule).
+"""
+
+from conftest import report, run_once
+
+from repro.cascade import cascading_comparison
+from repro.cascade.tree import figure6a_tree
+from repro.constants import GHz, to_nH, um
+from repro.experiments import run_table1
+
+PAPER_ERRORS = {"fig6a": 3.57, "fig6b": 1.55}
+
+
+def test_table1_linear_cascading(benchmark):
+    result = run_once(benchmark, run_table1)
+
+    report(
+        "Table I: full-structure loop L vs series/parallel combination",
+        header=("structure", "full L [nH]", "S/P comb [nH]",
+                "error", "paper error"),
+        rows=[
+            (row.name,
+             f"{to_nH(row.comparison.full_inductance):.4f}",
+             f"{to_nH(row.comparison.combined_inductance):.4f}",
+             f"{row.error_percent:.2f} %",
+             f"{PAPER_ERRORS[row.name]:.2f} %")
+            for row in result.rows
+        ],
+    )
+
+    # cascading is valid: errors within the paper's few-percent envelope
+    for row in result.rows:
+        assert row.error_percent < PAPER_ERRORS[row.name] + 1.0
+    assert result.max_error_percent < 4.0
+
+
+def test_cascading_error_vs_guard_spacing(benchmark):
+    """Ablation: how the guard spacing controls cascadability."""
+    spacings = (um(1.2), um(3), um(6), um(12), um(24))
+
+    def sweep():
+        return [
+            cascading_comparison(figure6a_tree(spacing=s), GHz(3))
+            for s in spacings
+        ]
+
+    comparisons = run_once(benchmark, sweep)
+    report(
+        "Cascading error vs guard spacing (Fig. 6(a) tree)",
+        header=("spacing [um]", "full L [nH]", "error [%]"),
+        rows=[
+            (f"{s * 1e6:.1f}",
+             f"{to_nH(c.full_inductance):.4f}",
+             f"{c.inductance_error * 100:.2f}")
+            for s, c in zip(spacings, comparisons)
+        ],
+    )
+
+    errors = [c.inductance_error for c in comparisons]
+    # error grows monotonically with guard spacing
+    assert all(a <= b + 1e-6 for a, b in zip(errors, errors[1:]))
+    # but tightly guarded wires cascade essentially exactly
+    assert errors[0] < 0.01

@@ -1,0 +1,42 @@
+"""Sec. III: table-based extraction accuracy and efficiency.
+
+The paper's methodology claim: precompute self/mutual (and loop)
+inductance tables with the field solver, interpolate with bicubic
+splines, and lose no accuracy while answering queries orders of
+magnitude faster than fresh field solves.
+
+Shape asserted: off-grid interpolation error below 2 % and lookups at
+least an order of magnitude faster than direct solves.
+"""
+
+from conftest import report, run_once
+
+from repro.constants import to_nH
+from repro.experiments import run_table_accuracy
+
+
+def test_table_lookup_accuracy_and_speedup(benchmark):
+    result = run_once(benchmark, run_table_accuracy)
+
+    report(
+        "Sec. III: bicubic-spline table lookup vs direct field solve",
+        header=("width [um]", "length [um]", "table [nH]", "direct [nH]",
+                "error", "speedup"),
+        rows=[
+            (f"{p.width * 1e6:.0f}", f"{p.length * 1e6:.0f}",
+             f"{to_nH(p.table_inductance):.4f}",
+             f"{to_nH(p.direct_inductance):.4f}",
+             f"{p.relative_error * 100:.2f} %",
+             f"{p.speedup:.0f}x")
+            for p in result.probes
+        ],
+    )
+    print(f"  characterization: {result.characterization_time:.2f} s "
+          f"for the 4x4 (width, length) grid")
+
+    # "no loss of accuracy": interpolation well under the solver's own
+    # discretization error
+    assert result.max_error < 0.02
+    assert result.mean_error < 0.01
+    # "efficient": far faster than re-running the field solver
+    assert result.mean_speedup > 10

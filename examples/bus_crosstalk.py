@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Bus crosstalk: capacitive coupling is short-range, inductive is long-range.
+
+Extracts a 7-trace bus block (outer traces are shields, paper Fig. 4)
+with the table-based reduction -- self L from 1-trace closed forms,
+mutual L from 2-trace closed forms, short-range Maxwell capacitance --
+formulates the coupled RLC netlist, switches the centre trace and
+measures the noise induced on every victim, with and without the mutual
+inductances.  The contrast demonstrates the paper's Sec. II point about
+coupling ranges.
+
+Run:  python examples/bus_crosstalk.py
+"""
+
+from repro import BusRLCExtractor, crosstalk_analysis, um
+from repro.constants import GHz, to_nH
+from repro.geometry import TraceBlock
+from repro.rc.capacitance import CapacitanceModel
+
+
+def main() -> None:
+    block = TraceBlock.from_widths_and_spacings(
+        widths=[um(2)] * 7,
+        spacings=[um(2)] * 6,
+        length=um(2000),
+        thickness=um(1),
+    )
+    extractor = BusRLCExtractor(
+        frequency=GHz(6.4),
+        capacitance_model=CapacitanceModel(height_below=um(2)),
+    )
+    bus = extractor.extract(block)
+
+    print("7-trace bus (outer traces are shields), 2 mm long")
+    print(f"self L per trace: {to_nH(bus.inductance_matrix[1, 1]):.3f} nH")
+    print("inductive coupling coefficients from T4:")
+    centre = bus.names.index("T4")
+    for j, name in enumerate(bus.names):
+        if j != centre:
+            print(f"  k(T4, {name}) = {bus.coupling_coefficient(centre, j):.3f}")
+    print("note how slowly k decays with distance -- the long-range effect.")
+
+    full = crosstalk_analysis(extractor, bus, aggressor="T4")
+    cap_only = crosstalk_analysis(extractor, bus, aggressor="T4",
+                                  include_mutual=False)
+
+    print()
+    print(f"  {'victim':>7} {'full RLC noise':>15} {'cap-only noise':>15}")
+    for victim in sorted(full.victim_noise_peak):
+        print(f"  {victim:>7} {full.noise_of(victim) * 1e3:12.1f} mV "
+              f"{cap_only.noise_of(victim) * 1e3:12.1f} mV")
+
+    print()
+    print("capacitive-only coupling collapses two traces away; the mutual")
+    print("inductances keep injecting noise far across the bus -- ignoring")
+    print("them underestimates far-victim noise severely.")
+
+
+if __name__ == "__main__":
+    main()

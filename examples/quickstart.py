@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: extract RLC for a clock net and see why inductance matters.
+
+Builds the paper's Fig. 1 co-planar waveguide (6000 um long, 10 um
+signal, 5 um shields, 1 um gaps, 2 um thick copper), extracts R, L and C
+with the repro flow, then simulates the net with and without inductance
+and prints the delay and ringing metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CoplanarWaveguideConfig, um, significant_frequency
+from repro.clocktree.extractor import ClocktreeRLCExtractor
+from repro.constants import ps, to_nH, to_pF, to_ps
+from repro.experiments import run_fig1
+
+RISE_TIME = ps(50)
+
+
+def main() -> None:
+    # 1. Describe the routing structure (paper Fig. 1 / Fig. 8).
+    cpw = CoplanarWaveguideConfig(
+        signal_width=um(10),
+        ground_width=um(5),
+        spacing=um(1),
+        thickness=um(2),
+        height_below=um(2),   # orthogonal signal layer below
+    )
+
+    # 2. Extract one segment at the significant frequency 0.32 / t_r.
+    frequency = significant_frequency(RISE_TIME)
+    extractor = ClocktreeRLCExtractor(cpw, frequency=frequency)
+    rlc = extractor.segment_rlc(um(6000))
+    print(f"significant frequency: {frequency / 1e9:.2f} GHz")
+    print(f"extracted R = {rlc.resistance:.2f} ohm")
+    print(f"extracted L = {to_nH(rlc.inductance):.3f} nH "
+          f"(loop, shields carry the return)")
+    print(f"extracted C = {to_pF(rlc.capacitance):.3f} pF")
+    z0 = (rlc.inductance / rlc.capacitance) ** 0.5
+    print(f"characteristic impedance ~ {z0:.1f} ohm")
+
+    # 3. Simulate the net with and without L (Figs. 2 and 3).
+    result = run_fig1(extractor=extractor, rise_time=RISE_TIME)
+    print()
+    print(f"delay without inductance (RC):  {to_ps(result.delay_rc):6.2f} ps")
+    print(f"delay with inductance   (RLC):  {to_ps(result.delay_rlc):6.2f} ps")
+    print(f"ratio: {result.delay_ratio:.2f}  "
+          "(the paper's example: 28.01 ps -> 47.60 ps)")
+    print(f"overshoot with L:  {result.overshoot_rlc * 100:.1f} % "
+          f"(RC netlist: {result.overshoot_rc * 100:.1f} %)")
+    print(f"undershoot with L: {result.undershoot_rlc * 100:.1f} %")
+    print()
+    print("RC-only simulation misses both the extra delay and the ringing --")
+    print("which is exactly why clocktree extraction needs the L.")
+
+
+if __name__ == "__main__":
+    main()

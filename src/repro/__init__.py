@@ -1,0 +1,94 @@
+"""repro: Clocktree RLC extraction with efficient inductance modeling.
+
+A full reimplementation of Chang, Lin, He, Nakagawa, Xie (DATE 2000):
+table-based on-chip inductance extraction built on an exact PEEC field
+solver, a 2-D capacitance field solver, linearly cascaded segment
+modeling, and a buffered H-tree clocktree RLC extraction flow with an
+MNA circuit simulator for delay/skew studies.
+
+Quick start::
+
+    from repro import CoplanarWaveguideConfig, TableBasedExtractor, um, GHz
+
+    cpw = CoplanarWaveguideConfig(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        thickness=um(2), height_below=um(2),
+    )
+    extractor = TableBasedExtractor.characterize(
+        cpw, frequency=GHz(3.2),
+        widths=[um(4), um(8), um(12)],
+        lengths=[um(500), um(2000), um(6000)],
+    )
+    l_loop = extractor.loop_inductance(um(10), um(3000))
+"""
+
+from repro.constants import GHz, fF, mm, nH, pF, ps, um
+from repro.circuit import (
+    Circuit,
+    PulseSource,
+    PWLSource,
+    Waveform,
+    ac_analysis,
+    operating_point,
+    transient_analysis,
+)
+from repro.bus import BusRLC, BusRLCExtractor, crosstalk_analysis
+from repro.cascade import InterconnectTree, SegmentSpec, cascading_comparison
+from repro.clocktree import (
+    ClockBuffer,
+    ClocktreeRLCExtractor,
+    CoplanarWaveguideConfig,
+    HTree,
+    MicrostripConfig,
+    StriplineConfig,
+    compare_rc_vs_rlc,
+    simulate_clocktree,
+)
+from repro.core import (
+    TableBasedExtractor,
+    foundation1_check,
+    foundation2_check,
+    loop_inductance_matrix,
+    significant_frequency,
+)
+from repro.geometry import Layer, Stackup, Trace, TraceBlock
+from repro.peec import (
+    FilamentNetwork,
+    GroundPlane,
+    LoopProblem,
+    PartialInductanceSolver,
+    bar_mutual_inductance,
+    bar_self_inductance,
+    plane_under_block,
+)
+from repro.rc import CapacitanceModel, CrossSection2D, FieldSolver2D
+from repro.tables import ExtractionTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # units
+    "um", "mm", "nH", "pF", "fF", "ps", "GHz",
+    # geometry
+    "Trace", "TraceBlock", "Layer", "Stackup",
+    # peec
+    "LoopProblem", "FilamentNetwork", "GroundPlane", "plane_under_block",
+    "PartialInductanceSolver", "bar_self_inductance", "bar_mutual_inductance",
+    # rc
+    "CapacitanceModel", "CrossSection2D", "FieldSolver2D",
+    # tables / core
+    "ExtractionTable", "TableBasedExtractor", "significant_frequency",
+    "foundation1_check", "foundation2_check", "loop_inductance_matrix",
+    # bus
+    "BusRLC", "BusRLCExtractor", "crosstalk_analysis",
+    # cascade
+    "InterconnectTree", "SegmentSpec", "cascading_comparison",
+    # clocktree
+    "CoplanarWaveguideConfig", "MicrostripConfig", "StriplineConfig",
+    "ClockBuffer", "HTree",
+    "ClocktreeRLCExtractor", "simulate_clocktree", "compare_rc_vs_rlc",
+    # circuit
+    "Circuit", "PulseSource", "PWLSource", "Waveform",
+    "transient_analysis", "ac_analysis", "operating_point",
+]

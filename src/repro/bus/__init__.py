@@ -1,0 +1,33 @@
+"""Bus RLC extraction: the n-trace block flow of Sec. II.
+
+"When the block size is large, it models the bus structure with outside
+ground traces that can be used for shielding only or for shielding and
+power supply at the same time."  The Foundations reduce the n-trace
+inductance problem to 1-/2-trace subproblems, so a full coupled RLC bus
+netlist assembles from table (or closed-form) lookups: partial self L
+per trace, partial mutual L per pair, short-range Maxwell capacitance,
+analytic resistance.  The PEEC convention applies: partial inductances
+go into the netlist and the circuit simulator determines the return
+path.
+
+:mod:`repro.bus.crosstalk` drives an aggressor and measures victim
+noise -- demonstrating the paper's point that capacitive coupling is
+short-range while inductive coupling is long-range.
+"""
+
+from repro.bus.extractor import BusRLC, BusRLCExtractor
+from repro.bus.crosstalk import (
+    CrosstalkResult,
+    SwitchingDelayResult,
+    crosstalk_analysis,
+    switching_delay_analysis,
+)
+
+__all__ = [
+    "BusRLC",
+    "BusRLCExtractor",
+    "CrosstalkResult",
+    "crosstalk_analysis",
+    "SwitchingDelayResult",
+    "switching_delay_analysis",
+]

@@ -1,0 +1,31 @@
+"""Linearly cascaded inductance modeling (paper Sec. IV).
+
+A signal wire guarded by two same-or-wider ground wires is inductively
+self-contained, so the loop inductance of a routed tree equals the
+series/parallel combination of independently extracted segment loop
+inductances.  :mod:`repro.cascade.tree` describes guarded interconnect
+trees (the paper's Fig. 6 structures) and builds their full PEEC
+networks; :mod:`repro.cascade.combine` performs the per-segment
+extraction, the series/parallel combination and the comparison against
+the full-structure solve (Table I).
+"""
+
+from repro.cascade.combine import (
+    CascadeComparison,
+    cascading_comparison,
+    combined_loop_rl,
+    per_segment_loop_rl,
+)
+from repro.cascade.guard_rule import GuardRuleStudy, guard_width_study
+from repro.cascade.tree import InterconnectTree, SegmentSpec
+
+__all__ = [
+    "GuardRuleStudy",
+    "guard_width_study",
+    "InterconnectTree",
+    "SegmentSpec",
+    "CascadeComparison",
+    "cascading_comparison",
+    "combined_loop_rl",
+    "per_segment_loop_rl",
+]

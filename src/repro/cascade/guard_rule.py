@@ -1,0 +1,79 @@
+"""The "at least equal width" guard rule (Sec. IV).
+
+"Since the width of each ground wire is the same as that of the signal
+wire and the shielding will improve if wider ground wires are used, we
+have the at least equal width conclusion."  These helpers quantify the
+rule: sweep the guard-to-signal width ratio and measure both the
+cascading error (how self-contained each segment is) and the loop
+inductance itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+
+from repro.cascade.combine import cascading_comparison
+from repro.cascade.tree import InterconnectTree
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class GuardRulePoint:
+    """One guard-width ratio evaluation."""
+
+    width_ratio: float
+    cascading_error: float
+    loop_inductance: float
+
+
+@dataclass
+class GuardRuleStudy:
+    """Cascading fidelity across guard-to-signal width ratios."""
+
+    points: List[GuardRulePoint]
+
+    def error_at(self, ratio: float) -> float:
+        """Cascading error of the point closest to *ratio*."""
+        closest = min(self.points, key=lambda p: abs(p.width_ratio - ratio))
+        return closest.cascading_error
+
+    @property
+    def equal_width_error(self) -> float:
+        """Cascading error at the paper's minimum recommended ratio (1.0)."""
+        return self.error_at(1.0)
+
+    def rule_holds(self, tolerance: float = 0.05) -> bool:
+        """True when every ratio >= 1 cascades within *tolerance*."""
+        return all(
+            p.cascading_error <= tolerance
+            for p in self.points if p.width_ratio >= 1.0 - 1e-12
+        )
+
+
+def guard_width_study(
+    tree: InterconnectTree,
+    width_ratios: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    frequency: float = 3.0e9,
+) -> GuardRuleStudy:
+    """Sweep the ground-wire width and re-run the Table-I comparison.
+
+    The signal width stays fixed; the ground wires scale by each ratio.
+    """
+    if not width_ratios:
+        raise GeometryError("need at least one width ratio")
+    points: List[GuardRulePoint] = []
+    for ratio in width_ratios:
+        if ratio <= 0.0:
+            raise GeometryError("width ratios must be positive")
+        scaled = replace(tree, ground_width=tree.signal_width * ratio)
+        comparison = cascading_comparison(scaled, frequency)
+        points.append(
+            GuardRulePoint(
+                width_ratio=float(ratio),
+                cascading_error=comparison.inductance_error,
+                loop_inductance=comparison.full_inductance,
+            )
+        )
+    return GuardRuleStudy(points=points)

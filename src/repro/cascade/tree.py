@@ -1,0 +1,270 @@
+"""Guarded interconnect trees (the structures of the paper's Fig. 6).
+
+Every segment of the tree is a three-wire system: a centre signal wire
+sandwiched by two ground wires of equal (or greater) width.  The tree
+branches at junction points; leaves are shorted signal-to-ground so the
+whole structure forms one driving-point loop, which is what the paper's
+Table I extracts with RI3 and compares against the series/parallel
+combination of per-segment loop inductances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.constants import RHO_CU
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point3D, RectBar
+from repro.geometry.trace import TraceBlock
+from repro.peec.network import FilamentNetwork
+
+#: Junction name of the tree root (the driven end).
+ROOT = "ROOT"
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One guarded segment: *parent* is the upstream segment (None = root)."""
+
+    name: str
+    length: float
+    parent: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.length <= 0.0:
+            raise GeometryError(f"segment {self.name!r}: length must be positive")
+        if self.name == ROOT:
+            raise GeometryError(f"segment name {ROOT!r} is reserved")
+
+
+@dataclass
+class InterconnectTree:
+    """A tree of guarded (ground-signal-ground) segments.
+
+    Geometry is laid out in the z = 0 plane: the root segment runs along
+    +x from the origin, and orientation alternates with tree depth (x,
+    y, x, ...) as in an H-tree; the first child at a junction continues
+    in the positive direction, the second in the negative.
+
+    Parameters
+    ----------
+    segments:
+        Segment specs; exactly one must have ``parent=None``.
+    signal_width, ground_width, spacing, thickness:
+        The shared three-wire cross-section [m].  The paper's guard
+        condition requires ``ground_width >= signal_width``.
+    """
+
+    segments: List[SegmentSpec]
+    signal_width: float
+    ground_width: float
+    spacing: float
+    thickness: float
+    resistivity: float = RHO_CU
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise GeometryError("tree needs at least one segment")
+        if min(self.signal_width, self.ground_width, self.spacing, self.thickness) <= 0.0:
+            raise GeometryError("cross-section dimensions must be positive")
+        names = [s.name for s in self.segments]
+        if len(set(names)) != len(names):
+            raise GeometryError(f"duplicate segment names in {names}")
+        roots = [s for s in self.segments if s.parent is None]
+        if len(roots) != 1:
+            raise GeometryError(f"tree must have exactly one root, found {len(roots)}")
+        by_name = {s.name: s for s in self.segments}
+        for seg in self.segments:
+            if seg.parent is not None and seg.parent not in by_name:
+                raise GeometryError(
+                    f"segment {seg.name!r} references unknown parent {seg.parent!r}"
+                )
+        # reject cycles / unreachable segments
+        for seg in self.segments:
+            seen = set()
+            cursor = seg
+            while cursor.parent is not None:
+                if cursor.name in seen:
+                    raise GeometryError(f"cycle through segment {cursor.name!r}")
+                seen.add(cursor.name)
+                cursor = by_name[cursor.parent]
+        self._by_name = by_name
+
+    @property
+    def root(self) -> SegmentSpec:
+        """The root segment."""
+        return next(s for s in self.segments if s.parent is None)
+
+    def segment(self, name: str) -> SegmentSpec:
+        """Look up a segment by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise GeometryError(f"unknown segment {name!r}") from None
+
+    def children(self, name: str) -> List[SegmentSpec]:
+        """Segments whose parent is *name*, in declaration order."""
+        return [s for s in self.segments if s.parent == name]
+
+    def leaves(self) -> List[SegmentSpec]:
+        """Segments with no children (shorted signal-to-ground ends)."""
+        return [s for s in self.segments if not self.children(s.name)]
+
+    def depth(self, name: str) -> int:
+        """Number of ancestors of segment *name*."""
+        seg = self.segment(name)
+        count = 0
+        while seg.parent is not None:
+            seg = self.segment(seg.parent)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # geometric layout
+    # ------------------------------------------------------------------
+    def layout(self) -> Dict[str, Tuple[Tuple[float, float], str, float]]:
+        """Geometric placement of every segment.
+
+        Returns ``{name: ((x_start, y_start), axis, direction)}`` where
+        *axis* is ``'x'`` or ``'y'`` and *direction* is +1.0 or -1.0.
+        """
+        placements: Dict[str, Tuple[Tuple[float, float], str, float]] = {}
+        ends: Dict[str, Tuple[float, float]] = {ROOT: (0.0, 0.0)}
+
+        def place(seg: SegmentSpec, start: Tuple[float, float], depth: int,
+                  direction: float) -> None:
+            axis = "x" if depth % 2 == 0 else "y"
+            placements[seg.name] = (start, axis, direction)
+            dx = seg.length * direction if axis == "x" else 0.0
+            dy = seg.length * direction if axis == "y" else 0.0
+            end = (start[0] + dx, start[1] + dy)
+            ends[seg.name] = end
+            for idx, child in enumerate(self.children(seg.name)):
+                child_dir = 1.0 if idx % 2 == 0 else -1.0
+                place(child, end, depth + 1, child_dir)
+
+        place(self.root, (0.0, 0.0), 0, 1.0)
+        return placements
+
+    def _segment_bars(
+        self, seg: SegmentSpec, start: Tuple[float, float], axis: str,
+        direction: float,
+    ) -> Tuple[RectBar, RectBar, RectBar]:
+        """(signal, ground_left, ground_right) bars for one placed segment."""
+        lateral_offset = self.signal_width / 2.0 + self.spacing + self.ground_width / 2.0
+        x0, y0 = start
+        if direction < 0:
+            if axis == "x":
+                x0 -= seg.length
+            else:
+                y0 -= seg.length
+
+        def bar(width: float, lateral: float) -> RectBar:
+            if axis == "x":
+                origin = Point3D(x0, y0 + lateral - width / 2.0, 0.0)
+            else:
+                origin = Point3D(x0 + lateral - width / 2.0, y0, 0.0)
+            return RectBar(
+                origin=origin, length=seg.length, width=width,
+                thickness=self.thickness, axis=axis,
+            )
+
+        signal = bar(self.signal_width, 0.0)
+        ground_left = bar(self.ground_width, -lateral_offset)
+        ground_right = bar(self.ground_width, +lateral_offset)
+        return signal, ground_left, ground_right
+
+    def segment_block(self, name: str) -> TraceBlock:
+        """The isolated three-wire block of one segment (laid along x at
+        the origin) -- the geometry a per-segment table characterizes."""
+        seg = self.segment(name)
+        return TraceBlock.coplanar_waveguide(
+            signal_width=self.signal_width,
+            ground_width=self.ground_width,
+            spacing=self.spacing,
+            length=seg.length,
+            thickness=self.thickness,
+        )
+
+    # ------------------------------------------------------------------
+    # full-structure PEEC network (the "RI3 run" of Table I)
+    # ------------------------------------------------------------------
+    def build_network(
+        self,
+        n_width: int = 1,
+        n_thickness: int = 1,
+        grading: float = 1.0,
+        short_resistance: float = 1e-6,
+    ) -> FilamentNetwork:
+        """Full PEEC network of the whole tree with leaf shorts.
+
+        Drive it between ``sig_ROOT`` and ``gnd_ROOT`` (which is also the
+        network's ground node) to obtain the Table-I loop impedance.
+        """
+        network = FilamentNetwork(ground=f"gnd_{ROOT}")
+        placements = self.layout()
+        for seg in self.segments:
+            start, axis, direction = placements[seg.name]
+            signal, gnd_l, gnd_r = self._segment_bars(seg, start, axis, direction)
+            upstream = seg.parent if seg.parent is not None else ROOT
+            network.add_conductor(
+                f"{seg.name}_sig", signal,
+                f"sig_{upstream}", f"sig_{seg.name}",
+                resistivity=self.resistivity,
+                n_width=n_width, n_thickness=n_thickness, grading=grading,
+            )
+            for suffix, bar in (("gl", gnd_l), ("gr", gnd_r)):
+                network.add_conductor(
+                    f"{seg.name}_{suffix}", bar,
+                    f"gnd_{upstream}", f"gnd_{seg.name}",
+                    resistivity=self.resistivity,
+                    n_width=n_width, n_thickness=n_thickness, grading=grading,
+                )
+        for leaf in self.leaves():
+            network.add_resistor(
+                f"{leaf.name}_short",
+                f"sig_{leaf.name}",
+                f"gnd_{leaf.name}",
+                resistance=short_resistance,
+            )
+        return network
+
+
+def figure6a_tree(width: float = 1.2e-6, thickness: float = 0.7e-6,
+                  spacing: float = 1.2e-6) -> InterconnectTree:
+    """The paper's Fig. 6(a) tree: ab -> (bc -> ce) || (bd -> df).
+
+    Segment lengths follow the figure's annotations (100-250 um); all
+    three wires share the 1.2 um width.
+    """
+    return InterconnectTree(
+        segments=[
+            SegmentSpec("ab", 100e-6, None),
+            SegmentSpec("bc", 150e-6, "ab"),
+            SegmentSpec("ce", 250e-6, "bc"),
+            SegmentSpec("bd", 100e-6, "ab"),
+            SegmentSpec("df", 250e-6, "bd"),
+        ],
+        signal_width=width,
+        ground_width=width,
+        spacing=spacing,
+        thickness=thickness,
+    )
+
+
+def figure6b_tree(width: float = 1.2e-6, thickness: float = 0.7e-6,
+                  spacing: float = 1.2e-6) -> InterconnectTree:
+    """The paper's Fig. 6(b) tree: longer runs (300-600 um) with a stub."""
+    return InterconnectTree(
+        segments=[
+            SegmentSpec("ab", 600e-6, None),
+            SegmentSpec("bc", 300e-6, "ab"),
+            SegmentSpec("bd", 20e-6, "ab"),
+            SegmentSpec("de", 600e-6, "bd"),
+        ],
+        signal_width=width,
+        ground_width=width,
+        spacing=spacing,
+        thickness=thickness,
+    )

@@ -1,0 +1,36 @@
+"""A compact MNA circuit simulator (the paper's HSPICE substitute).
+
+Supports R, L, C, mutually coupled inductors, independent sources with
+DC/pulse/PWL/sine waveforms and controlled sources; analyses: DC
+operating point, AC sweep and trapezoidal/backward-Euler transient.
+Waveform post-processing (delay, overshoot, skew) lives in
+:mod:`repro.circuit.waveform`.
+"""
+
+from repro.circuit.ac import ACResult, ac_analysis
+from repro.circuit.dc import operating_point
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import DCSource, PulseSource, PWLSource, SineSource
+from repro.circuit.spice_export import to_spice, write_spice
+from repro.circuit.spice_import import ParsedDeck, from_spice
+from repro.circuit.transient import TransientResult, transient_analysis
+from repro.circuit.waveform import Waveform, skew
+
+__all__ = [
+    "to_spice",
+    "write_spice",
+    "from_spice",
+    "ParsedDeck",
+    "Circuit",
+    "DCSource",
+    "PulseSource",
+    "PWLSource",
+    "SineSource",
+    "operating_point",
+    "ac_analysis",
+    "ACResult",
+    "transient_analysis",
+    "TransientResult",
+    "Waveform",
+    "skew",
+]

@@ -1,0 +1,41 @@
+"""DC operating point."""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.circuit.netlist import AssembledCircuit, Circuit
+from repro.errors import SolverError
+
+#: Tiny conductance added from every node to ground so capacitor-isolated
+#: nodes have a defined DC voltage (SPICE's gmin).
+GMIN = 1e-12
+
+
+def operating_point(
+    circuit: Union[Circuit, AssembledCircuit],
+    time: float = 0.0,
+    gmin: float = GMIN,
+) -> Dict[str, float]:
+    """Solve the DC operating point with sources evaluated at *time*.
+
+    Inductors are shorts (their branch equations enforce V = 0 at DC) and
+    capacitors are opens.  Returns node voltages keyed by node name,
+    including ground.
+    """
+    assembled = circuit.assemble() if isinstance(circuit, Circuit) else circuit
+    g = assembled.stamps.g_matrix.copy()
+    n = assembled.num_nodes
+    g[:n, :n] += np.eye(n) * gmin
+    b = assembled.stamps.source_vector(time)
+    try:
+        x = np.linalg.solve(g, b)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(f"singular DC system: {exc}") from exc
+    voltages = {"0": 0.0}
+    for node, idx in assembled.node_index.items():
+        if idx >= 0:
+            voltages[node] = float(x[idx])
+    return voltages

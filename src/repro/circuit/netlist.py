@@ -1,0 +1,253 @@
+"""Circuit container: nodes, elements and MNA assembly.
+
+:class:`Circuit` is the user-facing netlist: ``add_resistor`` etc. build
+it up, :meth:`Circuit.assemble` produces the MNA matrices consumed by
+the analyses in :mod:`repro.circuit.dc`, :mod:`repro.circuit.ac` and
+:mod:`repro.circuit.transient`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.circuit.elements import (
+    VCVS,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    Stamps,
+    VoltageSource,
+)
+from repro.circuit.sources import DCSource
+from repro.errors import CircuitError
+
+#: The ground node name.
+GROUND = "0"
+
+SourceLike = Union[float, Callable[[float], float]]
+
+
+def _as_waveform(source: SourceLike) -> Callable[[float], float]:
+    if callable(source):
+        return source
+    return DCSource(float(source))
+
+
+class Circuit:
+    """A flat netlist with named nodes; node ``"0"`` is ground."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.elements: List[Element] = []
+        self.mutuals: List[MutualInductance] = []
+        self._names: set = set()
+        self._inductors: Dict[str, Inductor] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _register(self, element) -> None:
+        if element.name in self._names:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        self._names.add(element.name)
+
+    def add_resistor(self, name: str, node1: str, node2: str, resistance: float) -> Resistor:
+        """Add a resistor [ohm]."""
+        element = Resistor(name, node1, node2, resistance)
+        self._register(element)
+        self.elements.append(element)
+        return element
+
+    def add_capacitor(
+        self, name: str, node1: str, node2: str, capacitance: float,
+        initial_voltage: float = 0.0,
+    ) -> Capacitor:
+        """Add a capacitor [F]."""
+        element = Capacitor(name, node1, node2, capacitance, initial_voltage)
+        self._register(element)
+        self.elements.append(element)
+        return element
+
+    def add_inductor(
+        self, name: str, node1: str, node2: str, inductance: float,
+        initial_current: float = 0.0,
+    ) -> Inductor:
+        """Add an inductor [H]."""
+        element = Inductor(name, node1, node2, inductance, initial_current)
+        self._register(element)
+        self.elements.append(element)
+        self._inductors[name] = element
+        return element
+
+    def add_mutual(
+        self, name: str, inductor1: str, inductor2: str,
+        mutual: Optional[float] = None, coupling: Optional[float] = None,
+    ) -> MutualInductance:
+        """Couple two inductors by mutual inductance [H] or coefficient k."""
+        for ind in (inductor1, inductor2):
+            if ind not in self._inductors:
+                raise CircuitError(f"mutual {name!r} references unknown inductor {ind!r}")
+        if (mutual is None) == (coupling is None):
+            raise CircuitError("give exactly one of mutual=, coupling=")
+        if name in self._names:
+            raise CircuitError(f"duplicate element name {name!r}")
+        if coupling is not None:
+            element = MutualInductance.from_coupling(
+                name, self._inductors[inductor1], self._inductors[inductor2], coupling
+            )
+        else:
+            l1 = self._inductors[inductor1].inductance
+            l2 = self._inductors[inductor2].inductance
+            if abs(mutual) >= np.sqrt(l1 * l2):
+                raise CircuitError(
+                    f"mutual {name!r}: |M| must be < sqrt(L1 L2) for passivity"
+                )
+            element = MutualInductance(name, inductor1, inductor2, mutual)
+        self._names.add(name)
+        self.mutuals.append(element)
+        return element
+
+    def add_voltage_source(
+        self, name: str, node1: str, node2: str, source: SourceLike = 0.0,
+        ac_magnitude: float = 0.0,
+    ) -> VoltageSource:
+        """Add an independent voltage source (+ terminal = node1)."""
+        element = VoltageSource(
+            name, node1, node2, waveform=_as_waveform(source),
+            ac_magnitude=ac_magnitude,
+        )
+        self._register(element)
+        self.elements.append(element)
+        return element
+
+    def add_current_source(
+        self, name: str, node1: str, node2: str, source: SourceLike = 0.0,
+        ac_magnitude: float = 0.0,
+    ) -> CurrentSource:
+        """Add an independent current source flowing node1 -> node2."""
+        element = CurrentSource(
+            name, node1, node2, waveform=_as_waveform(source),
+            ac_magnitude=ac_magnitude,
+        )
+        self._register(element)
+        self.elements.append(element)
+        return element
+
+    def add_vcvs(
+        self, name: str, node1: str, node2: str, control1: str, control2: str,
+        gain: float,
+    ) -> VCVS:
+        """Add a voltage-controlled voltage source."""
+        element = VCVS(name, node1, node2, control1=control1, control2=control2,
+                       gain=gain)
+        self._register(element)
+        self.elements.append(element)
+        return element
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        """All non-ground node names in first-use order."""
+        seen: List[str] = []
+        for element in self.elements:
+            candidates = [element.node1, element.node2]
+            if isinstance(element, VCVS):
+                candidates += [element.control1, element.control2]
+            for node in candidates:
+                if node != GROUND and node not in seen:
+                    seen.append(node)
+        return seen
+
+    @property
+    def branch_elements(self) -> List[Element]:
+        """Elements that carry a branch-current unknown."""
+        return [e for e in self.elements if e.has_branch]
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        for candidate in self.elements:
+            if candidate.name == name:
+                return candidate
+        raise CircuitError(f"unknown element {name!r}")
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def assemble(self) -> "AssembledCircuit":
+        """Stamp all elements and return the MNA system."""
+        if not self.elements:
+            raise CircuitError("circuit has no elements")
+        nodes = self.nodes
+        if not nodes:
+            raise CircuitError("circuit has no non-ground nodes")
+        has_ground = any(
+            GROUND in (e.node1, e.node2) for e in self.elements
+        )
+        if not has_ground:
+            raise CircuitError("circuit has no connection to ground node '0'")
+        node_index = {GROUND: -1}
+        for i, node in enumerate(nodes):
+            node_index[node] = i
+        branch_names = [e.name for e in self.branch_elements]
+        stamps = Stamps(node_index, branch_names)
+        for element in self.elements:
+            element.stamp(stamps)
+        for mutual in self.mutuals:
+            mutual.stamp(stamps)
+        return AssembledCircuit(self, node_index, branch_names, stamps)
+
+
+class AssembledCircuit:
+    """MNA matrices plus index bookkeeping for one circuit."""
+
+    def __init__(self, circuit: Circuit, node_index, branch_names, stamps: Stamps):
+        self.circuit = circuit
+        self.node_index = node_index
+        self.branch_names = branch_names
+        self.stamps = stamps
+
+    @property
+    def size(self) -> int:
+        """Number of MNA unknowns."""
+        return self.stamps.size
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return self.stamps.num_nodes
+
+    def node_row(self, node: str) -> int:
+        """Row of a node voltage in the unknown vector (-1 for ground)."""
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r}") from None
+
+    def branch_row(self, name: str) -> int:
+        """Row of a branch current in the unknown vector."""
+        try:
+            return self.stamps.num_nodes + self.branch_names.index(name)
+        except ValueError:
+            raise CircuitError(f"element {name!r} has no branch current") from None
+
+    def initial_state(self) -> np.ndarray:
+        """State honouring capacitor/inductor initial conditions (else 0)."""
+        x = np.zeros(self.size)
+        for element in self.circuit.elements:
+            if isinstance(element, Capacitor) and element.initial_voltage:
+                i = self.node_row(element.node1)
+                j = self.node_row(element.node2)
+                if i >= 0:
+                    x[i] = element.initial_voltage
+                if j >= 0:
+                    x[j] = -element.initial_voltage
+            elif isinstance(element, Inductor) and element.initial_current:
+                x[self.branch_row(element.name)] = element.initial_current
+        return x

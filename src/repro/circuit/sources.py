@@ -1,0 +1,106 @@
+"""Time-domain source waveforms (SPICE DC / PULSE / PWL / SIN)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class DCSource:
+    """A constant source."""
+
+    value: float = 0.0
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PulseSource:
+    """A SPICE-style periodic trapezoidal pulse.
+
+    Parameters mirror ``PULSE(v1 v2 delay rise fall width period)``; a
+    non-positive *period* gives a single pulse.
+    """
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 1e-12
+    fall: float = 1e-12
+    width: float = 1e-9
+    period: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rise <= 0.0 or self.fall <= 0.0:
+            raise CircuitError("rise and fall times must be positive")
+        if self.width < 0.0:
+            raise CircuitError("pulse width must be non-negative")
+
+    def __call__(self, t: float) -> float:
+        t = t - self.delay
+        if t < 0.0:
+            return self.v1
+        if self.period > 0.0:
+            t = math.fmod(t, self.period)
+        if t < self.rise:
+            return self.v1 + (self.v2 - self.v1) * t / self.rise
+        t -= self.rise
+        if t < self.width:
+            return self.v2
+        t -= self.width
+        if t < self.fall:
+            return self.v2 + (self.v1 - self.v2) * t / self.fall
+        return self.v1
+
+
+@dataclass(frozen=True)
+class PWLSource:
+    """Piecewise-linear waveform through (time, value) breakpoints."""
+
+    times: Sequence[float]
+    values: Sequence[float]
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if times.ndim != 1 or times.size < 2 or times.size != values.size:
+            raise CircuitError("PWL needs matching times/values with >= 2 points")
+        if not np.all(np.diff(times) > 0.0):
+            raise CircuitError("PWL times must be strictly increasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    def __call__(self, t: float) -> float:
+        return float(np.interp(t, self.times, self.values))
+
+
+@dataclass(frozen=True)
+class SineSource:
+    """A SPICE SIN source: offset + amplitude sin(2 pi f (t - delay))."""
+
+    offset: float = 0.0
+    amplitude: float = 1.0
+    frequency: float = 1e9
+    delay: float = 0.0
+    phase_degrees: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0.0:
+            raise CircuitError("sine frequency must be positive")
+
+    def __call__(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset + self.amplitude * math.sin(
+                math.radians(self.phase_degrees)
+            )
+        arg = 2.0 * math.pi * self.frequency * (t - self.delay)
+        return self.offset + self.amplitude * math.sin(
+            arg + math.radians(self.phase_degrees)
+        )

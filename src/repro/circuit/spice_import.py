@@ -1,0 +1,178 @@
+"""Parse a SPICE deck back into a :class:`~repro.circuit.netlist.Circuit`.
+
+Supports the element subset the exporter emits -- R, C, L (with IC=),
+V/I with DC / PULSE / PWL / SIN specifications, E (VCVS) and K coupling
+cards -- plus comments, ``+`` continuation lines and engineering
+suffixes (``1k``, ``2.5n``, ``10meg`` ...).  Control cards (``.tran``
+etc.) are collected, not executed.  Together with
+:mod:`repro.circuit.spice_export` this gives a lossless round trip for
+extracted netlists.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import DCSource, PulseSource, PWLSource, SineSource
+from repro.errors import CircuitError
+
+#: Engineering suffix multipliers (case-insensitive; MEG before M).
+_SUFFIXES = (
+    ("meg", 1e6), ("mil", 25.4e-6), ("t", 1e12), ("g", 1e9), ("k", 1e3),
+    ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("f", 1e-15),
+)
+
+_NUMBER_RE = re.compile(
+    r"^([+-]?(?:\d+\.?\d*|\.\d+))([eE][+-]?\d+)?([a-zA-Z]*)$"
+)
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix."""
+    match = _NUMBER_RE.match(token.strip())
+    if not match:
+        raise CircuitError(f"cannot parse SPICE value {token!r}")
+    mantissa = float(match.group(1) + (match.group(2) or ""))
+    suffix = match.group(3).lower()
+    if not suffix:
+        return mantissa
+    for name, scale in _SUFFIXES:
+        if suffix.startswith(name):
+            return mantissa * scale
+    # unknown trailing units (e.g. "5ohm") -- ignore the letters
+    return mantissa
+
+
+@dataclass
+class ParsedDeck:
+    """A parsed SPICE deck: the circuit plus its control cards."""
+
+    circuit: Circuit
+    title: str = ""
+    controls: List[str] = field(default_factory=list)
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Join ``+`` continuations, drop comments and blank lines."""
+    lines: List[str] = []
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not lines:
+                raise CircuitError("continuation line with nothing to continue")
+            lines[-1] += " " + stripped[1:].strip()
+        else:
+            lines.append(stripped)
+    return lines
+
+
+def _split_function_args(spec: str) -> List[float]:
+    """Extract numbers from ``NAME(a b c)`` or ``NAME a b c`` forms."""
+    inside = spec
+    if "(" in spec:
+        inside = spec[spec.index("(") + 1:spec.rindex(")")]
+    tokens = inside.replace(",", " ").split()
+    return [parse_value(t) for t in tokens]
+
+
+def _parse_source(tokens: List[str]):
+    """Parse a source specification into a waveform callable."""
+    spec = " ".join(tokens)
+    upper = spec.upper()
+    if upper.startswith("DC"):
+        values = _split_function_args(spec[2:])
+        return DCSource(values[0] if values else 0.0)
+    if upper.startswith("PULSE"):
+        args = _split_function_args(spec)
+        defaults = [0.0, 0.0, 0.0, 1e-12, 1e-12, 1e-9, 0.0]
+        args = args + defaults[len(args):]
+        return PulseSource(v1=args[0], v2=args[1], delay=args[2],
+                           rise=args[3], fall=args[4], width=args[5],
+                           period=args[6])
+    if upper.startswith("PWL"):
+        args = _split_function_args(spec)
+        if len(args) < 4 or len(args) % 2:
+            raise CircuitError(f"malformed PWL specification {spec!r}")
+        return PWLSource(times=args[0::2], values=args[1::2])
+    if upper.startswith("SIN"):
+        args = _split_function_args(spec)
+        defaults = [0.0, 1.0, 1e9, 0.0]
+        args = args + defaults[len(args):]
+        return SineSource(offset=args[0], amplitude=args[1],
+                          frequency=args[2], delay=args[3])
+    # bare number: DC value
+    return DCSource(parse_value(tokens[0]))
+
+
+def _pop_ic(tokens: List[str]) -> Tuple[List[str], float]:
+    """Remove an ``IC=value`` token; return remaining tokens and the IC."""
+    ic = 0.0
+    remaining = []
+    for token in tokens:
+        if token.upper().startswith("IC="):
+            ic = parse_value(token[3:])
+        else:
+            remaining.append(token)
+    return remaining, ic
+
+
+def from_spice(text: str) -> ParsedDeck:
+    """Parse a SPICE deck string.
+
+    The first line is treated as the title (SPICE convention) when it
+    does not look like an element card.
+    """
+    raw_lines = text.splitlines()
+    title = ""
+    if raw_lines and raw_lines[0].strip().startswith("*"):
+        title = raw_lines[0].strip().lstrip("* ").strip()
+
+    circuit = Circuit(title)
+    controls: List[str] = []
+    pending_couplings: List[Tuple[str, str, str, float]] = []
+
+    for line in _logical_lines(text):
+        if line.startswith("."):
+            card = line[1:].strip()
+            if card.lower() != "end":
+                controls.append(card)
+            continue
+        tokens = line.split()
+        name = tokens[0]
+        letter = name[0].upper()
+        if letter == "R":
+            circuit.add_resistor(name, tokens[1], tokens[2],
+                                 parse_value(tokens[3]))
+        elif letter == "C":
+            rest, ic = _pop_ic(tokens[3:])
+            circuit.add_capacitor(name, tokens[1], tokens[2],
+                                  parse_value(rest[0]), initial_voltage=ic)
+        elif letter == "L":
+            rest, ic = _pop_ic(tokens[3:])
+            circuit.add_inductor(name, tokens[1], tokens[2],
+                                 parse_value(rest[0]), initial_current=ic)
+        elif letter == "V":
+            circuit.add_voltage_source(name, tokens[1], tokens[2],
+                                       _parse_source(tokens[3:]))
+        elif letter == "I":
+            circuit.add_current_source(name, tokens[1], tokens[2],
+                                       _parse_source(tokens[3:]))
+        elif letter == "E":
+            circuit.add_vcvs(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_value(tokens[5]))
+        elif letter == "K":
+            pending_couplings.append(
+                (name, tokens[1], tokens[2], parse_value(tokens[3]))
+            )
+        else:
+            raise CircuitError(f"unsupported SPICE card {line!r}")
+
+    for name, ind1, ind2, k in pending_couplings:
+        circuit.add_mutual(name, ind1, ind2, coupling=k)
+
+    return ParsedDeck(circuit=circuit, title=title, controls=controls)

@@ -1,0 +1,149 @@
+"""Transient analysis with trapezoidal or backward-Euler integration.
+
+The MNA system ``G x + C x' = b(t)`` is integrated on a fixed step:
+
+* trapezoidal (default, SPICE's workhorse -- second order, A-stable,
+  preserves the ringing the paper's RLC netlists exhibit), or
+* backward Euler (first order, adds numerical damping; useful to confirm
+  a suspected numerical oscillation is physical).
+
+The step matrix is factorized once and reused for every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from repro.circuit.netlist import AssembledCircuit, Circuit
+from repro.circuit.waveform import Waveform
+from repro.errors import CircuitError, SolverError
+
+
+@dataclass
+class TransientResult:
+    """Node voltages and branch currents over time."""
+
+    time: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+    branch_currents: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> Waveform:
+        """Voltage waveform at *node*."""
+        try:
+            return Waveform(self.time, self.node_voltages[node])
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r}") from None
+
+    def current(self, element: str) -> Waveform:
+        """Current waveform through a branch element."""
+        try:
+            return Waveform(self.time, self.branch_currents[element])
+        except KeyError:
+            raise CircuitError(f"element {element!r} has no branch current") from None
+
+
+def transient_analysis(
+    circuit: Union[Circuit, AssembledCircuit],
+    t_stop: float,
+    dt: float,
+    method: str = "trapezoidal",
+    initial: str = "dc",
+) -> TransientResult:
+    """Integrate the circuit from 0 to *t_stop* with fixed step *dt*.
+
+    Parameters
+    ----------
+    method:
+        ``"trapezoidal"`` or ``"backward_euler"``.
+    initial:
+        ``"dc"`` starts from the operating point with sources at t = 0
+        (the usual SPICE behaviour); ``"zero"`` starts from explicit
+        initial conditions (or all-zero state).
+    """
+    if t_stop <= 0.0 or dt <= 0.0:
+        raise CircuitError("t_stop and dt must be positive")
+    if dt >= t_stop:
+        raise CircuitError("dt must be smaller than t_stop")
+    if method not in ("trapezoidal", "backward_euler"):
+        raise CircuitError(f"unknown method {method!r}")
+    if initial not in ("dc", "zero"):
+        raise CircuitError(f"unknown initial condition mode {initial!r}")
+
+    assembled = circuit.assemble() if isinstance(circuit, Circuit) else circuit
+    g = assembled.stamps.g_matrix
+    c = assembled.stamps.c_matrix
+
+    n_steps = int(round(t_stop / dt))
+    time = np.arange(n_steps + 1) * dt
+
+    x = np.empty((n_steps + 1, assembled.size))
+    if initial == "dc":
+        x[0] = _dc_start(assembled)
+    else:
+        x[0] = assembled.initial_state()
+
+    if method == "trapezoidal":
+        lhs = 2.0 * c / dt + g
+        rhs_matrix = 2.0 * c / dt - g
+    else:
+        lhs = c / dt + g
+        rhs_matrix = c / dt
+
+    try:
+        lu = lu_factor(lhs)
+    except (ValueError, np.linalg.LinAlgError) as exc:
+        raise SolverError(f"singular transient step matrix: {exc}") from exc
+
+    b_prev = assembled.stamps.source_vector(0.0)
+    for k in range(n_steps):
+        t_next = time[k + 1]
+        b_next = assembled.stamps.source_vector(t_next)
+        if method == "trapezoidal":
+            rhs = rhs_matrix @ x[k] + b_prev + b_next
+        else:
+            rhs = rhs_matrix @ x[k] + b_next
+        x[k + 1] = lu_solve(lu, rhs)
+        b_prev = b_next
+
+    node_voltages = {"0": np.zeros(n_steps + 1)}
+    for node, idx in assembled.node_index.items():
+        if idx >= 0:
+            node_voltages[node] = x[:, idx]
+    branch_currents = {
+        name: x[:, assembled.num_nodes + i]
+        for i, name in enumerate(assembled.branch_names)
+    }
+    return TransientResult(
+        time=time,
+        node_voltages=node_voltages,
+        branch_currents=branch_currents,
+    )
+
+
+def _dc_start(assembled: AssembledCircuit) -> np.ndarray:
+    """Operating-point start vector (node voltages; branch currents from DC).
+
+    Inductor loops (an inductor directly across a voltage source, or two
+    coupled inductors in a loop) make the DC system singular -- the loop
+    current is genuinely undetermined at DC.  The minimum-norm
+    least-squares solution (zero circulating current) is the physical
+    start for a transient, so it is used as the fallback.
+    """
+    g = assembled.stamps.g_matrix.copy()
+    n = assembled.num_nodes
+    g[:n, :n] += np.eye(n) * 1e-12
+    b = assembled.stamps.source_vector(0.0)
+    try:
+        return np.linalg.solve(g, b)
+    except np.linalg.LinAlgError:
+        solution, _, rank, _ = np.linalg.lstsq(g, b, rcond=None)
+        residual = g @ solution - b
+        if np.max(np.abs(residual)) > 1e-9 * max(1.0, np.max(np.abs(b))):
+            raise SolverError(
+                "inconsistent DC initialization (conflicting sources)"
+            )
+        return solution

@@ -1,0 +1,290 @@
+"""Command-line front end: run the paper's experiments from a shell.
+
+``repro <experiment>`` (or ``python -m repro <experiment>``) runs one of
+the reproduction experiments and prints its headline numbers;
+``repro characterize`` builds and saves extraction tables for a CPW
+family.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+from repro.constants import GHz, to_GHz, to_nH, to_pF, to_ps, um
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig1
+
+    result = run_fig1(drive_resistance=args.drive_resistance)
+    print("Fig. 1 co-planar waveguide clock net (6000 um)")
+    print(f"  extracted R = {result.rlc.resistance:8.2f} ohm")
+    print(f"  extracted L = {to_nH(result.rlc.inductance):8.3f} nH")
+    print(f"  extracted C = {to_pF(result.rlc.capacitance):8.3f} pF")
+    print(f"  delay RC   = {to_ps(result.delay_rc):7.2f} ps   (paper: 28.01 ps)")
+    print(f"  delay RLC  = {to_ps(result.delay_rlc):7.2f} ps   (paper: 47.60 ps)")
+    print(f"  delay ratio = {result.delay_ratio:5.2f}          (paper: 1.70)")
+    print(f"  overshoot  = {result.overshoot_rlc * 100.0:5.1f} %")
+    print(f"  undershoot = {result.undershoot_rlc * 100.0:5.1f} %")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fig5
+
+    result = run_fig5(n_traces=args.traces)
+    print(f"Fig. 5 loop inductance matrix [nH] at {to_GHz(result.frequency):.1f} GHz")
+    header = "       " + "".join(f"{name:>9}" for name in result.trace_names)
+    print(header)
+    for name, row in zip(result.trace_names, result.loop_matrix):
+        cells = "".join(f"{to_nH(v):9.4f}" for v in row)
+        print(f"  {name:>5}{cells}")
+    f1, f2 = result.foundation1, result.foundation2
+    print(f"  Foundation 1: {to_nH(f1.full_value):.4f} vs {to_nH(f1.reduced_value):.4f} nH"
+          f"  (error {f1.relative_error * 100.0:.2f} %)")
+    print(f"  Foundation 2: {to_nH(f2.full_value):.4f} vs {to_nH(f2.reduced_value):.4f} nH"
+          f"  (error {f2.relative_error * 100.0:.2f} %)")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import run_table1
+
+    result = run_table1()
+    print("Table I: linear cascading comparison "
+          f"(at {to_GHz(result.frequency):.1f} GHz; paper errors: 3.57 %, 1.55 %)")
+    print(f"  {'structure':>10} {'full L [nH]':>12} {'S/P comb [nH]':>14} {'error':>8}")
+    for row in result.rows:
+        cmp_ = row.comparison
+        print(f"  {row.name:>10} {to_nH(cmp_.full_inductance):12.4f} "
+              f"{to_nH(cmp_.combined_inductance):14.4f} {row.error_percent:7.2f}%")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments import run_length_scaling
+
+    result = run_length_scaling()
+    print("Super-linear inductance length scaling (Sec. V)")
+    print(f"  {'length [um]':>12} {'self L [nH]':>12} {'mutual L [nH]':>14}")
+    for length, ls, lm in zip(
+        result.lengths, result.self_inductance, result.mutual_inductance
+    ):
+        print(f"  {length * 1e6:12.0f} {to_nH(ls):12.4f} {to_nH(lm):14.4f}")
+    print(f"  L(2000um)/L(1000um) = {result.doubling_ratio(1e-3):.3f} "
+          "(paper: about 2.2)")
+    return 0
+
+
+def _cmd_skew(args: argparse.Namespace) -> int:
+    from repro.experiments import run_htree_skew
+
+    result = run_htree_skew()
+    print("H-tree clock skew, RC-only vs RLC netlist (Sec. V)")
+    print(f"  sinks: {result.htree.num_sinks}, levels: {result.htree.num_levels}")
+    print(f"  skew RC  = {to_ps(result.rc_skew):7.2f} ps")
+    print(f"  skew RLC = {to_ps(result.rlc_skew):7.2f} ps")
+    print(f"  skew discrepancy  = {result.skew_discrepancy_percent:5.1f} % "
+          "(paper: can exceed 10 %)")
+    print(f"  delay discrepancy = {result.delay_discrepancy_percent:5.1f} %")
+    return 0
+
+
+def _cmd_variation(args: argparse.Namespace) -> int:
+    from repro.experiments import run_process_variation
+
+    result = run_process_variation()
+    print("Process variation: statistical RC vs nominal L (Sec. V)")
+    print(f"  R spread (sigma/mean) = {result.r_spread * 100.0:5.2f} %")
+    print(f"  C spread (sigma/mean) = {result.c_spread * 100.0:5.2f} %")
+    print(f"  L spread (sigma/mean) = {result.l_spread * 100.0:5.2f} %")
+    print(f"  L is {result.l_insensitivity_factor:.1f}x steadier than R/C "
+          "-- nominal-L + statistical-RC is justified")
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from repro.experiments import run_table_accuracy
+
+    result = run_table_accuracy()
+    print("Table-based extraction accuracy and speed (Sec. III)")
+    print(f"  characterization time: {result.characterization_time:.2f} s")
+    print(f"  {'width [um]':>11} {'length [um]':>12} {'table [nH]':>11} "
+          f"{'direct [nH]':>12} {'error':>8} {'speedup':>9}")
+    for probe in result.probes:
+        print(f"  {probe.width * 1e6:11.1f} {probe.length * 1e6:12.0f} "
+              f"{to_nH(probe.table_inductance):11.4f} "
+              f"{to_nH(probe.direct_inductance):12.4f} "
+              f"{probe.relative_error * 100.0:7.2f}% {probe.speedup:8.0f}x")
+    return 0
+
+
+def _cmd_crosstalk(args: argparse.Namespace) -> int:
+    from repro.bus import BusRLCExtractor, crosstalk_analysis
+    from repro.geometry.trace import TraceBlock
+    from repro.rc.capacitance import CapacitanceModel
+
+    n = args.traces
+    block = TraceBlock.from_widths_and_spacings(
+        widths=[um(args.width)] * n,
+        spacings=[um(args.spacing)] * (n - 1),
+        length=um(args.length),
+        thickness=um(args.thickness),
+    )
+    extractor = BusRLCExtractor(
+        frequency=GHz(args.frequency),
+        capacitance_model=CapacitanceModel(height_below=um(args.height_below)),
+    )
+    bus = extractor.extract(block)
+    aggressor = f"T{(n + 1) // 2}"
+    full = crosstalk_analysis(extractor, bus, aggressor=aggressor)
+    cap_only = crosstalk_analysis(extractor, bus, aggressor=aggressor,
+                                  include_mutual=False)
+    print(f"{n}-trace bus crosstalk, aggressor {aggressor} "
+          "(outer traces are shields)")
+    print(f"  {'victim':>7} {'full RLC':>12} {'cap-only':>12}")
+    for victim in sorted(full.victim_noise_peak):
+        print(f"  {victim:>7} {full.noise_of(victim) * 1e3:9.1f} mV "
+              f"{cap_only.noise_of(victim) * 1e3:9.1f} mV")
+    print("  inductive coupling is long-range: far victims lose most of")
+    print("  their noise when the mutual inductances are dropped.")
+    return 0
+
+
+def _cmd_spice(args: argparse.Namespace) -> int:
+    from repro.circuit.spice_export import write_spice
+    from repro.clocktree.configs import CoplanarWaveguideConfig
+    from repro.clocktree.extractor import ClocktreeRLCExtractor
+    from repro.clocktree.htree import HTree
+
+    config = CoplanarWaveguideConfig(
+        signal_width=um(args.signal_width), ground_width=um(args.ground_width),
+        spacing=um(args.spacing), thickness=um(args.thickness),
+        height_below=um(args.height_below),
+    )
+    extractor = ClocktreeRLCExtractor(config, frequency=GHz(args.frequency))
+    htree = HTree.generate(levels=args.levels,
+                           root_length=um(args.root_length), config=config)
+    netlist = extractor.build_netlist(
+        htree, include_inductance=not args.rc_only
+    )
+    path = write_spice(
+        netlist.circuit, args.output,
+        title=f"repro clocktree ({'RC' if args.rc_only else 'RLC'})",
+        analyses=("tran 0.5p 3n",),
+        probes=sorted(netlist.sink_nodes.values()),
+    )
+    print(f"wrote {path} ({path.read_text().count(chr(10))} cards, "
+          f"{len(netlist.sink_nodes)} sinks)")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.clocktree.configs import CoplanarWaveguideConfig
+    from repro.core.extraction import TableBasedExtractor
+
+    config = CoplanarWaveguideConfig(
+        signal_width=um(args.signal_width),
+        ground_width=um(args.ground_width),
+        spacing=um(args.spacing),
+        thickness=um(args.thickness),
+        height_below=um(args.height_below),
+    )
+    widths = [um(w) for w in args.widths]
+    lengths = [um(l) for l in args.lengths]
+    extractor = TableBasedExtractor.characterize(
+        config, frequency=GHz(args.frequency), widths=widths, lengths=lengths,
+    )
+    extractor.save(args.output)
+    print(f"characterized {len(widths)}x{len(lengths)} loop tables "
+          f"at {args.frequency:.2f} GHz -> {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clocktree RLC extraction with efficient inductance "
+                    "modeling (DATE 2000 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig1 = sub.add_parser("fig1", help="Figs. 1-3 delay comparison")
+    p_fig1.add_argument("--drive-resistance", type=float, default=15.0)
+    p_fig1.set_defaults(func=_cmd_fig1)
+
+    p_fig5 = sub.add_parser("fig5", help="Fig. 5 loop-L matrix + Foundations")
+    p_fig5.add_argument("--traces", type=int, default=5)
+    p_fig5.set_defaults(func=_cmd_fig5)
+
+    sub.add_parser("table1", help="Table I cascading comparison").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("scaling", help="super-linear length scaling").set_defaults(
+        func=_cmd_scaling
+    )
+    sub.add_parser("skew", help="H-tree skew RC vs RLC").set_defaults(
+        func=_cmd_skew
+    )
+    sub.add_parser("variation", help="process variation study").set_defaults(
+        func=_cmd_variation
+    )
+    sub.add_parser("accuracy", help="table accuracy and speedup").set_defaults(
+        func=_cmd_accuracy
+    )
+
+    p_xtalk = sub.add_parser("crosstalk", help="bus aggressor/victim noise")
+    p_xtalk.add_argument("--traces", type=int, default=7)
+    p_xtalk.add_argument("--width", type=float, default=2.0, help="[um]")
+    p_xtalk.add_argument("--spacing", type=float, default=2.0, help="[um]")
+    p_xtalk.add_argument("--length", type=float, default=2000.0, help="[um]")
+    p_xtalk.add_argument("--thickness", type=float, default=1.0, help="[um]")
+    p_xtalk.add_argument("--height-below", type=float, default=2.0, help="[um]")
+    p_xtalk.add_argument("--frequency", type=float, default=6.4, help="[GHz]")
+    p_xtalk.set_defaults(func=_cmd_crosstalk)
+
+    p_spice = sub.add_parser("spice", help="export an extracted clocktree deck")
+    p_spice.add_argument("--output", required=True, help="output .sp file")
+    p_spice.add_argument("--levels", type=int, default=2)
+    p_spice.add_argument("--root-length", type=float, default=4000.0,
+                         help="[um]")
+    p_spice.add_argument("--signal-width", type=float, default=10.0)
+    p_spice.add_argument("--ground-width", type=float, default=5.0)
+    p_spice.add_argument("--spacing", type=float, default=1.0)
+    p_spice.add_argument("--thickness", type=float, default=2.0)
+    p_spice.add_argument("--height-below", type=float, default=2.0)
+    p_spice.add_argument("--frequency", type=float, default=3.2, help="[GHz]")
+    p_spice.add_argument("--rc-only", action="store_true",
+                         help="omit the inductances")
+    p_spice.set_defaults(func=_cmd_spice)
+
+    p_char = sub.add_parser("characterize", help="build and save loop tables")
+    p_char.add_argument("--output", required=True, help="output directory")
+    p_char.add_argument("--signal-width", type=float, default=10.0,
+                        help="nominal signal width [um]")
+    p_char.add_argument("--ground-width", type=float, default=5.0)
+    p_char.add_argument("--spacing", type=float, default=1.0)
+    p_char.add_argument("--thickness", type=float, default=2.0)
+    p_char.add_argument("--height-below", type=float, default=2.0)
+    p_char.add_argument("--frequency", type=float, default=3.2, help="[GHz]")
+    p_char.add_argument("--widths", type=float, nargs="+",
+                        default=[4.0, 8.0, 12.0, 16.0], help="[um]")
+    p_char.add_argument("--lengths", type=float, nargs="+",
+                        default=[500.0, 1500.0, 3000.0, 6000.0], help="[um]")
+    p_char.set_defaults(func=_cmd_characterize)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

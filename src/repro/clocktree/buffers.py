@@ -1,0 +1,55 @@
+"""Clock buffer models.
+
+The paper's observation that clocktree inductance matters rests on the
+driver: clock buffers are large, so their source impedance (~40 ohm in
+Fig. 1) is comparable to or below the line's characteristic impedance,
+letting the inductive ringing through.  Buffers are modeled as linear
+repeaters: an input capacitance, an ideal unity-gain sensing stage and a
+resistive output driver -- adequate for skew-shape studies on linear RLC
+netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class ClockBuffer:
+    """A linear clock repeater.
+
+    Parameters
+    ----------
+    drive_resistance:
+        Thevenin output resistance [ohm].  The paper's example uses
+        about 40 ohm.
+    input_capacitance:
+        Gate load the buffer presents to the upstream stage [F].
+    supply:
+        Output swing [V].
+    rise_time:
+        Output transition time [s]; sets the significant frequency
+        0.32 / t_r used for extraction.
+    """
+
+    drive_resistance: float = 40.0
+    input_capacitance: float = 20e-15
+    supply: float = 1.8
+    rise_time: float = 100e-12
+
+    def __post_init__(self) -> None:
+        if self.drive_resistance <= 0.0:
+            raise CircuitError("drive_resistance must be positive")
+        if self.input_capacitance < 0.0:
+            raise CircuitError("input_capacitance must be non-negative")
+        if self.supply <= 0.0:
+            raise CircuitError("supply must be positive")
+        if self.rise_time <= 0.0:
+            raise CircuitError("rise_time must be positive")
+
+    @property
+    def significant_frequency(self) -> float:
+        """The paper's significant frequency 0.32 / t_rise [Hz]."""
+        return 0.32 / self.rise_time

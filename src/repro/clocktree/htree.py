@@ -1,0 +1,192 @@
+"""Buffered H-tree clock network generation (paper Fig. 7).
+
+An :class:`HTree` is a binary H-tree: each buffer level drives two
+branches through guarded interconnect segments, orientation alternating
+between horizontal and vertical per level, segment length halving by
+default.  Leaves are the clock sinks.  Per-branch length scaling can be
+perturbed to create the asymmetric trees used for skew studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.clocktree.buffers import ClockBuffer
+from repro.clocktree.configs import CoplanarWaveguideConfig, MicrostripConfig
+from repro.errors import GeometryError
+
+WireConfig = Union[CoplanarWaveguideConfig, MicrostripConfig]
+
+
+@dataclass(frozen=True)
+class HTreeSegment:
+    """One routed segment between two buffer levels.
+
+    ``name`` encodes the branch path from the root, e.g. ``"s_LR"`` is
+    reached by taking the left branch then the right branch.  *layer*
+    optionally names the metal layer the segment routes on (real H-trees
+    alternate orthogonal layers per level).
+    """
+
+    name: str
+    level: int
+    parent: Optional[str]
+    length: float
+    start: Tuple[float, float]
+    end: Tuple[float, float]
+    axis: str
+    layer: Optional[str] = None
+
+    @property
+    def is_root(self) -> bool:
+        """True for the segment driven directly by the root buffer."""
+        return self.parent is None
+
+
+@dataclass
+class HTree:
+    """A binary buffered H-tree.
+
+    Attributes
+    ----------
+    segments:
+        All segments; leaves (segments without children) end at sinks.
+    config:
+        The wire configuration used on every segment.
+    buffer:
+        The repeater placed at the root and at the end of every
+        non-leaf segment.
+    sink_capacitance:
+        Load at each leaf [F].
+    """
+
+    segments: List[HTreeSegment]
+    config: WireConfig
+    buffer: ClockBuffer = field(default_factory=ClockBuffer)
+    sink_capacitance: float = 50e-15
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise GeometryError("H-tree has no segments")
+        if self.sink_capacitance < 0.0:
+            raise GeometryError("sink_capacitance must be non-negative")
+        names = [s.name for s in self.segments]
+        if len(set(names)) != len(names):
+            raise GeometryError("duplicate segment names")
+        self._by_name = {s.name: s for s in self.segments}
+
+    @classmethod
+    def generate(
+        cls,
+        levels: int,
+        root_length: float,
+        config: WireConfig,
+        buffer: Optional[ClockBuffer] = None,
+        sink_capacitance: float = 50e-15,
+        length_ratio: float = 0.5,
+        branch_scale: Optional[Dict[str, float]] = None,
+        layers_by_level: Optional[Sequence[str]] = None,
+    ) -> "HTree":
+        """Generate a symmetric (or deliberately skewed) binary H-tree.
+
+        Parameters
+        ----------
+        levels:
+            Number of branching levels; the tree has ``2**levels`` sinks.
+        root_length:
+            Length of the root segment [m]; each level scales by
+            *length_ratio*.
+        branch_scale:
+            Optional per-segment length multipliers keyed by segment
+            name (e.g. ``{"s_LL": 1.3}``) to introduce asymmetry for
+            skew experiments.
+        layers_by_level:
+            Optional metal layer name per level (cycled when shorter
+            than *levels*), e.g. ``("M6", "M5")`` for the usual
+            orthogonal-pair routing.
+        """
+        if levels < 1:
+            raise GeometryError("levels must be >= 1")
+        if root_length <= 0.0:
+            raise GeometryError("root_length must be positive")
+        if not (0.0 < length_ratio <= 1.0):
+            raise GeometryError("length_ratio must be in (0, 1]")
+        branch_scale = branch_scale or {}
+
+        segments: List[HTreeSegment] = []
+
+        def grow(path: str, parent: Optional[str], level: int,
+                 start: Tuple[float, float], direction: float) -> None:
+            name = f"s_{path}" if path else "s_root"
+            base_length = root_length * (length_ratio ** level)
+            length = base_length * branch_scale.get(name, 1.0)
+            axis = "x" if level % 2 == 0 else "y"
+            dx = length * direction if axis == "x" else 0.0
+            dy = length * direction if axis == "y" else 0.0
+            end = (start[0] + dx, start[1] + dy)
+            layer = None
+            if layers_by_level:
+                layer = layers_by_level[level % len(layers_by_level)]
+            segments.append(
+                HTreeSegment(
+                    name=name, level=level, parent=parent,
+                    length=length, start=start, end=end, axis=axis,
+                    layer=layer,
+                )
+            )
+            if level + 1 < levels:
+                grow(path + "L", name, level + 1, end, +1.0)
+                grow(path + "R", name, level + 1, end, -1.0)
+
+        # Level 0: two root branches left/right of the root buffer, like
+        # the two arms of the top-level H.
+        grow("L", None, 0, (0.0, 0.0), +1.0)
+        grow("R", None, 0, (0.0, 0.0), -1.0)
+
+        return cls(
+            segments=segments,
+            config=config,
+            buffer=buffer if buffer is not None else ClockBuffer(),
+            sink_capacitance=sink_capacitance,
+        )
+
+    def segment(self, name: str) -> HTreeSegment:
+        """Look up a segment by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise GeometryError(f"unknown segment {name!r}") from None
+
+    def children(self, name: str) -> List[HTreeSegment]:
+        """Child segments of *name*."""
+        return [s for s in self.segments if s.parent == name]
+
+    def roots(self) -> List[HTreeSegment]:
+        """Segments driven directly by the root buffer."""
+        return [s for s in self.segments if s.parent is None]
+
+    def leaves(self) -> List[HTreeSegment]:
+        """Sink-terminated segments."""
+        return [s for s in self.segments if not self.children(s.name)]
+
+    @property
+    def num_sinks(self) -> int:
+        """Number of clock sinks."""
+        return len(self.leaves())
+
+    @property
+    def num_levels(self) -> int:
+        """Number of branching levels."""
+        return max(s.level for s in self.segments) + 1
+
+    def total_wire_length(self) -> float:
+        """Sum of all segment lengths [m]."""
+        return sum(s.length for s in self.segments)
+
+    def path_to_root(self, name: str) -> List[HTreeSegment]:
+        """Segments from *name* up to (and including) a root segment."""
+        path = [self.segment(name)]
+        while path[-1].parent is not None:
+            path.append(self.segment(path[-1].parent))
+        return path

@@ -1,0 +1,67 @@
+"""Layer-aware clocktree extraction from per-layer technology tables.
+
+Real H-trees alternate orthogonal routing layers level by level (which
+is also what makes the paper's same-layer-only inductance model exact:
+orthogonal layers don't couple inductively).  The multi-layer extractor
+dispatches each segment's extraction to the table set of its layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.clocktree.extractor import ClocktreeRLCExtractor, SegmentRLC
+from repro.clocktree.htree import HTreeSegment
+from repro.core.technology import TechnologyTables
+from repro.errors import TableError
+
+
+class MultiLayerClocktreeExtractor(ClocktreeRLCExtractor):
+    """A clocktree extractor backed by per-layer tables.
+
+    Parameters
+    ----------
+    technology:
+        The characterized per-layer table set.
+    default_layer:
+        Layer used for segments that carry no layer annotation.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyTables,
+        default_layer: str,
+        sections_per_segment: int = 4,
+    ):
+        base = technology.extractor_for(default_layer)
+        super().__init__(
+            config=base.config,
+            frequency=technology.frequency,
+            inductance_table=base.inductance_table,
+            resistance_table=base.resistance_table,
+            capacitance_table=base.capacitance_table,
+            sections_per_segment=sections_per_segment,
+        )
+        self.technology = technology
+        self.default_layer = default_layer
+        self._per_layer: Dict[str, ClocktreeRLCExtractor] = {
+            layer: extractor.as_clocktree_extractor(sections_per_segment)
+            for layer, extractor in technology.extractors.items()
+        }
+
+    def extractor_for_layer(self, layer: Optional[str]) -> ClocktreeRLCExtractor:
+        """The single-layer extractor a segment on *layer* uses."""
+        name = layer or self.default_layer
+        try:
+            return self._per_layer[name]
+        except KeyError:
+            raise TableError(
+                f"no tables for layer {name!r}; characterized layers: "
+                f"{sorted(self._per_layer)}"
+            ) from None
+
+    def segment_rlc_for(self, segment: HTreeSegment) -> SegmentRLC:
+        """Dispatch the segment's extraction to its layer's tables."""
+        return self.extractor_for_layer(segment.layer).segment_rlc(
+            segment.length
+        )

@@ -1,0 +1,33 @@
+"""The significant frequency and related frequency-domain helpers.
+
+Inductance (and skin-corrected resistance) depend on frequency; the
+paper characterizes at the *significant frequency* of the switching
+waveform, defined as ``f_s = 0.32 / t_r`` where ``t_r`` is the minimum
+rise/fall time [1].  This is the knee frequency above which the spectrum
+of a trapezoidal edge rolls off at -40 dB/dec.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeometryError
+from repro.peec.analytic import skin_depth
+
+#: The knee-frequency coefficient of the significant-frequency rule.
+SIGNIFICANT_FREQUENCY_COEFFICIENT = 0.32
+
+
+def significant_frequency(rise_time: float) -> float:
+    """Significant frequency 0.32 / t_rise [Hz] of a switching edge."""
+    if rise_time <= 0.0:
+        raise GeometryError("rise_time must be positive")
+    return SIGNIFICANT_FREQUENCY_COEFFICIENT / rise_time
+
+
+def rise_time_for_frequency(frequency: float) -> float:
+    """Inverse of :func:`significant_frequency`."""
+    if frequency <= 0.0:
+        raise GeometryError("frequency must be positive")
+    return SIGNIFICANT_FREQUENCY_COEFFICIENT / frequency
+
+
+__all__ = ["significant_frequency", "rise_time_for_frequency", "skin_depth"]

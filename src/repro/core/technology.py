@@ -1,0 +1,116 @@
+"""Per-layer technology characterization (Sec. III).
+
+"We assume that each layer has a nominal thickness, and build tables
+for different layers."  A :class:`TechnologyTables` holds one
+characterized :class:`~repro.core.extraction.TableBasedExtractor` per
+metal layer of a :class:`~repro.geometry.stackup.Stackup`, built from a
+per-layer routing configuration, and persists/loads the whole set as a
+directory tree -- the shape a characterized design kit ships in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Sequence, Union
+
+from repro.core.extraction import TableBasedExtractor
+from repro.errors import TableError
+from repro.geometry.stackup import Stackup
+
+
+@dataclass
+class TechnologyTables:
+    """Characterized extraction tables for every routing layer."""
+
+    extractors: Dict[str, TableBasedExtractor]
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if not self.extractors:
+            raise TableError("technology needs at least one layer")
+
+    def layer_names(self):
+        """Characterized layer names."""
+        return sorted(self.extractors)
+
+    def extractor_for(self, layer: str) -> TableBasedExtractor:
+        """The characterized extractor of one layer."""
+        try:
+            return self.extractors[layer]
+        except KeyError:
+            raise TableError(
+                f"layer {layer!r} not characterized; "
+                f"available: {self.layer_names()}"
+            ) from None
+
+    @classmethod
+    def characterize(
+        cls,
+        configs_by_layer: Mapping[str, object],
+        frequency: float,
+        widths: Sequence[float],
+        lengths: Sequence[float],
+    ) -> "TechnologyTables":
+        """Characterize every layer's structure family.
+
+        *configs_by_layer* maps layer names to routing configurations
+        (CPW / microstrip / stripline); each gets its own loop tables at
+        the shared significant frequency.
+        """
+        extractors = {
+            layer: TableBasedExtractor.characterize(
+                config, frequency=frequency, widths=widths, lengths=lengths,
+                name_prefix=f"{layer}_loop",
+            )
+            for layer, config in configs_by_layer.items()
+        }
+        return cls(extractors=extractors, frequency=frequency)
+
+    @classmethod
+    def for_stackup(
+        cls,
+        stackup: Stackup,
+        config_factory: Callable[[object], object],
+        frequency: float,
+        widths: Sequence[float],
+        lengths: Sequence[float],
+        layers: Optional[Sequence[str]] = None,
+    ) -> "TechnologyTables":
+        """Characterize selected layers of a stackup.
+
+        *config_factory* maps a :class:`~repro.geometry.stackup.Layer`
+        to its routing configuration (so per-layer thickness and
+        resistivity flow into the tables).  *layers* defaults to every
+        layer of the stackup.
+        """
+        names = list(layers) if layers is not None else [l.name for l in stackup]
+        configs = {
+            name: config_factory(stackup.layer(name)) for name in names
+        }
+        return cls.characterize(configs, frequency, widths, lengths)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> None:
+        """Write one subdirectory of tables per layer."""
+        directory = Path(directory)
+        for layer, extractor in self.extractors.items():
+            extractor.save(directory / layer)
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        configs_by_layer: Mapping[str, object],
+        frequency: float,
+    ) -> "TechnologyTables":
+        """Reload a technology saved with :meth:`save`."""
+        directory = Path(directory)
+        extractors = {}
+        for layer, config in configs_by_layer.items():
+            extractors[layer] = TableBasedExtractor.load(
+                directory / layer, config, frequency
+            )
+        return cls(extractors=extractors, frequency=frequency)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch the
+whole family with one clause while still distinguishing geometry problems
+from numerical ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """A conductor geometry is malformed (non-positive size, overlap, ...)."""
+
+
+class StackupError(ReproError):
+    """A technology stackup definition is inconsistent."""
+
+
+class SolverError(ReproError):
+    """A field-solver problem could not be solved (singular system, ...)."""
+
+
+class TableError(ReproError):
+    """An extraction table is malformed or cannot answer a query."""
+
+
+class ExtrapolationWarning(UserWarning):
+    """A table lookup fell outside the characterized grid and extrapolated."""
+
+
+class CircuitError(ReproError):
+    """A netlist is malformed (unknown node, duplicate element, ...)."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative analysis failed to converge."""

@@ -1,0 +1,44 @@
+"""Paper experiments, one module per table/figure.
+
+Each ``run_*`` function reproduces one experiment from the evaluation
+and returns a structured result; the benchmark harness, the examples and
+the command line all call into these so the experiment definitions live
+in exactly one place.
+
+===========================  ==================================================
+module                       paper content
+===========================  ==================================================
+``fig1_delay``               Figs. 1-3: CPW clock net delay RC vs RLC,
+                             overshoot/undershoot
+``fig5_foundations``         Fig. 5: loop-L matrix over a plane; Foundations
+``table1_cascading``         Table I: linear cascading error on Fig. 6 trees
+``length_scaling``           Sec. V: super-linear L(length)
+``table_accuracy``           Sec. III: table interpolation accuracy + speedup
+``htree_skew``               Sec. V: clock skew RC vs RLC (> 10 % claim)
+``process_variation``        Sec. V: statistical RC + nominal L
+===========================  ==================================================
+"""
+
+from repro.experiments.fig1_delay import Fig1Result, run_fig1
+from repro.experiments.fig5_foundations import Fig5Result, run_fig5
+from repro.experiments.htree_skew import HTreeSkewResult, run_htree_skew
+from repro.experiments.length_scaling import LengthScalingResult, run_length_scaling
+from repro.experiments.process_variation import (
+    ProcessVariationResult,
+    VariationSkewResult,
+    run_process_variation,
+    run_variation_skew,
+)
+from repro.experiments.table1_cascading import Table1Result, run_table1
+from repro.experiments.table_accuracy import TableAccuracyResult, run_table_accuracy
+
+__all__ = [
+    "run_fig1", "Fig1Result",
+    "run_fig5", "Fig5Result",
+    "run_table1", "Table1Result",
+    "run_length_scaling", "LengthScalingResult",
+    "run_table_accuracy", "TableAccuracyResult",
+    "run_htree_skew", "HTreeSkewResult",
+    "run_process_variation", "ProcessVariationResult",
+    "run_variation_skew", "VariationSkewResult",
+]

@@ -1,0 +1,85 @@
+"""Fig. 5: loop inductance matrix of a trace array over a ground plane.
+
+The paper shows (a) the loop-L matrix of a 5-trace array in layer N with
+a ground plane in layer N-2, (b) that trace T1 solved alone over the
+plane reproduces its in-array self loop L (Foundation 1), and (c) that
+the (T1, T5) pair solved alone reproduces the in-array mutual loop L
+(Foundation 2).  These are the checks that license the table reduction
+for microstrip/stripline structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.constants import GHz, um
+from repro.core.foundations import (
+    FoundationCheck,
+    foundation1_check,
+    foundation2_check,
+    loop_inductance_matrix,
+)
+from repro.geometry.trace import TraceBlock
+from repro.peec.ground_plane import plane_under_block
+
+
+@dataclass
+class Fig5Result:
+    """The loop-L matrix plus both Foundation checks."""
+
+    trace_names: List[str]
+    loop_matrix: np.ndarray
+    foundation1: FoundationCheck
+    foundation2: FoundationCheck
+    frequency: float
+
+    @property
+    def max_foundation_error(self) -> float:
+        """Worst of the two reduction errors."""
+        return max(
+            self.foundation1.relative_error, self.foundation2.relative_error
+        )
+
+
+def run_fig5(
+    n_traces: int = 5,
+    width: float = um(5),
+    spacing: float = um(5),
+    thickness: float = um(1),
+    plane_gap: float = um(8),
+    plane_strips: int = 15,
+    length: float = um(2000),
+    frequency: float = GHz(1.0),
+    n_width: int = 2,
+    n_thickness: int = 1,
+) -> Fig5Result:
+    """Reproduce the Fig. 5 experiment on an n-trace microstrip array."""
+    block = TraceBlock.from_widths_and_spacings(
+        widths=[width] * n_traces,
+        spacings=[spacing] * (n_traces - 1),
+        length=length,
+        thickness=thickness,
+        ground_flags=[False] * n_traces,
+    )
+    plane = plane_under_block(block, gap=plane_gap, n_strips=plane_strips)
+    matrix = loop_inductance_matrix(
+        block, plane, frequency, n_width=n_width, n_thickness=n_thickness
+    )
+    check1 = foundation1_check(
+        block, plane, frequency, trace_index=0,
+        n_width=n_width, n_thickness=n_thickness,
+    )
+    check2 = foundation2_check(
+        block, plane, frequency, index_a=0, index_b=n_traces - 1,
+        n_width=n_width, n_thickness=n_thickness,
+    )
+    return Fig5Result(
+        trace_names=[t.name for t in block.traces],
+        loop_matrix=matrix,
+        foundation1=check1,
+        foundation2=check2,
+        frequency=frequency,
+    )

@@ -1,0 +1,81 @@
+"""Sec. V: inductance is a super-linear function of trace length.
+
+The paper warns that self and mutual inductance do not scale linearly
+with length (doubling a 1000 um segment multiplies L by about 2.2, not
+2), which is why tables carry a length axis and why segments must be
+extracted at their full length before cascading.  This experiment sweeps
+the exact self and mutual partial inductances over length and reports
+the doubling ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import um
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point3D, RectBar
+from repro.peec.hoer_love import bar_mutual_inductance, bar_self_inductance
+
+
+@dataclass
+class LengthScalingResult:
+    """Self/mutual L over a length sweep plus doubling ratios."""
+
+    lengths: np.ndarray
+    self_inductance: np.ndarray
+    mutual_inductance: np.ndarray
+    width: float
+    thickness: float
+    pitch: float
+
+    def doubling_ratio(self, length: float) -> float:
+        """L(2 length) / L(length) for the self inductance."""
+        l1 = float(np.interp(length, self.lengths, self.self_inductance))
+        l2 = float(np.interp(2.0 * length, self.lengths, self.self_inductance))
+        if not (self.lengths[0] <= 2.0 * length <= self.lengths[-1]):
+            raise GeometryError("2x length outside the swept range")
+        return l2 / l1
+
+    def mutual_doubling_ratio(self, length: float) -> float:
+        """M(2 length) / M(length) for the mutual inductance."""
+        m1 = float(np.interp(length, self.lengths, self.mutual_inductance))
+        m2 = float(np.interp(2.0 * length, self.lengths, self.mutual_inductance))
+        return m2 / m1
+
+    @property
+    def per_length_slope_growth(self) -> float:
+        """L/length at the longest point over L/length at the shortest --
+        > 1 demonstrates super-linearity."""
+        per_len = self.self_inductance / self.lengths
+        return float(per_len[-1] / per_len[0])
+
+
+def run_length_scaling(
+    lengths: Sequence[float] = tuple(um(l) for l in (250, 500, 1000, 1500, 2000, 3000, 4000)),
+    width: float = um(5),
+    thickness: float = um(2),
+    pitch: float = um(10),
+) -> LengthScalingResult:
+    """Sweep exact self/mutual partial inductance over trace length."""
+    lengths = np.asarray(sorted(lengths), dtype=float)
+    if lengths[0] <= 0.0:
+        raise GeometryError("lengths must be positive")
+    self_l = np.empty(lengths.size)
+    mutual_l = np.empty(lengths.size)
+    for i, length in enumerate(lengths):
+        bar = RectBar(Point3D(0, 0, 0), float(length), width, thickness)
+        other = RectBar(Point3D(0, pitch, 0), float(length), width, thickness)
+        self_l[i] = bar_self_inductance(bar)
+        mutual_l[i] = bar_mutual_inductance(bar, other)
+    return LengthScalingResult(
+        lengths=lengths,
+        self_inductance=self_l,
+        mutual_inductance=mutual_l,
+        width=width,
+        thickness=thickness,
+        pitch=pitch,
+    )

@@ -1,0 +1,80 @@
+"""Sec. III: table lookup accuracy and speed against direct field solves.
+
+The paper's efficiency claim: precomputed tables with bicubic-spline
+interpolation answer extraction queries with no practical loss of
+accuracy and at a tiny fraction of a field-solve's cost.  This
+experiment characterizes a CPW family, probes the tables at off-grid
+points and reports interpolation error and speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clocktree.configs import CoplanarWaveguideConfig
+from repro.constants import GHz, um
+from repro.core.extraction import AccuracyProbe, TableBasedExtractor
+
+
+@dataclass
+class TableAccuracyResult:
+    """Probe errors and timings for one characterized family."""
+
+    probes: List[AccuracyProbe]
+    characterization_time: float
+
+    @property
+    def max_error(self) -> float:
+        """Worst interpolation error over the probes."""
+        return max(p.relative_error for p in self.probes)
+
+    @property
+    def mean_error(self) -> float:
+        """Mean interpolation error over the probes."""
+        return float(np.mean([p.relative_error for p in self.probes]))
+
+    @property
+    def mean_speedup(self) -> float:
+        """Mean lookup speedup over a direct solve."""
+        return float(np.mean([p.speedup for p in self.probes]))
+
+
+def default_config() -> CoplanarWaveguideConfig:
+    """The CPW family used for the accuracy study (Fig. 1-like)."""
+    return CoplanarWaveguideConfig(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        thickness=um(2), height_below=um(2),
+    )
+
+
+def run_table_accuracy(
+    config: Optional[CoplanarWaveguideConfig] = None,
+    frequency: float = GHz(3.2),
+    widths: Sequence[float] = tuple(um(w) for w in (4, 8, 12, 16)),
+    lengths: Sequence[float] = tuple(um(l) for l in (500, 1500, 3000, 6000)),
+    probe_points: Optional[Sequence[Tuple[float, float]]] = None,
+) -> TableAccuracyResult:
+    """Characterize, probe off-grid, report error and speedup."""
+    import time
+
+    if config is None:
+        config = default_config()
+    if probe_points is None:
+        probe_points = [
+            (um(6), um(1000)),
+            (um(10), um(2200)),
+            (um(14), um(4500)),
+            (um(5), um(5000)),
+        ]
+    t0 = time.perf_counter()
+    extractor = TableBasedExtractor.characterize(
+        config, frequency=frequency, widths=widths, lengths=lengths,
+    )
+    characterization_time = time.perf_counter() - t0
+    probes = [extractor.accuracy_probe(w, l) for w, l in probe_points]
+    return TableAccuracyResult(
+        probes=probes, characterization_time=characterization_time
+    )

@@ -1,0 +1,15 @@
+"""Conductor geometry: primitives, traces, blocks and technology stackups."""
+
+from repro.geometry.primitives import Point3D, RectBar
+from repro.geometry.stackup import Layer, Stackup, default_stackup
+from repro.geometry.trace import Trace, TraceBlock
+
+__all__ = [
+    "Point3D",
+    "RectBar",
+    "Layer",
+    "Stackup",
+    "default_stackup",
+    "Trace",
+    "TraceBlock",
+]

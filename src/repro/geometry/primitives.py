@@ -1,0 +1,141 @@
+"""Geometric primitives for conductor modeling.
+
+The fundamental volume element of the PEEC formulation is the axis-aligned
+rectangular bar (:class:`RectBar`): a straight conductor with a rectangular
+cross-section carrying current along one coordinate axis.  All on-chip
+interconnect handled by the paper (clocktree traces, shield wires, ground
+plane strips) is a union of such bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+#: Axis labels accepted for the current-flow direction of a bar.
+AXES = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class Point3D:
+    """A point in 3-D space, in metres."""
+
+    x: float
+    y: float
+    z: float
+
+    def translated(self, dx: float = 0.0, dy: float = 0.0, dz: float = 0.0) -> "Point3D":
+        """Return a copy shifted by the given offsets."""
+        return Point3D(self.x + dx, self.y + dy, self.z + dz)
+
+    def distance_to(self, other: "Point3D") -> float:
+        """Euclidean distance to *other*."""
+        return math.sqrt(
+            (self.x - other.x) ** 2 + (self.y - other.y) ** 2 + (self.z - other.z) ** 2
+        )
+
+
+@dataclass(frozen=True)
+class RectBar:
+    """A straight conductor bar with rectangular cross-section.
+
+    Parameters
+    ----------
+    origin:
+        Corner of the bar with the smallest coordinates (metres).
+    length:
+        Extent along the current-flow ``axis`` (metres).
+    width:
+        Cross-section extent along the first transverse axis (metres).
+        For an ``axis='x'`` bar the width runs along y.
+    thickness:
+        Cross-section extent along the second transverse axis (metres).
+        For bars in a metal layer this is the metal thickness (z extent).
+    axis:
+        Current-flow direction: ``'x'``, ``'y'`` or ``'z'``.
+    """
+
+    origin: Point3D
+    length: float
+    width: float
+    thickness: float
+    axis: str = "x"
+
+    def __post_init__(self) -> None:
+        if self.axis not in AXES:
+            raise GeometryError(f"axis must be one of {AXES}, got {self.axis!r}")
+        for name in ("length", "width", "thickness"):
+            value = getattr(self, name)
+            if not (value > 0.0) or not math.isfinite(value):
+                raise GeometryError(f"{name} must be positive and finite, got {value!r}")
+
+    @property
+    def cross_section_area(self) -> float:
+        """Cross-section area [m^2]."""
+        return self.width * self.thickness
+
+    @property
+    def volume(self) -> float:
+        """Conductor volume [m^3]."""
+        return self.length * self.cross_section_area
+
+    def _extents(self) -> tuple[float, float, float]:
+        """Extents along (x, y, z) derived from axis orientation."""
+        if self.axis == "x":
+            return (self.length, self.width, self.thickness)
+        if self.axis == "y":
+            return (self.width, self.length, self.thickness)
+        return (self.width, self.thickness, self.length)
+
+    @property
+    def far_corner(self) -> Point3D:
+        """Corner diagonally opposite :attr:`origin`."""
+        ex, ey, ez = self._extents()
+        return self.origin.translated(ex, ey, ez)
+
+    @property
+    def center(self) -> Point3D:
+        """Geometric centre of the bar."""
+        ex, ey, ez = self._extents()
+        return self.origin.translated(ex / 2.0, ey / 2.0, ez / 2.0)
+
+    @property
+    def start(self) -> Point3D:
+        """Centre of the cross-section at the low-coordinate end."""
+        ex, ey, ez = self._extents()
+        if self.axis == "x":
+            return self.origin.translated(0.0, ey / 2.0, ez / 2.0)
+        if self.axis == "y":
+            return self.origin.translated(ex / 2.0, 0.0, ez / 2.0)
+        return self.origin.translated(ex / 2.0, ey / 2.0, 0.0)
+
+    @property
+    def end(self) -> Point3D:
+        """Centre of the cross-section at the high-coordinate end."""
+        delta = {self.axis: self.length}
+        return self.start.translated(
+            delta.get("x", 0.0), delta.get("y", 0.0), delta.get("z", 0.0)
+        )
+
+    def is_parallel_to(self, other: "RectBar") -> bool:
+        """True when both bars carry current along the same axis."""
+        return self.axis == other.axis
+
+    def is_orthogonal_to(self, other: "RectBar") -> bool:
+        """True when the bars carry current along different axes."""
+        return self.axis != other.axis
+
+    def overlaps(self, other: "RectBar") -> bool:
+        """True when the two bar volumes intersect (open intervals)."""
+        a_lo, a_hi = self.origin, self.far_corner
+        b_lo, b_hi = other.origin, other.far_corner
+        return (
+            a_lo.x < b_hi.x
+            and b_lo.x < a_hi.x
+            and a_lo.y < b_hi.y
+            and b_lo.y < a_hi.y
+            and a_lo.z < b_hi.z
+            and b_lo.z < a_hi.z
+        )

@@ -1,0 +1,229 @@
+"""Traces and trace blocks (the n-trace structure of the paper's Fig. 4).
+
+A :class:`TraceBlock` is the unit the extraction methodology operates on: n
+equal-length parallel traces in one layer, where by convention the two
+outermost traces can be dedicated AC-ground (shield) traces.  A block with
+three traces and grounded outer traces is a co-planar waveguide; a wide
+block models a bus with shield wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point3D, RectBar
+from repro.geometry.stackup import Layer
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One straight routing trace in a metal layer.
+
+    Coordinates follow the block convention: current flows along x, the
+    trace occupies ``[y_offset, y_offset + width]`` transversally and the
+    layer's z-range vertically.
+    """
+
+    width: float
+    length: float
+    thickness: float
+    y_offset: float = 0.0
+    z_bottom: float = 0.0
+    x_offset: float = 0.0
+    name: str = ""
+    is_ground: bool = False
+
+    def __post_init__(self) -> None:
+        for attr in ("width", "length", "thickness"):
+            value = getattr(self, attr)
+            if value <= 0.0:
+                raise GeometryError(f"trace {self.name!r}: {attr} must be positive")
+
+    @property
+    def y_center(self) -> float:
+        """Transverse centre coordinate [m]."""
+        return self.y_offset + self.width / 2.0
+
+    def to_bar(self) -> RectBar:
+        """The trace volume as a :class:`RectBar` with current along x."""
+        return RectBar(
+            origin=Point3D(self.x_offset, self.y_offset, self.z_bottom),
+            length=self.length,
+            width=self.width,
+            thickness=self.thickness,
+            axis="x",
+        )
+
+    def edge_to_edge_spacing(self, other: "Trace") -> float:
+        """Clear spacing between this trace and *other* (same layer) [m]."""
+        if self.y_offset <= other.y_offset:
+            left, right = self, other
+        else:
+            left, right = other, self
+        spacing = right.y_offset - (left.y_offset + left.width)
+        if spacing < 0.0:
+            raise GeometryError(
+                f"traces {left.name!r} and {right.name!r} overlap (spacing {spacing})"
+            )
+        return spacing
+
+
+@dataclass
+class TraceBlock:
+    """n equal-length parallel traces in one layer (paper Fig. 4).
+
+    Construct either directly from a list of :class:`Trace` objects or with
+    :meth:`from_widths_and_spacings`, which lays traces out left-to-right.
+
+    Attributes
+    ----------
+    traces:
+        Traces ordered by increasing transverse position.
+    layer:
+        Optional metal layer providing thickness/elevation context.
+    """
+
+    traces: List[Trace] = field(default_factory=list)
+    layer: Optional[Layer] = None
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise GeometryError("a trace block needs at least one trace")
+        lengths = {t.length for t in self.traces}
+        if len(lengths) != 1:
+            raise GeometryError("all traces in a block must have equal length")
+        ordered = sorted(self.traces, key=lambda t: t.y_offset)
+        for left, right in zip(ordered, ordered[1:]):
+            left.edge_to_edge_spacing(right)  # raises on overlap
+        self.traces = ordered
+
+    @classmethod
+    def from_widths_and_spacings(
+        cls,
+        widths: Sequence[float],
+        spacings: Sequence[float],
+        length: float,
+        thickness: float,
+        z_bottom: float = 0.0,
+        ground_flags: Optional[Sequence[bool]] = None,
+        names: Optional[Sequence[str]] = None,
+        layer: Optional[Layer] = None,
+    ) -> "TraceBlock":
+        """Lay out a block from per-trace widths and inter-trace spacings.
+
+        ``len(spacings)`` must be ``len(widths) - 1``.  When *ground_flags*
+        is omitted and there are three or more traces, the two outermost
+        traces are marked as AC-ground shields (the paper's convention).
+        """
+        if len(widths) == 0:
+            raise GeometryError("widths must not be empty")
+        if len(spacings) != len(widths) - 1:
+            raise GeometryError(
+                f"need {len(widths) - 1} spacings for {len(widths)} traces, "
+                f"got {len(spacings)}"
+            )
+        if ground_flags is None:
+            if len(widths) >= 3:
+                ground_flags = [True] + [False] * (len(widths) - 2) + [True]
+            else:
+                ground_flags = [False] * len(widths)
+        if len(ground_flags) != len(widths):
+            raise GeometryError("ground_flags length must match widths")
+        if names is None:
+            names = [f"T{i + 1}" for i in range(len(widths))]
+        if len(names) != len(widths):
+            raise GeometryError("names length must match widths")
+
+        traces: List[Trace] = []
+        y = 0.0
+        for i, width in enumerate(widths):
+            traces.append(
+                Trace(
+                    width=width,
+                    length=length,
+                    thickness=thickness,
+                    y_offset=y,
+                    z_bottom=z_bottom,
+                    name=names[i],
+                    is_ground=bool(ground_flags[i]),
+                )
+            )
+            y += width
+            if i < len(spacings):
+                if spacings[i] <= 0.0:
+                    raise GeometryError(f"spacing {i} must be positive")
+                y += spacings[i]
+        return cls(traces=traces, layer=layer)
+
+    @classmethod
+    def coplanar_waveguide(
+        cls,
+        signal_width: float,
+        ground_width: float,
+        spacing: float,
+        length: float,
+        thickness: float,
+        z_bottom: float = 0.0,
+        layer: Optional[Layer] = None,
+    ) -> "TraceBlock":
+        """A ground-signal-ground co-planar waveguide block (paper Fig. 8)."""
+        return cls.from_widths_and_spacings(
+            widths=[ground_width, signal_width, ground_width],
+            spacings=[spacing, spacing],
+            length=length,
+            thickness=thickness,
+            z_bottom=z_bottom,
+            ground_flags=[True, False, True],
+            names=["GND_L", "SIG", "GND_R"],
+            layer=layer,
+        )
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    @property
+    def length(self) -> float:
+        """Common trace length [m]."""
+        return self.traces[0].length
+
+    @property
+    def signal_traces(self) -> List[Trace]:
+        """Traces that carry signals (not marked as AC ground)."""
+        return [t for t in self.traces if not t.is_ground]
+
+    @property
+    def ground_traces(self) -> List[Trace]:
+        """Traces marked as AC-ground shields."""
+        return [t for t in self.traces if t.is_ground]
+
+    @property
+    def total_width(self) -> float:
+        """Transverse extent from the left edge of T1 to the right edge of Tn."""
+        first = self.traces[0]
+        last = self.traces[-1]
+        return (last.y_offset + last.width) - first.y_offset
+
+    def spacing(self, i: int) -> float:
+        """Clear spacing between trace *i* and trace *i+1* [m]."""
+        return self.traces[i].edge_to_edge_spacing(self.traces[i + 1])
+
+    def pitch(self, i: int) -> float:
+        """Centre-to-centre distance between trace *i* and trace *i+1* [m]."""
+        return abs(self.traces[i + 1].y_center - self.traces[i].y_center)
+
+    def subblock(self, indices: Sequence[int]) -> "TraceBlock":
+        """A block containing only the selected traces (geometry preserved).
+
+        This is the reduction step of the paper's Foundations: the n-trace
+        problem is split into 1-trace and 2-trace subproblems by extracting
+        sub-blocks while keeping each trace's absolute position.
+        """
+        picked = [self.traces[i] for i in indices]
+        if not picked:
+            raise GeometryError("subblock needs at least one trace index")
+        return TraceBlock(traces=list(picked), layer=self.layer)

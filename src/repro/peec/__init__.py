@@ -1,0 +1,58 @@
+"""PEEC inductance extraction: the numerical field-solver substrate.
+
+This subpackage plays the role of Raphael RI3 / FastHenry in the paper: it
+computes partial self and mutual inductances of rectangular conductors from
+exact closed forms (:mod:`repro.peec.hoer_love`, :mod:`repro.peec.analytic`),
+meshes conductor cross-sections into filaments to capture skin effect
+(:mod:`repro.peec.mesh`), and solves frequency-domain loop problems with
+designated return conductors and meshed ground planes
+(:mod:`repro.peec.solver`, :mod:`repro.peec.loop`,
+:mod:`repro.peec.ground_plane`).
+"""
+
+from repro.peec.analytic import (
+    grover_self_inductance,
+    mutual_inductance_filaments,
+    mutual_inductance_parallel_segments,
+    rectangle_self_gmd,
+)
+from repro.peec.hoer_love import (
+    bar_mutual_inductance,
+    bar_self_inductance,
+)
+from repro.peec.ground_plane import GroundPlane, plane_over_block, plane_under_block
+from repro.peec.loop import LoopProblem, LoopSolution
+from repro.peec.mesh import FilamentMesh, mesh_bar
+from repro.peec.network import FilamentNetwork, NetworkSolution
+from repro.peec.sweep import RLFrequencySweep, loop_frequency_sweep
+from repro.peec.wideband import WidebandLadder, synthesize_ladder
+from repro.peec.solver import (
+    Conductor,
+    PartialInductanceSolver,
+    assemble_partial_inductance_matrix,
+)
+
+__all__ = [
+    "GroundPlane",
+    "plane_over_block",
+    "plane_under_block",
+    "FilamentNetwork",
+    "NetworkSolution",
+    "RLFrequencySweep",
+    "loop_frequency_sweep",
+    "WidebandLadder",
+    "synthesize_ladder",
+    "Conductor",
+    "assemble_partial_inductance_matrix",
+    "grover_self_inductance",
+    "mutual_inductance_filaments",
+    "mutual_inductance_parallel_segments",
+    "rectangle_self_gmd",
+    "bar_mutual_inductance",
+    "bar_self_inductance",
+    "FilamentMesh",
+    "mesh_bar",
+    "PartialInductanceSolver",
+    "LoopProblem",
+    "LoopSolution",
+]

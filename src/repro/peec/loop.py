@@ -1,0 +1,218 @@
+"""Loop inductance of trace blocks with designated returns.
+
+This is the quantity the paper precomputes into tables for microstrip and
+stripline structures: the loop inductance of a signal trace with its
+return current carried by the AC-ground traces of the block and/or a
+local ground plane, with all conductors merged at the far-end sink node
+(Sec. II-B).  :class:`LoopProblem` builds the corresponding
+:class:`~repro.peec.network.FilamentNetwork`, solves it at a chosen
+frequency and also reports the open-circuit EMF-derived mutual loop
+inductances to every non-return trace -- the quantities of the paper's
+Fig. 5 matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.constants import RHO_CU
+from repro.errors import GeometryError, SolverError
+from repro.geometry.trace import Trace, TraceBlock
+from repro.peec.ground_plane import GroundPlane
+from repro.peec.network import FilamentNetwork
+
+#: Node names used by the canonical loop topology.
+NODE_IN = "in"
+NODE_RETURN = "ret"
+NODE_FAR = "far"
+
+
+@dataclass
+class LoopSolution:
+    """Loop extraction result at one frequency.
+
+    Attributes
+    ----------
+    frequency:
+        Solve frequency [Hz].
+    loop_impedance:
+        Driving-point impedance of the signal loop [ohm].
+    mutual_loop_inductances:
+        Open-circuit mutual loop inductance to each non-return trace,
+        keyed by trace name [H].
+    """
+
+    frequency: float
+    loop_impedance: complex
+    mutual_loop_inductances: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def loop_resistance(self) -> float:
+        """Loop resistance [ohm]."""
+        return self.loop_impedance.real
+
+    @property
+    def loop_inductance(self) -> float:
+        """Loop inductance [H]."""
+        omega = 2.0 * np.pi * self.frequency
+        return self.loop_impedance.imag / omega
+
+
+class LoopProblem:
+    """Loop inductance extraction for one signal trace of a block.
+
+    Parameters
+    ----------
+    block:
+        The n-trace block (paper Fig. 4).
+    signal:
+        Name or index of the driven trace.  Defaults to the single
+        non-ground trace when unambiguous.
+    plane:
+        Optional local ground plane (microstrip); pass two planes for a
+        stripline via *extra_planes*.
+    extra_planes:
+        Additional ground planes joining the return group.
+    n_width, n_thickness, grading:
+        Filament meshing parameters for the traces.
+    resistivity:
+        Trace metal resistivity [ohm*m].
+    """
+
+    def __init__(
+        self,
+        block: TraceBlock,
+        signal: Union[str, int, None] = None,
+        plane: Optional[GroundPlane] = None,
+        extra_planes: Sequence[GroundPlane] = (),
+        n_width: int = 4,
+        n_thickness: int = 2,
+        grading: float = 1.5,
+        resistivity: float = RHO_CU,
+    ):
+        self.block = block
+        self.signal_trace = self._resolve_signal(block, signal)
+        self.planes: List[GroundPlane] = []
+        if plane is not None:
+            self.planes.append(plane)
+        self.planes.extend(extra_planes)
+        returns = [t for t in block.traces if t.is_ground]
+        if not returns and not self.planes:
+            raise GeometryError(
+                "loop problem needs at least one return: a ground trace "
+                "or a ground plane"
+            )
+        self.return_traces = returns
+        self.open_traces = [
+            t for t in block.traces
+            if not t.is_ground and t is not self.signal_trace
+        ]
+        self._network = self._build_network(
+            n_width=n_width,
+            n_thickness=n_thickness,
+            grading=grading,
+            resistivity=resistivity,
+        )
+
+    @staticmethod
+    def _resolve_signal(block: TraceBlock, signal) -> Trace:
+        if isinstance(signal, int):
+            return block.traces[signal]
+        if isinstance(signal, str):
+            for trace in block.traces:
+                if trace.name == signal:
+                    return trace
+            raise GeometryError(f"no trace named {signal!r} in block")
+        candidates = block.signal_traces
+        if len(candidates) != 1:
+            raise GeometryError(
+                f"block has {len(candidates)} signal traces; "
+                "specify which one to drive"
+            )
+        return candidates[0]
+
+    @staticmethod
+    def _near_node(trace: Trace) -> str:
+        return f"near_{trace.name}"
+
+    def _build_network(
+        self, n_width: int, n_thickness: int, grading: float, resistivity: float
+    ) -> FilamentNetwork:
+        network = FilamentNetwork(ground=NODE_RETURN)
+        network.add_conductor(
+            self.signal_trace.name or "SIG",
+            self.signal_trace.to_bar(),
+            NODE_IN,
+            NODE_FAR,
+            resistivity=resistivity,
+            n_width=n_width,
+            n_thickness=n_thickness,
+            grading=grading,
+        )
+        for trace in self.return_traces:
+            network.add_conductor(
+                trace.name,
+                trace.to_bar(),
+                NODE_RETURN,
+                NODE_FAR,
+                resistivity=resistivity,
+                n_width=n_width,
+                n_thickness=n_thickness,
+                grading=grading,
+            )
+        for trace in self.open_traces:
+            # Victim traces tie to the merged far node but float at the
+            # near end, so they carry no net current and expose their
+            # induced EMF at the floating terminal.
+            network.add_conductor(
+                trace.name,
+                trace.to_bar(),
+                self._near_node(trace),
+                NODE_FAR,
+                resistivity=resistivity,
+                n_width=n_width,
+                n_thickness=n_thickness,
+                grading=grading,
+            )
+        for pi, plane in enumerate(self.planes):
+            for si, strip in enumerate(plane.to_strips()):
+                network.add_conductor(
+                    f"plane{pi}_strip{si}",
+                    strip,
+                    NODE_RETURN,
+                    NODE_FAR,
+                    resistivity=plane.resistivity,
+                    n_width=1,
+                    n_thickness=1,
+                )
+        return network
+
+    @property
+    def network(self) -> FilamentNetwork:
+        """The underlying filament network (for custom analyses)."""
+        return self._network
+
+    def solve(self, frequency: float) -> LoopSolution:
+        """Extract loop R/L and victim EMF couplings at *frequency* [Hz]."""
+        if frequency <= 0.0:
+            raise SolverError("frequency must be positive")
+        solution = self._network.solve(frequency, {NODE_IN: 1.0 + 0.0j})
+        z_loop = solution.node_voltages[NODE_IN]
+        omega = 2.0 * np.pi * frequency
+        mutuals: Dict[str, float] = {}
+        for trace in self.open_traces:
+            emf = solution.node_voltages[self._near_node(trace)]
+            mutuals[trace.name] = emf.imag / omega
+        return LoopSolution(
+            frequency=frequency,
+            loop_impedance=complex(z_loop),
+            mutual_loop_inductances=mutuals,
+        )
+
+    def loop_rl(self, frequency: float) -> Tuple[float, float]:
+        """Convenience: (loop resistance [ohm], loop inductance [H])."""
+        result = self.solve(frequency)
+        return result.loop_resistance, result.loop_inductance

@@ -1,0 +1,266 @@
+"""Filament-level network solver for multi-node PEEC problems.
+
+Loop-inductance questions beyond a single go-and-return pair -- the full
+interconnect trees of the paper's Table I, or a trace array over a meshed
+ground plane -- are circuit problems: conductors connect named nodes, every
+filament of a conductor spans the conductor's two terminal nodes, and all
+filaments couple through the dense partial-inductance matrix.
+
+:class:`FilamentNetwork` assembles the nodal system
+``(A Z^-1 A^T) v = j`` with ``Z = diag(R) + j omega Lp`` and answers input
+impedance / transfer questions, from which loop resistance and inductance
+follow directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import RHO_CU
+from repro.errors import CircuitError, SolverError
+from repro.geometry.primitives import RectBar
+from repro.peec.mesh import FilamentMesh, mesh_bar
+from repro.peec.solver import assemble_partial_inductance_matrix
+
+
+@dataclass
+class NetworkSolution:
+    """Result of one frequency-domain network solve."""
+
+    frequency: float
+    node_voltages: Dict[str, complex]
+    conductor_currents: Dict[str, complex]
+
+    def voltage_between(self, node_plus: str, node_minus: str) -> complex:
+        """Voltage of *node_plus* relative to *node_minus*."""
+        return self.node_voltages[node_plus] - self.node_voltages[node_minus]
+
+
+class FilamentNetwork:
+    """A circuit of mutually coupled meshed conductors.
+
+    Conductors are added between named nodes; the reference (ground) node
+    is fixed at construction.  Current through a conductor is positive
+    from ``node_a`` to ``node_b``.
+    """
+
+    def __init__(self, ground: str = "0"):
+        self.ground = ground
+        self._conductor_names: List[str] = []
+        self._meshes: List[FilamentMesh] = []
+        self._resistivities: List[float] = []
+        self._terminals: List[Tuple[str, str]] = []
+        self._resistor_names: List[str] = []
+        self._resistor_values: List[float] = []
+        self._resistor_terminals: List[Tuple[str, str]] = []
+        self._lp: Optional[np.ndarray] = None
+
+    def add_conductor(
+        self,
+        name: str,
+        bar: RectBar,
+        node_a: str,
+        node_b: str,
+        resistivity: float = RHO_CU,
+        n_width: int = 1,
+        n_thickness: int = 1,
+        grading: float = 1.0,
+        mesh: Optional[FilamentMesh] = None,
+    ) -> None:
+        """Add a conductor between *node_a* and *node_b*.
+
+        A pre-built *mesh* overrides the ``n_width``/``n_thickness``/
+        ``grading`` meshing parameters.
+        """
+        if name in self._conductor_names:
+            raise CircuitError(f"duplicate conductor name {name!r}")
+        if node_a == node_b:
+            raise CircuitError(f"conductor {name!r} connects a node to itself")
+        if mesh is None:
+            mesh = mesh_bar(bar, n_width=n_width, n_thickness=n_thickness, grading=grading)
+        self._conductor_names.append(name)
+        self._meshes.append(mesh)
+        self._resistivities.append(resistivity)
+        self._terminals.append((node_a, node_b))
+        self._lp = None  # geometry changed; invalidate cache
+
+    def add_resistor(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        resistance: float = 1e-6,
+    ) -> None:
+        """Add an uncoupled resistive branch (e.g. a leaf short or a via).
+
+        The branch carries no partial inductance; use a small resistance
+        for a near-ideal short.
+        """
+        if name in self._conductor_names or name in self._resistor_names:
+            raise CircuitError(f"duplicate conductor name {name!r}")
+        if node_a == node_b:
+            raise CircuitError(f"resistor {name!r} connects a node to itself")
+        if resistance <= 0.0:
+            raise CircuitError(f"resistor {name!r} must be positive")
+        self._resistor_names.append(name)
+        self._resistor_values.append(resistance)
+        self._resistor_terminals.append((node_a, node_b))
+
+    @property
+    def num_conductors(self) -> int:
+        """Number of conductors added so far."""
+        return len(self._conductor_names)
+
+    def node_names(self) -> List[str]:
+        """All node names, ground first."""
+        names = [self.ground]
+        for a, b in list(self._terminals) + list(self._resistor_terminals):
+            for node in (a, b):
+                if node not in names:
+                    names.append(node)
+        return names
+
+    def _check_connectivity(self, nodes: List[str]) -> None:
+        """Every node must reach ground through branches (else singular)."""
+        parent = {name: name for name in nodes}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in list(self._terminals) + list(self._resistor_terminals):
+            parent[find(a)] = find(b)
+        root = find(self.ground)
+        floating = [n for n in nodes if find(n) != root]
+        if floating:
+            raise SolverError(
+                f"nodes {floating} form a floating subnetwork with no path "
+                "to the ground node; tie them or remove the conductors"
+            )
+
+    def _filament_system(self) -> Tuple[List[RectBar], np.ndarray, np.ndarray, List[int]]:
+        """Flatten meshes: filaments, resistances, Lp matrix, owner index."""
+        filaments: List[RectBar] = []
+        resistances: List[float] = []
+        owner: List[int] = []
+        for ci, mesh in enumerate(self._meshes):
+            filaments.extend(mesh.filaments)
+            resistances.extend(mesh.resistances(self._resistivities[ci]))
+            owner.extend([ci] * len(mesh))
+        if self._lp is None:
+            self._lp = assemble_partial_inductance_matrix(filaments)
+        return filaments, np.array(resistances), self._lp, owner
+
+    def solve(
+        self,
+        frequency: float,
+        injections: Dict[str, complex],
+    ) -> NetworkSolution:
+        """Solve the network with current *injections* per node [A].
+
+        Injections must sum (implicitly) to a return at the ground node.
+        Returns node voltages (ground = 0) and per-conductor currents.
+        """
+        if self.num_conductors == 0:
+            raise CircuitError("network has no conductors")
+        if frequency < 0.0:
+            raise SolverError("frequency must be non-negative")
+        nodes = self.node_names()
+        node_index = {name: i for i, name in enumerate(nodes)}
+        for node in injections:
+            if node not in node_index:
+                raise CircuitError(f"injection at unknown node {node!r}")
+        self._check_connectivity(nodes)
+
+        filaments, resistances, lp, owner = self._filament_system()
+        n_fil = len(filaments)
+        n_res = len(self._resistor_names)
+        n_branch = n_fil + n_res
+        omega = 2.0 * np.pi * frequency
+        z = np.zeros((n_branch, n_branch), dtype=complex)
+        z[:n_fil, :n_fil] = np.diag(resistances)
+        if omega > 0.0:
+            z[:n_fil, :n_fil] += 1j * omega * lp
+        for ri, value in enumerate(self._resistor_values):
+            z[n_fil + ri, n_fil + ri] = value
+
+        # Oriented incidence: +1 at node_a, -1 at node_b for each branch.
+        a_full = np.zeros((len(nodes), n_branch))
+        for fi in range(n_fil):
+            na, nb = self._terminals[owner[fi]]
+            a_full[node_index[na], fi] += 1.0
+            a_full[node_index[nb], fi] -= 1.0
+        for ri, (na, nb) in enumerate(self._resistor_terminals):
+            a_full[node_index[na], n_fil + ri] += 1.0
+            a_full[node_index[nb], n_fil + ri] -= 1.0
+
+        a_red = a_full[1:, :]  # drop ground row
+        try:
+            y_branch = np.linalg.solve(z, a_red.T.astype(complex))
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(f"singular branch impedance matrix: {exc}") from exc
+        y_nodal = a_red @ y_branch
+
+        j = np.zeros(len(nodes) - 1, dtype=complex)
+        for node, current in injections.items():
+            idx = node_index[node]
+            if idx > 0:
+                j[idx - 1] = j[idx - 1] + current
+        try:
+            v_red = np.linalg.solve(y_nodal, j)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(
+                "singular nodal system (floating subnetwork or "
+                f"zero-impedance loop): {exc}"
+            ) from exc
+
+        v_nodes = np.concatenate([[0.0 + 0.0j], v_red])
+        branch_v = a_full.T @ v_nodes
+        branch_i = np.linalg.solve(z, branch_v)
+
+        currents: Dict[str, complex] = {}
+        for ci, name in enumerate(self._conductor_names):
+            mask = [fi for fi in range(n_fil) if owner[fi] == ci]
+            currents[name] = complex(branch_i[mask].sum())
+        for ri, name in enumerate(self._resistor_names):
+            currents[name] = complex(branch_i[n_fil + ri])
+        voltages = {name: complex(v_nodes[i]) for name, i in node_index.items()}
+        return NetworkSolution(
+            frequency=frequency,
+            node_voltages=voltages,
+            conductor_currents=currents,
+        )
+
+    def input_impedance(
+        self,
+        node_plus: str,
+        node_minus: str,
+        frequency: float,
+    ) -> complex:
+        """Driving-point impedance between two nodes at *frequency* [ohm].
+
+        Injects a 1 A test current; ``node_minus`` need not be the ground
+        node.
+        """
+        solution = self.solve(
+            frequency, {node_plus: 1.0 + 0.0j, node_minus: -1.0 + 0.0j}
+        )
+        return solution.voltage_between(node_plus, node_minus)
+
+    def loop_rl(
+        self,
+        node_plus: str,
+        node_minus: str,
+        frequency: float,
+    ) -> Tuple[float, float]:
+        """Loop resistance [ohm] and inductance [H] seen between two nodes."""
+        if frequency <= 0.0:
+            raise SolverError("frequency must be positive for an R/L split")
+        z = self.input_impedance(node_plus, node_minus, frequency)
+        omega = 2.0 * np.pi * frequency
+        return z.real, z.imag / omega

@@ -1,0 +1,197 @@
+"""Partial-inductance matrix assembly and conductor-level reduction.
+
+:class:`PartialInductanceSolver` is the table-characterization engine: it
+assembles the exact filament partial-inductance matrix for a set of
+conductors and reduces it to conductor-level quantities, either with a
+uniform current assumption (the low-frequency Lp of the paper's
+Foundations) or with the frequency-dependent current redistribution that
+captures skin and proximity effects at the significant frequency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import RHO_CU
+from repro.errors import GeometryError, SolverError
+from repro.geometry.primitives import RectBar
+from repro.peec.hoer_love import _bar_to_x_frame, mutual_inductance_batch
+from repro.peec.mesh import FilamentMesh, mesh_bar
+
+
+def assemble_partial_inductance_matrix(bars: Sequence[RectBar]) -> np.ndarray:
+    """Exact partial-inductance matrix [H] over a list of bars.
+
+    Bars with different current axes are mutually orthogonal and get an
+    exactly zero entry (the PEEC property the paper uses to ignore
+    adjacent routing layers); same-axis blocks are filled with one
+    vectorized Hoer-Love evaluation each.
+    """
+    n = len(bars)
+    if n == 0:
+        raise GeometryError("need at least one bar")
+    lp = np.zeros((n, n))
+    by_axis: Dict[str, List[int]] = defaultdict(list)
+    for i, bar in enumerate(bars):
+        by_axis[bar.axis].append(i)
+    for indices in by_axis.values():
+        frames = np.array([_bar_to_x_frame(bars[i]) for i in indices])
+        x0, length, y0, width, z0, thickness = frames.T
+        block = mutual_inductance_batch(
+            x0[:, None], length[:, None], y0[:, None],
+            width[:, None], z0[:, None], thickness[:, None],
+            x0[None, :], length[None, :], y0[None, :],
+            width[None, :], z0[None, :], thickness[None, :],
+        )
+        lp[np.ix_(indices, indices)] = block
+    return lp
+
+
+@dataclass
+class Conductor:
+    """A named conductor participating in an extraction problem."""
+
+    name: str
+    mesh: FilamentMesh
+    resistivity: float = RHO_CU
+
+    @classmethod
+    def from_bar(
+        cls,
+        name: str,
+        bar: RectBar,
+        resistivity: float = RHO_CU,
+        n_width: int = 1,
+        n_thickness: int = 1,
+        grading: float = 1.0,
+    ) -> "Conductor":
+        """Mesh *bar* and wrap it as a conductor."""
+        return cls(
+            name=name,
+            mesh=mesh_bar(bar, n_width=n_width, n_thickness=n_thickness, grading=grading),
+            resistivity=resistivity,
+        )
+
+    @property
+    def bar(self) -> RectBar:
+        """The unmeshed conductor volume."""
+        return self.mesh.parent
+
+
+class PartialInductanceSolver:
+    """Filament-level PEEC solver for a set of parallel conductors.
+
+    Parameters
+    ----------
+    conductors:
+        The conductors of the problem.  Names must be unique.
+    """
+
+    def __init__(self, conductors: Sequence[Conductor]):
+        if not conductors:
+            raise GeometryError("need at least one conductor")
+        names = [c.name for c in conductors]
+        if len(set(names)) != len(names):
+            raise GeometryError(f"conductor names must be unique, got {names}")
+        self.conductors = list(conductors)
+        self._lp: Optional[np.ndarray] = None
+
+        self._filaments: List[RectBar] = []
+        self._owner: List[int] = []
+        self._resistance = []
+        for ci, cond in enumerate(self.conductors):
+            for fil in cond.mesh.filaments:
+                self._filaments.append(fil)
+                self._owner.append(ci)
+            self._resistance.extend(cond.mesh.resistances(cond.resistivity))
+        self._resistance = np.array(self._resistance, dtype=float)
+
+    @property
+    def names(self) -> List[str]:
+        """Conductor names in problem order."""
+        return [c.name for c in self.conductors]
+
+    @property
+    def num_filaments(self) -> int:
+        """Total number of filaments in the meshed problem."""
+        return len(self._filaments)
+
+    def index_of(self, name: str) -> int:
+        """Position of the named conductor."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise GeometryError(f"unknown conductor {name!r}") from None
+
+    def filament_lp_matrix(self) -> np.ndarray:
+        """Exact filament partial-inductance matrix [H] (cached)."""
+        if self._lp is None:
+            self._lp = assemble_partial_inductance_matrix(self._filaments)
+        return self._lp
+
+    def filament_resistances(self) -> np.ndarray:
+        """DC resistance of every filament [ohm]."""
+        return self._resistance.copy()
+
+    def incidence(self) -> np.ndarray:
+        """Filament-to-conductor incidence matrix (n_fil x n_cond)."""
+        p = np.zeros((self.num_filaments, len(self.conductors)))
+        for fi, ci in enumerate(self._owner):
+            p[fi, ci] = 1.0
+        return p
+
+    def conductor_lp_matrix(self) -> np.ndarray:
+        """Conductor partial-inductance matrix under uniform current [H].
+
+        ``Lp[i, j] = sum_{f in i, g in j} (a_f / A_i)(a_g / A_j) lp[f, g]``
+        -- the low-frequency limit where current fills the cross-section
+        uniformly.  For single-filament meshes this is the exact bar Lp.
+        """
+        lp = self.filament_lp_matrix()
+        incidence = self.incidence()
+        areas = np.array([f.cross_section_area for f in self._filaments])
+        conductor_areas = incidence.T @ areas
+        weights = incidence * areas[:, None] / conductor_areas[None, :]
+        return weights.T @ lp @ weights
+
+    def conductor_impedance_matrix(self, frequency: float) -> np.ndarray:
+        """Frequency-dependent conductor impedance matrix [ohm].
+
+        All filaments of a conductor are connected in parallel between its
+        two terminals, so the conductor-level impedance is the Schur
+        reduction ``Z_cond = (P^T Z^-1 P)^-1`` with
+        ``Z = diag(R) + j omega Lp``.  Captures skin and proximity
+        current redistribution.
+        """
+        if frequency < 0.0:
+            raise SolverError("frequency must be non-negative")
+        omega = 2.0 * np.pi * frequency
+        z = np.diag(self._resistance).astype(complex)
+        if omega > 0.0:
+            z = z + 1j * omega * self.filament_lp_matrix()
+        p = self.incidence()
+        try:
+            y_fil_p = np.linalg.solve(z, p)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(f"singular filament impedance matrix: {exc}") from exc
+        y_cond = p.T @ y_fil_p
+        try:
+            return np.linalg.inv(y_cond)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(f"singular conductor admittance matrix: {exc}") from exc
+
+    def effective_rl(self, frequency: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Conductor resistance and inductance matrices at *frequency*.
+
+        Returns ``(R, L)`` with ``R = Re(Z_cond)`` [ohm] and
+        ``L = Im(Z_cond) / omega`` [H].
+        """
+        if frequency <= 0.0:
+            raise SolverError("frequency must be positive for an R/L split")
+        z = self.conductor_impedance_matrix(frequency)
+        omega = 2.0 * np.pi * frequency
+        return z.real, z.imag / omega

@@ -1,0 +1,81 @@
+"""Frequency sweeps of loop resistance and inductance.
+
+The extraction tables are characterized at one frequency -- the
+significant frequency 0.32 / t_r of the switching edge.  These helpers
+sweep R(f) and L(f) so the sensitivity of that choice can be quantified
+(skin effect raises R and proximity crowding lowers L as frequency
+grows), and estimate the error of characterizing at the wrong frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.peec.loop import LoopProblem
+
+
+@dataclass
+class RLFrequencySweep:
+    """Loop R and L sampled over a frequency grid."""
+
+    frequencies: np.ndarray
+    resistance: np.ndarray
+    inductance: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.frequencies = np.asarray(self.frequencies, dtype=float)
+        self.resistance = np.asarray(self.resistance, dtype=float)
+        self.inductance = np.asarray(self.inductance, dtype=float)
+
+    def resistance_at(self, frequency: float) -> float:
+        """Log-frequency interpolation of R(f)."""
+        return float(np.interp(np.log10(frequency),
+                               np.log10(self.frequencies), self.resistance))
+
+    def inductance_at(self, frequency: float) -> float:
+        """Log-frequency interpolation of L(f)."""
+        return float(np.interp(np.log10(frequency),
+                               np.log10(self.frequencies), self.inductance))
+
+    @property
+    def resistance_ratio(self) -> float:
+        """R at the highest frequency over R at the lowest."""
+        return float(self.resistance[-1] / self.resistance[0])
+
+    @property
+    def inductance_drop(self) -> float:
+        """Relative L decrease from the lowest to the highest frequency."""
+        return float(1.0 - self.inductance[-1] / self.inductance[0])
+
+    def characterization_error(self, used: float, actual: float) -> float:
+        """Relative loop-L error from characterizing at the wrong frequency.
+
+        ``used`` is the table's frequency, ``actual`` the frequency that
+        matters for the waveform.
+        """
+        l_used = self.inductance_at(used)
+        l_actual = self.inductance_at(actual)
+        return abs(l_used - l_actual) / l_actual
+
+
+def loop_frequency_sweep(
+    problem: LoopProblem,
+    frequencies: Sequence[float],
+) -> RLFrequencySweep:
+    """Solve a loop problem across a frequency grid."""
+    freqs = np.asarray(sorted(frequencies), dtype=float)
+    if freqs.size < 2:
+        raise SolverError("sweep needs at least two frequencies")
+    if freqs[0] <= 0.0:
+        raise SolverError("frequencies must be positive")
+    resistance = np.empty(freqs.size)
+    inductance = np.empty(freqs.size)
+    for i, f in enumerate(freqs):
+        resistance[i], inductance[i] = problem.loop_rl(float(f))
+    return RLFrequencySweep(
+        frequencies=freqs, resistance=resistance, inductance=inductance
+    )

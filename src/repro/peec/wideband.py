@@ -1,0 +1,156 @@
+"""Wideband R(f)/L(f) ladder synthesis for transient simulation.
+
+The extraction tables hold loop R and L at one frequency, but skin and
+proximity effects make both frequency-dependent (see
+:mod:`repro.peec.sweep`).  The classic fix -- used alongside
+FastHenry-style extractors -- synthesizes a passive ladder whose
+impedance matches the swept Z(f): a series R_dc + L_inf plus parallel
+R‖L branches, each branch contributing
+
+    Z_k(w) = j w L_k / (1 + j w / w_k),     R_k = w_k L_k,
+
+which is inductive below its corner w_k and resistive above it.  With
+log-spaced corners the fit is *linear* in (R_dc, L_inf, L_k >= 0) and
+solved by non-negative least squares, guaranteeing passivity.  The
+resulting ladder drops into the MNA netlist, giving transient runs the
+rising resistance and falling inductance a single-frequency model
+cannot represent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.circuit.netlist import Circuit
+from repro.errors import SolverError
+from repro.peec.sweep import RLFrequencySweep
+
+
+@dataclass
+class WidebandLadder:
+    """A passive ladder matching a swept loop impedance.
+
+    ``r_dc`` and ``l_inf`` in series with ``len(branches)`` parallel
+    R‖L sections; each branch is ``(R_k, L_k)``.
+    """
+
+    r_dc: float
+    l_inf: float
+    branches: List[Tuple[float, float]] = field(default_factory=list)
+
+    def impedance(self, frequency) -> np.ndarray:
+        """Ladder impedance at the given frequencies [ohm]."""
+        omega = 2.0 * np.pi * np.asarray(frequency, dtype=float)
+        z = self.r_dc + 1j * omega * self.l_inf
+        for r_k, l_k in self.branches:
+            if r_k <= 0.0 or l_k <= 0.0:
+                continue
+            z = z + (1j * omega * l_k * r_k) / (r_k + 1j * omega * l_k)
+        return z
+
+    def resistance(self, frequency) -> np.ndarray:
+        """Effective series resistance R(f) of the ladder [ohm]."""
+        return self.impedance(frequency).real
+
+    def inductance(self, frequency) -> np.ndarray:
+        """Effective series inductance L(f) of the ladder [H]."""
+        omega = 2.0 * np.pi * np.asarray(frequency, dtype=float)
+        return self.impedance(frequency).imag / omega
+
+    @property
+    def total_low_frequency_inductance(self) -> float:
+        """L(0) = L_inf + sum of branch inductances."""
+        return self.l_inf + sum(l for _, l in self.branches)
+
+    @property
+    def high_frequency_resistance(self) -> float:
+        """R(infinity) = R_dc + sum of branch resistances."""
+        return self.r_dc + sum(r for r, _ in self.branches)
+
+    def stamp(self, circuit: Circuit, node_a: str, node_b: str,
+              prefix: str) -> None:
+        """Insert the ladder between two nodes of a circuit.
+
+        Elements are named ``R{prefix}...`` / ``L{prefix}...``; internal
+        nodes get the same prefix.
+        """
+        live_branches = [
+            (r, l) for r, l in self.branches if r > 0.0 and l > 0.0
+        ]
+        chain = [node_a]
+        chain += [f"{prefix}_w{k}" for k in range(1 + len(live_branches))]
+        chain.append(node_b)
+        # series R_dc
+        circuit.add_resistor(f"R{prefix}_dc", chain[0], chain[1],
+                             max(self.r_dc, 1e-9))
+        # series L_inf
+        circuit.add_inductor(f"L{prefix}_inf", chain[1], chain[2],
+                             max(self.l_inf, 1e-18))
+        # parallel R||L sections
+        for k, (r_k, l_k) in enumerate(live_branches):
+            n1, n2 = chain[2 + k], chain[3 + k]
+            circuit.add_resistor(f"R{prefix}_b{k}", n1, n2, r_k)
+            circuit.add_inductor(f"L{prefix}_b{k}", n1, n2, l_k)
+
+    def fit_error(self, sweep: RLFrequencySweep) -> float:
+        """Worst relative impedance-magnitude error against a sweep."""
+        omega = 2.0 * np.pi * sweep.frequencies
+        target = sweep.resistance + 1j * omega * sweep.inductance
+        model = self.impedance(sweep.frequencies)
+        return float(np.max(np.abs(model - target) / np.abs(target)))
+
+
+def synthesize_ladder(
+    sweep: RLFrequencySweep,
+    n_branches: int = 4,
+    corner_frequencies: Optional[np.ndarray] = None,
+) -> WidebandLadder:
+    """Fit a passive ladder to a swept loop impedance.
+
+    Corners default to log-spaced frequencies across the sweep.  The fit
+    is non-negative least squares on the stacked real/imaginary parts,
+    so the result is passive by construction.
+    """
+    freqs = sweep.frequencies
+    if freqs.size < n_branches + 2:
+        raise SolverError(
+            f"need at least {n_branches + 2} sweep points for "
+            f"{n_branches} branches"
+        )
+    omega = 2.0 * np.pi * freqs
+    target = sweep.resistance + 1j * omega * sweep.inductance
+
+    if corner_frequencies is None:
+        corner_frequencies = np.logspace(
+            np.log10(freqs[0] * 2.0), np.log10(freqs[-1] * 0.8), n_branches
+        )
+    omega_k = 2.0 * np.pi * np.asarray(corner_frequencies, dtype=float)
+
+    # columns: R_dc, L_inf, L_k...
+    n_cols = 2 + omega_k.size
+    basis = np.empty((freqs.size, n_cols), dtype=complex)
+    basis[:, 0] = 1.0
+    basis[:, 1] = 1j * omega
+    for k, wk in enumerate(omega_k):
+        basis[:, 2 + k] = 1j * omega / (1.0 + 1j * omega / wk)
+
+    # weight rows by 1/|Z| so low- and high-frequency points count alike
+    weights = 1.0 / np.abs(target)
+    a_stack = np.vstack([
+        (basis.real * weights[:, None]),
+        (basis.imag * weights[:, None]),
+    ])
+    b_stack = np.concatenate([target.real * weights, target.imag * weights])
+    solution, _ = nnls(a_stack, b_stack)
+
+    r_dc, l_inf = float(solution[0]), float(solution[1])
+    branches = [
+        (float(wk * lk), float(lk))
+        for wk, lk in zip(omega_k, solution[2:])
+        if lk > 0.0
+    ]
+    return WidebandLadder(r_dc=r_dc, l_inf=l_inf, branches=branches)

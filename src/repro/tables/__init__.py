@@ -1,0 +1,29 @@
+"""Table-based extraction: precompute, store, interpolate.
+
+The paper's central efficiency idea (Sec. III): run the expensive field
+solver offline over a grid of geometries, store self- and mutual-
+inductance (and capacitance) tables, and answer extraction queries with
+bicubic-spline interpolation -- orders of magnitude faster than a fresh
+field solve with no loss of accuracy inside the characterized grid.
+"""
+
+from repro.tables.builder import (
+    CapacitanceTableBuilder,
+    LoopInductanceTableBuilder,
+    PartialInductanceTableBuilder,
+    ThreeTraceCapacitanceBuilder,
+)
+from repro.tables.grid import TensorSplineInterpolator
+from repro.tables.lookup import ExtractionTable
+from repro.tables.spline import BicubicSpline, CubicSpline1D
+
+__all__ = [
+    "CapacitanceTableBuilder",
+    "LoopInductanceTableBuilder",
+    "PartialInductanceTableBuilder",
+    "ThreeTraceCapacitanceBuilder",
+    "TensorSplineInterpolator",
+    "ExtractionTable",
+    "BicubicSpline",
+    "CubicSpline1D",
+]

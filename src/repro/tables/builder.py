@@ -1,0 +1,444 @@
+"""Table builders: sweep the field solvers over geometry grids.
+
+Three builders mirror the paper's characterization flows:
+
+* :class:`PartialInductanceTableBuilder` -- self Lp(width, length) and
+  mutual Lp(w1, w2, spacing, length) tables for blocks *without* ground
+  planes, where the Foundations make partial inductance exact under the
+  1-/2-trace reduction (Sec. II-A / III).
+* :class:`LoopInductanceTableBuilder` -- loop L(width, length) tables for
+  microstrip/stripline structures where the extended Foundations store
+  *loop* inductance with the plane return folded in (Sec. II-B).
+* :class:`CapacitanceTableBuilder` -- per-unit-length total-capacitance
+  tables from the 2-D finite-difference extractor (the paper's
+  pre-characterized capacitance of ref [4]).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import RHO_CU
+from repro.errors import TableError
+from repro.geometry.primitives import Point3D, RectBar
+from repro.peec.analytic import skin_depth
+from repro.peec.hoer_love import bar_self_inductance, mutual_inductance_batch
+from repro.peec.loop import LoopProblem
+from repro.peec.mesh import skin_mesh_counts
+from repro.peec.solver import Conductor, PartialInductanceSolver
+from repro.rc.fieldsolver2d import CrossSection2D, FieldSolver2D
+from repro.tables.lookup import ExtractionTable
+
+
+def _validated_axis(name: str, values: Sequence[float]) -> np.ndarray:
+    axis = np.asarray(values, dtype=float)
+    if axis.ndim != 1 or axis.size < 2:
+        raise TableError(f"axis {name!r} needs at least two points")
+    if not np.all(np.diff(axis) > 0.0):
+        raise TableError(f"axis {name!r} must be strictly increasing")
+    if axis[0] <= 0.0:
+        raise TableError(f"axis {name!r} must be positive")
+    return axis
+
+
+class PartialInductanceTableBuilder:
+    """Characterize partial self/mutual inductance for one metal layer.
+
+    Parameters
+    ----------
+    thickness:
+        Nominal layer thickness [m] (the paper builds one table set per
+        layer at its nominal thickness).
+    frequency:
+        Significant frequency for the characterization.  ``None`` uses
+        the exact uniform-current (low-frequency) closed form; a positive
+        value meshes the cross-section and solves the skin-effect
+        current distribution at that frequency.
+    resistivity:
+        Metal resistivity (only matters for frequency-dependent solves).
+    """
+
+    def __init__(
+        self,
+        thickness: float,
+        frequency: Optional[float] = None,
+        resistivity: float = RHO_CU,
+    ):
+        if thickness <= 0.0:
+            raise TableError("thickness must be positive")
+        if frequency is not None and frequency <= 0.0:
+            raise TableError("frequency must be positive when given")
+        self.thickness = thickness
+        self.frequency = frequency
+        self.resistivity = resistivity
+
+    def _self_value(self, width: float, length: float) -> float:
+        bar = RectBar(Point3D(0, 0, 0), length=length, width=width,
+                      thickness=self.thickness)
+        if self.frequency is None:
+            return bar_self_inductance(bar)
+        delta = skin_depth(self.resistivity, self.frequency)
+        n_w, n_t = skin_mesh_counts(width, self.thickness, delta)
+        solver = PartialInductanceSolver([
+            Conductor.from_bar("T", bar, self.resistivity, n_w, n_t, grading=1.5)
+        ])
+        _, l_matrix = solver.effective_rl(self.frequency)
+        return float(l_matrix[0, 0])
+
+    def _mutual_value(self, w1: float, w2: float, spacing: float, length: float) -> float:
+        bar1 = RectBar(Point3D(0, 0, 0), length=length, width=w1,
+                       thickness=self.thickness)
+        bar2 = RectBar(Point3D(0, w1 + spacing, 0), length=length, width=w2,
+                       thickness=self.thickness)
+        if self.frequency is None:
+            return float(mutual_inductance_batch(
+                0.0, length, 0.0, w1, 0.0, self.thickness,
+                0.0, length, w1 + spacing, w2, 0.0, self.thickness,
+            ))
+        delta = skin_depth(self.resistivity, self.frequency)
+        n_w1, n_t = skin_mesh_counts(w1, self.thickness, delta)
+        n_w2, _ = skin_mesh_counts(w2, self.thickness, delta)
+        solver = PartialInductanceSolver([
+            Conductor.from_bar("T1", bar1, self.resistivity, n_w1, n_t, grading=1.5),
+            Conductor.from_bar("T2", bar2, self.resistivity, n_w2, n_t, grading=1.5),
+        ])
+        _, l_matrix = solver.effective_rl(self.frequency)
+        return float(l_matrix[0, 1])
+
+    def build_self_table(
+        self,
+        widths: Sequence[float],
+        lengths: Sequence[float],
+        name: str = "self_partial_inductance",
+    ) -> ExtractionTable:
+        """Self Lp table over (width, length) [H]."""
+        width_axis = _validated_axis("width", widths)
+        length_axis = _validated_axis("length", lengths)
+        values = np.array([
+            [self._self_value(w, l) for l in length_axis]
+            for w in width_axis
+        ])
+        return ExtractionTable(
+            name=name,
+            quantity="self_inductance",
+            axis_names=("width", "length"),
+            axes=[width_axis, length_axis],
+            values=values,
+            metadata={
+                "thickness": self.thickness,
+                "frequency": self.frequency,
+                "model": "partial",
+            },
+        )
+
+    def build_mutual_table(
+        self,
+        widths1: Sequence[float],
+        widths2: Sequence[float],
+        spacings: Sequence[float],
+        lengths: Sequence[float],
+        name: str = "mutual_partial_inductance",
+    ) -> ExtractionTable:
+        """Mutual Lp table over (width1, width2, spacing, length) [H]."""
+        w1_axis = _validated_axis("width1", widths1)
+        w2_axis = _validated_axis("width2", widths2)
+        s_axis = _validated_axis("spacing", spacings)
+        l_axis = _validated_axis("length", lengths)
+        values = np.array([
+            [
+                [
+                    [self._mutual_value(w1, w2, s, l) for l in l_axis]
+                    for s in s_axis
+                ]
+                for w2 in w2_axis
+            ]
+            for w1 in w1_axis
+        ])
+        return ExtractionTable(
+            name=name,
+            quantity="mutual_inductance",
+            axis_names=("width1", "width2", "spacing", "length"),
+            axes=[w1_axis, w2_axis, s_axis, l_axis],
+            values=values,
+            metadata={
+                "thickness": self.thickness,
+                "frequency": self.frequency,
+                "model": "partial",
+            },
+        )
+
+
+class LoopInductanceTableBuilder:
+    """Characterize loop R/L for a shielded structure family.
+
+    Parameters
+    ----------
+    problem_factory:
+        Callable ``(signal_width, length) -> LoopProblem`` describing the
+        structure (e.g. a co-planar waveguide with its ground rules, or a
+        microstrip over a local plane).  The clocktree configuration
+        classes in :mod:`repro.clocktree.configs` provide these.
+    frequency:
+        The significant frequency the structure is characterized at.
+    """
+
+    def __init__(
+        self,
+        problem_factory: Callable[[float, float], LoopProblem],
+        frequency: float,
+    ):
+        if frequency <= 0.0:
+            raise TableError("frequency must be positive")
+        self.problem_factory = problem_factory
+        self.frequency = frequency
+
+    def build_loop_tables(
+        self,
+        widths: Sequence[float],
+        lengths: Sequence[float],
+        name_prefix: str = "loop",
+    ):
+        """Loop inductance and resistance tables over (width, length).
+
+        Returns ``(l_table, r_table)``.
+        """
+        width_axis = _validated_axis("width", widths)
+        length_axis = _validated_axis("length", lengths)
+        l_values = np.empty((width_axis.size, length_axis.size))
+        r_values = np.empty_like(l_values)
+        for i, width in enumerate(width_axis):
+            for j, length in enumerate(length_axis):
+                problem = self.problem_factory(float(width), float(length))
+                resistance, inductance = problem.loop_rl(self.frequency)
+                l_values[i, j] = inductance
+                r_values[i, j] = resistance
+        metadata = {"frequency": self.frequency, "model": "loop"}
+        l_table = ExtractionTable(
+            name=f"{name_prefix}_inductance",
+            quantity="loop_inductance",
+            axis_names=("width", "length"),
+            axes=[width_axis, length_axis],
+            values=l_values,
+            metadata=dict(metadata),
+        )
+        r_table = ExtractionTable(
+            name=f"{name_prefix}_resistance",
+            quantity="loop_resistance",
+            axis_names=("width", "length"),
+            axes=[width_axis, length_axis],
+            values=r_values,
+            metadata=dict(metadata),
+        )
+        return l_table, r_table
+
+
+class MutualLoopTableBuilder:
+    """Characterize mutual loop inductance of trace pairs (Fig. 5(c)).
+
+    Foundation 2's extension: the mutual loop inductance of two traces
+    over a shared plane depends only on the pair, so it tabulates on a
+    (separation, length) grid from 2-trace solves.  Used to add
+    neighbour coupling to microstrip clocktree netlists (Sec. V: "the
+    coupling effect ... can be taken care of by simply adding them in
+    the clocktree simulation").
+
+    Parameters
+    ----------
+    pair_problem_factory:
+        Callable ``(separation, length) -> LoopProblem`` building a
+        2-signal structure with the first trace driven and the second
+        open; the open trace's name must be ``"VICTIM"``.
+    frequency:
+        Characterization frequency [Hz].
+    """
+
+    def __init__(
+        self,
+        pair_problem_factory: Callable[[float, float], LoopProblem],
+        frequency: float,
+    ):
+        if frequency <= 0.0:
+            raise TableError("frequency must be positive")
+        self.pair_problem_factory = pair_problem_factory
+        self.frequency = frequency
+
+    def build_mutual_loop_table(
+        self,
+        separations: Sequence[float],
+        lengths: Sequence[float],
+        name: str = "mutual_loop_inductance",
+    ) -> ExtractionTable:
+        """Mutual loop inductance over (separation, length) [H]."""
+        sep_axis = _validated_axis("separation", separations)
+        length_axis = _validated_axis("length", lengths)
+        values = np.empty((sep_axis.size, length_axis.size))
+        for i, separation in enumerate(sep_axis):
+            for j, length in enumerate(length_axis):
+                problem = self.pair_problem_factory(float(separation),
+                                                    float(length))
+                solution = problem.solve(self.frequency)
+                try:
+                    values[i, j] = solution.mutual_loop_inductances["VICTIM"]
+                except KeyError:
+                    raise TableError(
+                        "pair problem must contain an open trace named "
+                        "'VICTIM'"
+                    ) from None
+        return ExtractionTable(
+            name=name,
+            quantity="mutual_loop_inductance",
+            axis_names=("separation", "length"),
+            axes=[sep_axis, length_axis],
+            values=values,
+            metadata={"frequency": self.frequency, "model": "loop_pair"},
+        )
+
+
+class ThreeTraceCapacitanceBuilder:
+    """Characterize ground and coupling capacitance from 3-trace solves.
+
+    The paper's capacitance prescription verbatim: "for any trace, it is
+    sufficient to solve the trace and its two adjacent traces via
+    numerical extraction".  For each (width, spacing) grid point a
+    3-equal-trace cross-section is solved with the 2-D FD extractor and
+    the middle trace's ground and coupling capacitances per unit length
+    are tabulated.
+
+    Parameters
+    ----------
+    height_below:
+        Dielectric gap to the grounded reference under the traces [m].
+    thickness:
+        Trace metal thickness [m].
+    """
+
+    def __init__(
+        self,
+        height_below: float,
+        thickness: float,
+        eps_r: float = 3.9,
+        nx: int = 140,
+        nz: int = 100,
+    ):
+        if height_below <= 0.0 or thickness <= 0.0:
+            raise TableError("height_below and thickness must be positive")
+        self.height_below = height_below
+        self.thickness = thickness
+        self.eps_r = eps_r
+        self.nx = nx
+        self.nz = nz
+
+    def _solve_point(self, width: float, spacing: float):
+        from repro.geometry.trace import TraceBlock
+
+        block = TraceBlock.from_widths_and_spacings(
+            widths=[width] * 3, spacings=[spacing] * 2, length=1.0,
+            thickness=self.thickness, ground_flags=[False] * 3,
+        )
+        cross_section = CrossSection2D.from_block(
+            block, plane_gap=self.height_below, eps_r=self.eps_r
+        )
+        solver = FieldSolver2D(cross_section, nx=self.nx, nz=self.nz)
+        matrix = solver.capacitance_matrix()
+        coupling = -matrix[1, 0]
+        ground = matrix[1, 1] + matrix[1, 0] + matrix[1, 2]
+        return max(ground, 0.0), max(coupling, 0.0)
+
+    def build_tables(
+        self,
+        widths: Sequence[float],
+        spacings: Sequence[float],
+        name_prefix: str = "three_trace",
+    ):
+        """Ground and coupling per-unit-length tables over (width, spacing).
+
+        Returns ``(ground_table, coupling_table)``.
+        """
+        width_axis = _validated_axis("width", widths)
+        spacing_axis = _validated_axis("spacing", spacings)
+        ground = np.empty((width_axis.size, spacing_axis.size))
+        coupling = np.empty_like(ground)
+        for i, w in enumerate(width_axis):
+            for j, s in enumerate(spacing_axis):
+                ground[i, j], coupling[i, j] = self._solve_point(float(w), float(s))
+        metadata = {
+            "height_below": self.height_below,
+            "thickness": self.thickness,
+            "eps_r": self.eps_r,
+            "nx": self.nx,
+            "nz": self.nz,
+            "model": "fd2d_three_trace",
+        }
+        ground_table = ExtractionTable(
+            name=f"{name_prefix}_ground_capacitance",
+            quantity="capacitance_per_length",
+            axis_names=("width", "spacing"),
+            axes=[width_axis, spacing_axis],
+            values=ground,
+            metadata=dict(metadata),
+        )
+        coupling_table = ExtractionTable(
+            name=f"{name_prefix}_coupling_capacitance",
+            quantity="capacitance_per_length",
+            axis_names=("width", "spacing"),
+            axes=[width_axis, spacing_axis],
+            values=coupling,
+            metadata=dict(metadata),
+        )
+        return ground_table, coupling_table
+
+
+class CapacitanceTableBuilder:
+    """Characterize per-unit-length signal capacitance with the 2-D solver.
+
+    Parameters
+    ----------
+    cross_section_factory:
+        Callable ``(signal_width, spacing) -> CrossSection2D`` for the
+        structure family; the signal conductor must be named ``"SIG"``.
+    nx, nz:
+        Finite-difference grid resolution per solve.
+    """
+
+    def __init__(
+        self,
+        cross_section_factory: Callable[[float, float], CrossSection2D],
+        nx: int = 160,
+        nz: int = 120,
+    ):
+        self.cross_section_factory = cross_section_factory
+        self.nx = nx
+        self.nz = nz
+
+    def _total_cap_per_length(self, width: float, spacing: float) -> float:
+        cross_section = self.cross_section_factory(width, spacing)
+        names = [c.name for c in cross_section.conductors]
+        if "SIG" not in names:
+            raise TableError("cross-section factory must name the signal 'SIG'")
+        solver = FieldSolver2D(cross_section, nx=self.nx, nz=self.nz)
+        matrix = solver.capacitance_matrix()
+        return float(matrix[names.index("SIG"), names.index("SIG")])
+
+    def build_total_cap_table(
+        self,
+        widths: Sequence[float],
+        spacings: Sequence[float],
+        name: str = "signal_capacitance_per_length",
+    ) -> ExtractionTable:
+        """Total signal capacitance per unit length over (width, spacing)."""
+        width_axis = _validated_axis("width", widths)
+        spacing_axis = _validated_axis("spacing", spacings)
+        values = np.array([
+            [self._total_cap_per_length(w, s) for s in spacing_axis]
+            for w in width_axis
+        ])
+        return ExtractionTable(
+            name=name,
+            quantity="capacitance_per_length",
+            axis_names=("width", "spacing"),
+            axes=[width_axis, spacing_axis],
+            values=values,
+            metadata={"nx": self.nx, "nz": self.nz, "model": "fd2d"},
+        )

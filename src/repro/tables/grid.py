@@ -1,0 +1,106 @@
+"""Tensor-product spline interpolation on N-dimensional grids.
+
+The mutual-inductance table has four dimensions (two widths, spacing,
+length); the bicubic spline of Numerical Recipes generalizes to N
+dimensions by applying the successive-1-D construction recursively, which
+is what :class:`TensorSplineInterpolator` does.  Axes with fewer than
+three knots automatically fall back to linear interpolation.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ExtrapolationWarning, TableError
+from repro.tables.spline import CubicSpline1D
+
+
+def _interp_1d(x: np.ndarray, y: np.ndarray, q: float) -> float:
+    """Cubic spline when enough knots, linear otherwise."""
+    if x.size >= 3:
+        return float(CubicSpline1D(x, y)(q))
+    if x.size == 2:
+        t = (q - x[0]) / (x[1] - x[0])
+        return float((1.0 - t) * y[0] + t * y[1])
+    return float(y[0])
+
+
+class TensorSplineInterpolator:
+    """Interpolate values on a rectangular N-D grid with cubic splines.
+
+    Parameters
+    ----------
+    axes:
+        One strictly increasing coordinate array per dimension.
+    values:
+        Array of shape ``tuple(len(axis) for axis in axes)``.
+    warn_on_extrapolation:
+        Emit :class:`~repro.errors.ExtrapolationWarning` when a query
+        leaves the characterized grid (the spline still answers, using
+        the edge polynomial).
+    """
+
+    def __init__(
+        self,
+        axes: Sequence[Sequence[float]],
+        values,
+        warn_on_extrapolation: bool = True,
+    ):
+        self.axes: List[np.ndarray] = [np.asarray(a, dtype=float) for a in axes]
+        self.values = np.asarray(values, dtype=float)
+        if not self.axes:
+            raise TableError("need at least one axis")
+        expected = tuple(a.size for a in self.axes)
+        if self.values.shape != expected:
+            raise TableError(
+                f"values shape {self.values.shape} does not match axes {expected}"
+            )
+        for i, axis in enumerate(self.axes):
+            if axis.ndim != 1 or axis.size < 1:
+                raise TableError(f"axis {i} must be a 1-D array")
+            if axis.size > 1 and not np.all(np.diff(axis) > 0.0):
+                raise TableError(f"axis {i} must be strictly increasing")
+        self.warn_on_extrapolation = warn_on_extrapolation
+
+    @property
+    def ndim(self) -> int:
+        """Number of table dimensions."""
+        return len(self.axes)
+
+    def in_range(self, point: Sequence[float]) -> bool:
+        """True when *point* lies inside the grid on every axis."""
+        return all(
+            axis[0] <= q <= axis[-1] for axis, q in zip(self.axes, point)
+        )
+
+    def __call__(self, *point: float) -> float:
+        """Evaluate the interpolant at *point* (one coordinate per axis)."""
+        if len(point) == 1 and isinstance(point[0], (tuple, list, np.ndarray)):
+            point = tuple(point[0])
+        if len(point) != self.ndim:
+            raise TableError(
+                f"expected {self.ndim} coordinates, got {len(point)}"
+            )
+        if self.warn_on_extrapolation and not self.in_range(point):
+            warnings.warn(
+                f"query {tuple(point)} outside characterized grid; "
+                "extrapolating with the edge spline",
+                ExtrapolationWarning,
+                stacklevel=2,
+            )
+        return self._evaluate(self.values, 0, point)
+
+    def _evaluate(self, values: np.ndarray, depth: int, point: Sequence[float]) -> float:
+        axis = self.axes[depth]
+        if depth == self.ndim - 1:
+            return _interp_1d(axis, values, point[depth])
+        reduced = np.array(
+            [
+                self._evaluate(values[i], depth + 1, point)
+                for i in range(axis.size)
+            ]
+        )
+        return _interp_1d(axis, reduced, point[depth])

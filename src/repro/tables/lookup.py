@@ -1,0 +1,119 @@
+"""Extraction tables: named, serializable, spline-interpolated grids.
+
+An :class:`ExtractionTable` is what the paper's methodology precomputes
+per layer and per shielding structure: a small N-D grid of field-solver
+results with named axes, answered at lookup time by tensor-spline
+interpolation.  Tables serialize to JSON so a characterized technology
+can ship with a design kit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import TableError
+from repro.tables.grid import TensorSplineInterpolator
+
+
+@dataclass
+class ExtractionTable:
+    """A characterized extraction quantity on an N-D geometry grid.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"M5_self_loop_inductance"``.
+    quantity:
+        What the values mean, e.g. ``"self_inductance"`` (units: henries),
+        ``"capacitance_per_length"`` (farads/metre).
+    axis_names:
+        One name per dimension, e.g. ``("width", "length")``; all
+        coordinates in SI metres.
+    axes:
+        Grid coordinates per dimension.
+    values:
+        Grid values, shape ``tuple(len(a) for a in axes)``.
+    metadata:
+        Free-form provenance: frequency, structure parameters, solver
+        settings.
+    """
+
+    name: str
+    quantity: str
+    axis_names: Sequence[str]
+    axes: List[np.ndarray]
+    values: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.axes = [np.asarray(a, dtype=float) for a in self.axes]
+        self.values = np.asarray(self.values, dtype=float)
+        if len(self.axis_names) != len(self.axes):
+            raise TableError("axis_names and axes must have the same length")
+        self._interp = TensorSplineInterpolator(self.axes, self.values)
+
+    @property
+    def ndim(self) -> int:
+        """Number of table dimensions."""
+        return len(self.axes)
+
+    def lookup(self, *point: float, **named: float) -> float:
+        """Interpolate the table at a geometry point.
+
+        Accepts positional coordinates in axis order, or keyword
+        coordinates by axis name (but not a mix).
+        """
+        if named:
+            if point:
+                raise TableError("pass coordinates positionally or by name, not both")
+            try:
+                point = tuple(named.pop(name) for name in self.axis_names)
+            except KeyError as exc:
+                raise TableError(f"missing coordinate for axis {exc}") from None
+            if named:
+                raise TableError(f"unknown axes {sorted(named)}")
+        return self._interp(*point)
+
+    def in_range(self, *point: float) -> bool:
+        """True when the query point lies inside the characterized grid."""
+        return self._interp.in_range(point)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "name": self.name,
+            "quantity": self.quantity,
+            "axis_names": list(self.axis_names),
+            "axes": [a.tolist() for a in self.axes],
+            "values": self.values.tolist(),
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExtractionTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        try:
+            return cls(
+                name=data["name"],
+                quantity=data["quantity"],
+                axis_names=data["axis_names"],
+                axes=[np.asarray(a) for a in data["axes"]],
+                values=np.asarray(data["values"]),
+                metadata=data.get("metadata", {}),
+            )
+        except KeyError as exc:
+            raise TableError(f"table dict missing key {exc}") from None
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the table to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExtractionTable":
+        """Read a table from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

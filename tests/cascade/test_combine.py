@@ -1,0 +1,104 @@
+"""Series/parallel combination and the Table-I comparison."""
+
+import pytest
+
+from repro.constants import GHz, um
+from repro.cascade.combine import (
+    cascading_comparison,
+    combined_loop_rl,
+    per_segment_loop_rl,
+)
+from repro.cascade.tree import InterconnectTree, SegmentSpec, figure6a_tree
+from repro.errors import GeometryError
+
+
+def y_tree():
+    """Root splitting into two equal branches."""
+    return InterconnectTree(
+        segments=[
+            SegmentSpec("trunk", um(200)),
+            SegmentSpec("left", um(100), "trunk"),
+            SegmentSpec("right", um(100), "trunk"),
+        ],
+        signal_width=um(1.2), ground_width=um(1.2),
+        spacing=um(1.2), thickness=um(0.7),
+    )
+
+
+class TestCombination:
+    def test_series_chain_sums(self):
+        tree = InterconnectTree(
+            segments=[SegmentSpec("a", um(100)), SegmentSpec("b", um(150), "a")],
+            signal_width=um(1.2), ground_width=um(1.2),
+            spacing=um(1.2), thickness=um(0.7),
+        )
+        per_segment = {"a": (1.0, 10.0), "b": (2.0, 20.0)}
+        r, l = combined_loop_rl(tree, per_segment)
+        assert r == pytest.approx(3.0)
+        assert l == pytest.approx(30.0)
+
+    def test_parallel_branches_combine(self):
+        per_segment = {"trunk": (1.0, 10.0), "left": (2.0, 30.0),
+                       "right": (2.0, 60.0)}
+        r, l = combined_loop_rl(y_tree(), per_segment)
+        assert r == pytest.approx(1.0 + 1.0)            # 2 || 2
+        assert l == pytest.approx(10.0 + 20.0)          # 30 || 60
+
+    def test_paper_formula_structure(self):
+        # L_ab + (L_bc + L_ce) || (L_bd + L_df)
+        tree = figure6a_tree()
+        per_segment = {
+            "ab": (0.0, 1.0), "bc": (0.0, 2.0), "ce": (0.0, 4.0),
+            "bd": (0.0, 3.0), "df": (0.0, 3.0),
+        }
+        # replace zero resistances with ones to satisfy positivity
+        per_segment = {k: (1.0, l) for k, (_, l) in per_segment.items()}
+        _, l = combined_loop_rl(tree, per_segment)
+        expected = 1.0 + 1.0 / (1.0 / (2 + 4) + 1.0 / (3 + 3))
+        assert l == pytest.approx(expected)
+
+    def test_missing_segment_value(self):
+        with pytest.raises(GeometryError):
+            combined_loop_rl(y_tree(), {"trunk": (1.0, 1.0)})
+
+
+class TestPerSegmentExtraction:
+    def test_all_segments_extracted(self):
+        tree = y_tree()
+        values = per_segment_loop_rl(tree, GHz(3))
+        assert set(values) == {"trunk", "left", "right"}
+        for r, l in values.values():
+            assert r > 0 and l > 0
+
+    def test_equal_segments_equal_values(self):
+        values = per_segment_loop_rl(y_tree(), GHz(3))
+        assert values["left"][1] == pytest.approx(values["right"][1], rel=1e-9)
+
+    def test_longer_segment_more_inductance(self):
+        values = per_segment_loop_rl(y_tree(), GHz(3))
+        assert values["trunk"][1] > values["left"][1]
+
+
+class TestCascadingComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return cascading_comparison(figure6a_tree(), GHz(3))
+
+    def test_inductance_error_small(self, comparison):
+        # the paper's Table I: guarded segments cascade within a few %
+        assert comparison.inductance_error < 0.05
+
+    def test_resistance_error_tiny(self, comparison):
+        # resistance has no long-range coupling at all
+        assert comparison.resistance_error < 0.01
+
+    def test_values_positive(self, comparison):
+        assert comparison.full_inductance > 0
+        assert comparison.combined_inductance > 0
+
+    def test_error_grows_with_guard_spacing(self):
+        from repro.cascade.tree import figure6a_tree as make_tree
+
+        tight = cascading_comparison(make_tree(spacing=um(1.2)), GHz(3))
+        loose = cascading_comparison(make_tree(spacing=um(12)), GHz(3))
+        assert loose.inductance_error > tight.inductance_error

@@ -1,0 +1,56 @@
+"""The 'at least equal width' guard rule (Sec. IV)."""
+
+import pytest
+
+from repro.cascade.guard_rule import guard_width_study
+from repro.cascade.tree import figure6a_tree
+from repro.constants import GHz
+from repro.errors import GeometryError
+
+
+from repro.constants import um
+
+
+@pytest.fixture(scope="module")
+def study():
+    # a moderately loose guard spacing so the shielding effect of the
+    # guard width is visible in the loop inductance
+    return guard_width_study(
+        figure6a_tree(spacing=um(6)),
+        width_ratios=(0.25, 0.5, 1.0, 2.0),
+        frequency=GHz(3),
+    )
+
+
+class TestGuardRule:
+    def test_all_ratios_evaluated(self, study):
+        assert [p.width_ratio for p in study.points] == [0.25, 0.5, 1.0, 2.0]
+
+    def test_cascading_error_negligible_at_all_ratios(self, study):
+        # the substance of the Sec. IV conclusion: guarded segments are
+        # inductively self-contained (error well under a percent here)
+        assert all(p.cascading_error < 0.01 for p in study.points)
+
+    def test_equal_width_satisfies_rule(self, study):
+        # the paper's conclusion: equal-width guards are already enough
+        assert study.equal_width_error < 0.05
+        assert study.rule_holds(tolerance=0.05)
+
+    def test_wider_guards_lower_loop_inductance(self, study):
+        # "the shielding will improve if wider ground wires are used":
+        # the return loop tightens monotonically with guard width
+        inductances = [p.loop_inductance for p in study.points]
+        assert all(a >= b for a, b in zip(inductances, inductances[1:]))
+
+    def test_error_lookup(self, study):
+        assert study.error_at(1.0) == study.points[2].cascading_error
+
+
+class TestValidation:
+    def test_empty_ratios(self):
+        with pytest.raises(GeometryError):
+            guard_width_study(figure6a_tree(), width_ratios=())
+
+    def test_nonpositive_ratio(self):
+        with pytest.raises(GeometryError):
+            guard_width_study(figure6a_tree(), width_ratios=(0.0,))

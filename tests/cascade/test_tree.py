@@ -1,0 +1,153 @@
+"""InterconnectTree structure and layout (paper Fig. 6)."""
+
+import pytest
+
+from repro.constants import um
+from repro.cascade.tree import (
+    ROOT,
+    InterconnectTree,
+    SegmentSpec,
+    figure6a_tree,
+    figure6b_tree,
+)
+from repro.errors import GeometryError
+
+
+def linear_tree(lengths=(um(100), um(200))):
+    segments = []
+    parent = None
+    for i, length in enumerate(lengths):
+        name = f"s{i}"
+        segments.append(SegmentSpec(name, length, parent))
+        parent = name
+    return InterconnectTree(
+        segments=segments, signal_width=um(1.2), ground_width=um(1.2),
+        spacing=um(1.2), thickness=um(0.7),
+    )
+
+
+class TestValidation:
+    def test_needs_segments(self):
+        with pytest.raises(GeometryError):
+            InterconnectTree(segments=[], signal_width=um(1),
+                             ground_width=um(1), spacing=um(1), thickness=um(1))
+
+    def test_exactly_one_root(self):
+        with pytest.raises(GeometryError):
+            InterconnectTree(
+                segments=[SegmentSpec("a", um(10)), SegmentSpec("b", um(10))],
+                signal_width=um(1), ground_width=um(1), spacing=um(1),
+                thickness=um(1),
+            )
+
+    def test_unknown_parent(self):
+        with pytest.raises(GeometryError):
+            InterconnectTree(
+                segments=[SegmentSpec("a", um(10)),
+                          SegmentSpec("b", um(10), "zzz")],
+                signal_width=um(1), ground_width=um(1), spacing=um(1),
+                thickness=um(1),
+            )
+
+    def test_duplicate_names(self):
+        with pytest.raises(GeometryError):
+            InterconnectTree(
+                segments=[SegmentSpec("a", um(10)),
+                          SegmentSpec("a", um(20), "a")],
+                signal_width=um(1), ground_width=um(1), spacing=um(1),
+                thickness=um(1),
+            )
+
+    def test_reserved_name(self):
+        with pytest.raises(GeometryError):
+            SegmentSpec(ROOT, um(10))
+
+    def test_nonpositive_length(self):
+        with pytest.raises(GeometryError):
+            SegmentSpec("a", 0.0)
+
+
+class TestStructure:
+    def test_fig6a_shape(self):
+        tree = figure6a_tree()
+        assert tree.root.name == "ab"
+        assert {s.name for s in tree.children("ab")} == {"bc", "bd"}
+        assert {s.name for s in tree.leaves()} == {"ce", "df"}
+
+    def test_fig6b_shape(self):
+        tree = figure6b_tree()
+        assert tree.root.name == "ab"
+        assert {s.name for s in tree.leaves()} == {"bc", "de"}
+
+    def test_depth(self):
+        tree = figure6a_tree()
+        assert tree.depth("ab") == 0
+        assert tree.depth("bc") == 1
+        assert tree.depth("ce") == 2
+
+    def test_segment_lookup(self):
+        tree = figure6a_tree()
+        assert tree.segment("bc").length == pytest.approx(150e-6)
+        with pytest.raises(GeometryError):
+            tree.segment("zz")
+
+
+class TestLayout:
+    def test_root_along_x_from_origin(self):
+        tree = figure6a_tree()
+        placements = tree.layout()
+        start, axis, direction = placements["ab"]
+        assert start == (0.0, 0.0)
+        assert axis == "x"
+        assert direction == 1.0
+
+    def test_orientation_alternates(self):
+        tree = figure6a_tree()
+        placements = tree.layout()
+        assert placements["bc"][1] == "y"
+        assert placements["ce"][1] == "x"
+
+    def test_siblings_opposite_directions(self):
+        tree = figure6a_tree()
+        placements = tree.layout()
+        assert placements["bc"][2] == -placements["bd"][2]
+
+    def test_children_start_at_parent_end(self):
+        tree = linear_tree()
+        placements = tree.layout()
+        (x0, y0), axis, direction = placements["s1"]
+        assert axis == "y"
+        assert x0 == pytest.approx(um(100))   # end of the 100 um root
+        assert y0 == pytest.approx(0.0)
+
+    def test_segment_block_is_cpw(self):
+        tree = figure6a_tree()
+        block = tree.segment_block("bc")
+        assert len(block) == 3
+        assert block.length == pytest.approx(150e-6)
+        assert len(block.ground_traces) == 2
+
+
+class TestNetwork:
+    def test_conductor_count(self):
+        tree = figure6a_tree()
+        network = tree.build_network()
+        # 5 segments x 3 wires + 2 leaf shorts
+        assert network.num_conductors == 15
+
+    def test_loop_solvable(self):
+        tree = linear_tree()
+        network = tree.build_network()
+        r, l = network.loop_rl(f"sig_{ROOT}", f"gnd_{ROOT}", 1e9)
+        assert r > 0 and l > 0
+
+    def test_longer_tree_more_inductance(self):
+        short = linear_tree((um(100),))
+        long = linear_tree((um(100), um(200)))
+        _, l_short = short.build_network().loop_rl(
+            f"sig_{ROOT}", f"gnd_{ROOT}", 1e9
+        )
+        _, l_long = long.build_network().loop_rl(
+            f"sig_{ROOT}", f"gnd_{ROOT}", 1e9
+        )
+        assert l_long > l_short

@@ -1,0 +1,142 @@
+"""DC operating point and AC analysis against hand-solved circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis, input_impedance
+from repro.circuit.dc import operating_point
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+
+
+def divider():
+    c = Circuit()
+    c.add_voltage_source("V1", "in", "0", 10.0, ac_magnitude=1.0)
+    c.add_resistor("R1", "in", "mid", 1e3)
+    c.add_resistor("R2", "mid", "0", 3e3)
+    return c
+
+
+class TestOperatingPoint:
+    def test_resistive_divider(self):
+        v = operating_point(divider())
+        assert v["mid"] == pytest.approx(7.5)
+        assert v["in"] == pytest.approx(10.0)
+        assert v["0"] == 0.0
+
+    def test_inductor_is_dc_short(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 5.0)
+        c.add_resistor("R1", "in", "a", 1e3)
+        c.add_inductor("L1", "a", "b", 1e-9)
+        c.add_resistor("R2", "b", "0", 1e3)
+        v = operating_point(c)
+        assert v["a"] == pytest.approx(v["b"], abs=1e-9)
+        assert v["b"] == pytest.approx(2.5)
+
+    def test_capacitor_is_dc_open(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 5.0)
+        c.add_resistor("R1", "in", "a", 1e3)
+        c.add_capacitor("C1", "a", "0", 1e-12)
+        v = operating_point(c)
+        assert v["a"] == pytest.approx(5.0, abs=1e-5)
+
+    def test_current_source(self):
+        c = Circuit()
+        c.add_current_source("I1", "0", "a", 1e-3)
+        c.add_resistor("R1", "a", "0", 2e3)
+        v = operating_point(c)
+        assert v["a"] == pytest.approx(2.0)
+
+    def test_sources_evaluated_at_time(self):
+        from repro.circuit.sources import PWLSource
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", PWLSource([0, 1e-9], [1.0, 3.0]))
+        c.add_resistor("R1", "in", "0", 1e3)
+        assert operating_point(c, time=0.0)["in"] == pytest.approx(1.0)
+        assert operating_point(c, time=1e-9)["in"] == pytest.approx(3.0)
+
+    def test_vcvs_gain(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 2.0)
+        c.add_resistor("Rin", "in", "0", 1e6)
+        c.add_vcvs("E1", "out", "0", "in", "0", 3.0)
+        c.add_resistor("RL", "out", "0", 1e3)
+        v = operating_point(c)
+        assert v["out"] == pytest.approx(6.0)
+
+
+class TestACAnalysis:
+    def test_rc_pole(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 0.0, ac_magnitude=1.0)
+        c.add_resistor("R1", "in", "out", 1e3)
+        c.add_capacitor("C1", "out", "0", 1e-12)
+        f_pole = 1.0 / (2 * np.pi * 1e3 * 1e-12)
+        result = ac_analysis(c, [f_pole])
+        assert abs(result.voltage("out")[0]) == pytest.approx(
+            1 / np.sqrt(2), rel=1e-6
+        )
+
+    def test_lc_resonance_peak(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 0.0, ac_magnitude=1.0)
+        c.add_resistor("R1", "in", "m", 1.0)
+        c.add_inductor("L1", "m", "out", 1e-9)
+        c.add_capacitor("C1", "out", "0", 1e-12)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-9 * 1e-12))
+        freqs = np.linspace(0.5 * f0, 1.5 * f0, 301)
+        result = ac_analysis(c, freqs)
+        peak_f = freqs[np.argmax(np.abs(result.voltage("out")))]
+        assert peak_f == pytest.approx(f0, rel=0.01)
+
+    def test_requires_ac_source(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 1.0)   # no ac_magnitude
+        c.add_resistor("R1", "in", "0", 1e3)
+        with pytest.raises(CircuitError):
+            ac_analysis(c, [1e9])
+
+    def test_invalid_frequencies(self):
+        with pytest.raises(CircuitError):
+            ac_analysis(divider(), [])
+        with pytest.raises(CircuitError):
+            ac_analysis(divider(), [-1.0])
+
+    def test_magnitude_db(self):
+        result = ac_analysis(divider(), [1e6])
+        assert result.magnitude_db("mid")[0] == pytest.approx(
+            20 * np.log10(0.75), rel=1e-9
+        )
+
+    def test_branch_current_available(self):
+        result = ac_analysis(divider(), [1e6])
+        i = result.current("V1")[0]
+        assert abs(i) == pytest.approx(1.0 / 4e3, rel=1e-9)
+
+    def test_unknown_node_rejected(self):
+        result = ac_analysis(divider(), [1e6])
+        with pytest.raises(CircuitError):
+            result.voltage("zzz")
+
+
+class TestInputImpedance:
+    def test_series_rlc(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 0.0, ac_magnitude=1.0)
+        c.add_resistor("R1", "in", "a", 10.0)
+        c.add_inductor("L1", "a", "b", 2e-9)
+        c.add_capacitor("C1", "b", "0", 1e-12)
+        f = 1e9
+        omega = 2 * np.pi * f
+        z = input_impedance(c, "V1", [f])[0]
+        expected = 10.0 + 1j * omega * 2e-9 + 1.0 / (1j * omega * 1e-12)
+        assert z == pytest.approx(expected, rel=1e-9)
+
+    def test_pure_resistance(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "in", "0", 0.0, ac_magnitude=1.0)
+        c.add_resistor("R1", "in", "0", 42.0)
+        z = input_impedance(c, "V1", [1e9])[0]
+        assert z == pytest.approx(42.0, rel=1e-12)

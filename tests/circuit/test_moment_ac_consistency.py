@@ -1,0 +1,80 @@
+"""Moments and AC analysis must describe the same transfer function.
+
+The moment expansion x(s) = m0 + m1 s + m2 s^2 + ... and the AC solve
+(G + j omega C) x = b are two views of one system; at low frequency the
+truncated series must converge to the AC phasor.  This is a strong
+cross-check of both the moment recursion and the AC stamping.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit.ac import ac_analysis
+from repro.circuit.moments import compute_moments
+from repro.circuit.netlist import Circuit
+
+FAST = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def ladder_circuit(r, c, l=None, stages=3):
+    circuit = Circuit()
+    circuit.add_voltage_source("V1", "n0", "0", 1.0, ac_magnitude=1.0)
+    for k in range(stages):
+        if l is not None:
+            circuit.add_resistor(f"R{k}", f"n{k}", f"m{k}", r)
+            circuit.add_inductor(f"L{k}", f"m{k}", f"n{k + 1}", l)
+        else:
+            circuit.add_resistor(f"R{k}", f"n{k}", f"n{k + 1}", r)
+        circuit.add_capacitor(f"C{k}", f"n{k + 1}", "0", c)
+    return circuit, f"n{stages}"
+
+
+@given(
+    r=st.floats(10.0, 5e3),
+    c=st.floats(1e-14, 5e-12),
+)
+@FAST
+def test_rc_series_converges_to_ac(r, c):
+    circuit, out = ladder_circuit(r, c)
+    expansion = compute_moments(circuit, order=6)
+    m = expansion.node_moments(out)
+    # evaluate well inside the radius of convergence (|s| tau << 1)
+    tau = r * c
+    f = 0.01 / (2 * np.pi * tau)
+    s = 2j * np.pi * f
+    series = sum(m[k] * s ** k for k in range(7))
+    ac = ac_analysis(circuit, [f]).voltage(out)[0]
+    assert series == pytest.approx(ac, rel=1e-4)
+
+
+@given(
+    r=st.floats(5.0, 200.0),
+    c=st.floats(1e-13, 2e-12),
+    l=st.floats(1e-11, 2e-9),
+)
+@FAST
+def test_rlc_series_converges_to_ac(r, c, l):
+    circuit, out = ladder_circuit(r, c, l=l)
+    expansion = compute_moments(circuit, order=8)
+    m = expansion.node_moments(out)
+    scale = max(r * c, np.sqrt(l * c))
+    f = 0.005 / (2 * np.pi * scale)
+    s = 2j * np.pi * f
+    series = sum(m[k] * s ** k for k in range(9))
+    ac = ac_analysis(circuit, [f]).voltage(out)[0]
+    assert series == pytest.approx(ac, rel=1e-4)
+
+
+def test_elmore_equals_minus_slope_of_phase():
+    """-m1/m0 equals the low-frequency group-delay of the AC response."""
+    circuit, out = ladder_circuit(1e3, 1e-12)
+    expansion = compute_moments(circuit)
+    elmore = expansion.elmore_delay(out)
+
+    f1, f2 = 1e4, 2e4
+    result = ac_analysis(circuit, [f1, f2])
+    phase = np.angle(result.voltage(out))
+    group_delay = -(phase[1] - phase[0]) / (2 * np.pi * (f2 - f1))
+    assert elmore == pytest.approx(group_delay, rel=1e-3)

@@ -1,0 +1,103 @@
+"""Source waveforms (DC / PULSE / PWL / SIN)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.sources import DCSource, PulseSource, PWLSource, SineSource
+from repro.errors import CircuitError
+
+
+class TestDCSource:
+    def test_constant(self):
+        src = DCSource(1.8)
+        assert src(0.0) == 1.8
+        assert src(1e-6) == 1.8
+
+
+class TestPulseSource:
+    def make(self, **kwargs):
+        defaults = dict(v1=0.0, v2=1.0, delay=1e-9, rise=1e-10,
+                        fall=2e-10, width=5e-10, period=0.0)
+        defaults.update(kwargs)
+        return PulseSource(**defaults)
+
+    def test_before_delay(self):
+        assert self.make()(0.5e-9) == 0.0
+
+    def test_mid_rise(self):
+        src = self.make()
+        assert src(1e-9 + 0.5e-10) == pytest.approx(0.5)
+
+    def test_plateau(self):
+        src = self.make()
+        assert src(1e-9 + 1e-10 + 2e-10) == pytest.approx(1.0)
+
+    def test_mid_fall(self):
+        src = self.make()
+        t = 1e-9 + 1e-10 + 5e-10 + 1e-10   # halfway down the 2e-10 fall
+        assert src(t) == pytest.approx(0.5)
+
+    def test_after_fall_single_pulse(self):
+        src = self.make()
+        assert src(1e-6) == pytest.approx(0.0)
+
+    def test_periodic_repeats(self):
+        src = self.make(period=2e-9)
+        assert src(1e-9 + 0.5e-10) == pytest.approx(src(3e-9 + 0.5e-10))
+
+    def test_negative_going_pulse(self):
+        src = self.make(v1=1.8, v2=0.0)
+        assert src(0.0) == 1.8
+        assert src(1e-9 + 1e-10 + 1e-10) == pytest.approx(0.0)
+
+    def test_invalid_edges(self):
+        with pytest.raises(CircuitError):
+            self.make(rise=0.0)
+        with pytest.raises(CircuitError):
+            self.make(width=-1e-9)
+
+    @given(st.floats(0, 1e-8))
+    @settings(max_examples=50)
+    def test_bounded_output(self, t):
+        src = self.make()
+        assert 0.0 <= src(t) <= 1.0
+
+
+class TestPWLSource:
+    def test_interpolates(self):
+        src = PWLSource([0.0, 1e-9, 2e-9], [0.0, 1.0, 0.5])
+        assert src(0.5e-9) == pytest.approx(0.5)
+        assert src(1.5e-9) == pytest.approx(0.75)
+
+    def test_clamps_outside(self):
+        src = PWLSource([1e-9, 2e-9], [1.0, 2.0])
+        assert src(0.0) == pytest.approx(1.0)
+        assert src(5e-9) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            PWLSource([0.0], [1.0])
+        with pytest.raises(CircuitError):
+            PWLSource([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(CircuitError):
+            PWLSource([0.0, 1.0], [1.0])
+
+
+class TestSineSource:
+    def test_offset_before_delay(self):
+        src = SineSource(offset=0.5, amplitude=1.0, frequency=1e9, delay=1e-9)
+        assert src(0.0) == pytest.approx(0.5)
+
+    def test_quarter_period_peak(self):
+        src = SineSource(offset=0.0, amplitude=2.0, frequency=1e9)
+        assert src(0.25e-9) == pytest.approx(2.0, rel=1e-9)
+
+    def test_phase_shift(self):
+        src = SineSource(amplitude=1.0, frequency=1e9, phase_degrees=90.0)
+        assert src(0.0) == pytest.approx(1.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(CircuitError):
+            SineSource(frequency=0.0)

@@ -1,0 +1,134 @@
+"""SPICE deck export."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import DCSource, PulseSource, PWLSource, SineSource
+from repro.circuit.spice_export import to_spice, write_spice
+from repro.errors import CircuitError
+
+
+def rlc_circuit():
+    c = Circuit("demo")
+    c.add_voltage_source("Vin", "in", "0",
+                         PulseSource(0.0, 1.8, delay=1e-10, rise=5e-11,
+                                     fall=5e-11, width=1e-9))
+    c.add_resistor("R1", "in", "a", 25.0)
+    c.add_inductor("L1", "a", "out", 1e-9)
+    c.add_inductor("L2", "b", "0", 2e-9)
+    c.add_capacitor("C1", "out", "0", 1e-12)
+    c.add_resistor("R2", "b", "0", 50.0)
+    c.add_mutual("K1", "L1", "L2", coupling=0.4)
+    return c
+
+
+class TestDeckContents:
+    @pytest.fixture(scope="class")
+    def deck(self):
+        return to_spice(rlc_circuit(), analyses=("tran 1p 2n",),
+                        probes=("out", "b"))
+
+    def test_title_first_and_end_last(self, deck):
+        lines = deck.strip().splitlines()
+        assert lines[0].startswith("*")
+        assert lines[-1] == ".end"
+
+    def test_element_cards_present(self, deck):
+        assert "R1 in a 2.500000e+01" in deck
+        assert "L1 a out 1.000000e-09" in deck
+        assert "C1 out 0 1.000000e-12" in deck
+
+    def test_pulse_source_card(self, deck):
+        assert "Vin in 0 PULSE(" in deck
+
+    def test_coupling_card_uses_k_coefficient(self, deck):
+        assert "K1 L1 L2 4.000000e-01" in deck
+
+    def test_analysis_and_probe_cards(self, deck):
+        assert ".tran 1p 2n" in deck
+        assert ".print tran v(out) v(b)" in deck
+
+
+class TestSourceForms:
+    def test_dc_source(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", DCSource(2.5))
+        c.add_resistor("R1", "a", "0", 1.0)
+        assert "V1 a 0 DC 2.500000e+00" in to_spice(c)
+
+    def test_plain_float_becomes_dc(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", 1.8)
+        c.add_resistor("R1", "a", "0", 1.0)
+        assert "DC 1.800000e+00" in to_spice(c)
+
+    def test_pwl_source(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", PWLSource([0, 1e-9], [0.0, 1.0]))
+        c.add_resistor("R1", "a", "0", 1.0)
+        assert "PWL(0.000000e+00 0.000000e+00 1.000000e-09 1.000000e+00)" in to_spice(c)
+
+    def test_sine_source(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0",
+                             SineSource(offset=0.9, amplitude=0.1,
+                                        frequency=1e9))
+        c.add_resistor("R1", "a", "0", 1.0)
+        assert "SIN(" in to_spice(c)
+
+    def test_unsupported_source_rejected(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", lambda t: t)
+        c.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(CircuitError):
+            to_spice(c)
+
+
+class TestNaming:
+    def test_wrong_prefix_gets_type_letter(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", 1.0)
+        c.add_resistor("wire", "a", "0", 1.0)
+        assert "Rwire a 0" in to_spice(c)
+
+    def test_ics_exported(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", 0.0)
+        c.add_resistor("R1", "a", "b", 1.0)
+        c.add_capacitor("C1", "b", "0", 1e-12, initial_voltage=0.7)
+        c.add_inductor("L1", "b", "0", 1e-9, initial_current=1e-3)
+        deck = to_spice(c)
+        assert "IC=7.000000e-01" in deck
+        assert "IC=1.000000e-03" in deck
+
+
+class TestFileOutput:
+    def test_write_spice(self, tmp_path):
+        path = write_spice(rlc_circuit(), tmp_path / "bus.sp",
+                           title="exported")
+        text = path.read_text()
+        assert text.startswith("* exported")
+        assert text.rstrip().endswith(".end")
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            to_spice(Circuit())
+
+
+class TestRoundTripConsistency:
+    def test_extracted_clocktree_exports(self):
+        from repro.constants import GHz, um
+        from repro.clocktree.configs import CoplanarWaveguideConfig
+        from repro.clocktree.extractor import ClocktreeRLCExtractor
+        from repro.clocktree.htree import HTree
+
+        config = CoplanarWaveguideConfig(
+            signal_width=um(10), ground_width=um(5), spacing=um(1),
+            thickness=um(2), height_below=um(2),
+        )
+        extractor = ClocktreeRLCExtractor(config, frequency=GHz(3.2))
+        htree = HTree.generate(levels=1, root_length=um(1000), config=config)
+        netlist = extractor.build_netlist(htree)
+        deck = to_spice(netlist.circuit, analyses=("tran 1p 3n",))
+        assert deck.count("\n") > 20
+        assert ".end" in deck

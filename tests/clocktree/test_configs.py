@@ -1,0 +1,117 @@
+"""CPW and microstrip clocktree configurations (Figs. 8 and 9)."""
+
+import pytest
+
+from repro.constants import GHz, um
+from repro.clocktree.configs import (
+    CoplanarWaveguideConfig,
+    MicrostripConfig,
+    replace_spacings,
+)
+from repro.errors import GeometryError
+
+
+def cpw(**kwargs):
+    defaults = dict(signal_width=um(10), ground_width=um(5), spacing=um(1),
+                    thickness=um(2), height_below=um(2))
+    defaults.update(kwargs)
+    return CoplanarWaveguideConfig(**defaults)
+
+
+def microstrip(**kwargs):
+    defaults = dict(signal_width=um(8), thickness=um(2), plane_gap=um(3))
+    defaults.update(kwargs)
+    return MicrostripConfig(**defaults)
+
+
+class TestCPWConfig:
+    def test_invalid_dimensions(self):
+        with pytest.raises(GeometryError):
+            cpw(signal_width=0.0)
+        with pytest.raises(GeometryError):
+            cpw(plane_gap=-um(1))
+
+    def test_trace_block_layout(self):
+        block = cpw().trace_block(um(1000))
+        assert len(block) == 3
+        assert block.signal_traces[0].width == pytest.approx(um(10))
+        assert block.length == pytest.approx(um(1000))
+
+    def test_width_override(self):
+        block = cpw().trace_block(um(1000), signal_width=um(6))
+        assert block.signal_traces[0].width == pytest.approx(um(6))
+
+    def test_with_signal_width_copy(self):
+        narrow = cpw().with_signal_width(um(4))
+        assert narrow.signal_width == um(4)
+        assert narrow.ground_width == um(5)
+
+    def test_loop_problem_solves(self):
+        problem = cpw().loop_problem(um(10), um(500))
+        r, l = problem.loop_rl(GHz(3.2))
+        assert r > 0 and l > 0
+
+    def test_plane_gap_adds_plane_return(self):
+        no_plane = cpw().loop_problem(um(10), um(500))
+        with_plane = cpw(plane_gap=um(2)).loop_problem(um(10), um(500))
+        assert len(no_plane.planes) == 0
+        assert len(with_plane.planes) == 1
+        l_no = no_plane.loop_rl(GHz(1))[1]
+        l_with = with_plane.loop_rl(GHz(1))[1]
+        assert l_with < l_no
+
+    def test_cross_section_names_signal(self):
+        cs = cpw().cross_section()
+        assert {c.name for c in cs.conductors} == {"GND_L", "SIG", "GND_R"}
+
+    def test_capacitance_model(self):
+        model = cpw().capacitance_model()
+        assert model.height_below == pytest.approx(um(2))
+
+
+class TestMicrostripConfig:
+    def test_invalid_dimensions(self):
+        with pytest.raises(GeometryError):
+            microstrip(plane_gap=0.0)
+        with pytest.raises(GeometryError):
+            microstrip(neighbour_count=2)   # needs neighbour_spacing
+
+    def test_single_trace_block(self):
+        block = microstrip().trace_block(um(500))
+        assert len(block) == 1
+        assert block.traces[0].name == "SIG"
+        assert not block.traces[0].is_ground
+
+    def test_neighbours_added_symmetrically(self):
+        config = microstrip(neighbour_count=1, neighbour_spacing=um(4))
+        block = config.trace_block(um(500))
+        assert [t.name for t in block.traces] == ["N-1", "SIG", "N+1"]
+
+    def test_loop_problem_uses_plane_return(self):
+        problem = microstrip().loop_problem(um(8), um(500))
+        assert problem.return_traces == []
+        assert len(problem.planes) == 1
+        r, l = problem.loop_rl(GHz(3.2))
+        assert r > 0 and l > 0
+
+    def test_closer_plane_less_inductance(self):
+        near = microstrip(plane_gap=um(2)).loop_problem(um(8), um(500))
+        far = microstrip(plane_gap=um(10)).loop_problem(um(8), um(500))
+        assert near.loop_rl(GHz(1))[1] < far.loop_rl(GHz(1))[1]
+
+    def test_height_below_is_plane_gap(self):
+        assert microstrip(plane_gap=um(4)).height_below == pytest.approx(um(4))
+
+    def test_neighbours_open_in_loop_problem(self):
+        config = microstrip(neighbour_count=1, neighbour_spacing=um(4))
+        problem = config.loop_problem(um(8), um(500))
+        assert {t.name for t in problem.open_traces} == {"N-1", "N+1"}
+
+
+class TestReplaceSpacings:
+    def test_spacing_changed(self):
+        config = microstrip(neighbour_count=1, neighbour_spacing=um(4))
+        block = config.trace_block(um(500))
+        rebuilt = replace_spacings(block, um(9))
+        assert rebuilt.spacing(0) == pytest.approx(um(9))
+        assert [t.name for t in rebuilt.traces] == [t.name for t in block.traces]

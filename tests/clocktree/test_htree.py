@@ -1,0 +1,117 @@
+"""H-tree generation (Fig. 7)."""
+
+import pytest
+
+from repro.constants import um
+from repro.clocktree.buffers import ClockBuffer
+from repro.clocktree.configs import CoplanarWaveguideConfig
+from repro.clocktree.htree import HTree
+from repro.errors import CircuitError, GeometryError
+
+
+def config():
+    return CoplanarWaveguideConfig(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        thickness=um(2), height_below=um(2),
+    )
+
+
+def tree(levels=2, **kwargs):
+    return HTree.generate(levels=levels, root_length=um(4000),
+                          config=config(), **kwargs)
+
+
+class TestBuffer:
+    def test_significant_frequency(self):
+        buffer = ClockBuffer(rise_time=100e-12)
+        assert buffer.significant_frequency == pytest.approx(3.2e9)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"drive_resistance": 0.0},
+        {"input_capacitance": -1e-15},
+        {"supply": 0.0},
+        {"rise_time": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(CircuitError):
+            ClockBuffer(**kwargs)
+
+
+class TestGeneration:
+    def test_sink_count_doubles_per_level(self):
+        assert tree(levels=1).num_sinks == 2
+        assert tree(levels=2).num_sinks == 4
+        assert tree(levels=3).num_sinks == 8
+
+    def test_segment_count(self):
+        # binary tree: 2 + 4 + ... + 2^levels
+        assert len(tree(levels=3).segments) == 2 + 4 + 8
+
+    def test_lengths_halve_by_default(self):
+        t = tree(levels=2)
+        root = t.segment("s_L")
+        child = t.segment("s_LL")
+        assert child.length == pytest.approx(root.length / 2)
+
+    def test_custom_ratio(self):
+        t = tree(levels=2, length_ratio=0.7)
+        assert t.segment("s_LL").length == pytest.approx(um(4000) * 0.7)
+
+    def test_orientation_alternates(self):
+        t = tree(levels=2)
+        assert t.segment("s_L").axis == "x"
+        assert t.segment("s_LL").axis == "y"
+
+    def test_mirror_symmetry_positions(self):
+        t = tree(levels=1)
+        left = t.segment("s_L")
+        right = t.segment("s_R")
+        assert left.end[0] == pytest.approx(-right.end[0])
+
+    def test_children_start_at_parent_end(self):
+        t = tree(levels=2)
+        parent = t.segment("s_L")
+        child = t.segment("s_LL")
+        assert child.start == parent.end
+
+    def test_branch_scale_asymmetry(self):
+        t = tree(levels=2, branch_scale={"s_LL": 1.5})
+        assert t.segment("s_LL").length == pytest.approx(
+            1.5 * t.segment("s_LR").length
+        )
+
+    @pytest.mark.parametrize("kwargs", [
+        {"levels": 0},
+        {"root_length": 0.0},
+        {"length_ratio": 0.0},
+        {"length_ratio": 1.5},
+    ])
+    def test_invalid_generation(self, kwargs):
+        defaults = dict(levels=2, root_length=um(1000), config=config())
+        defaults.update(kwargs)
+        with pytest.raises(GeometryError):
+            HTree.generate(**defaults)
+
+
+class TestQueries:
+    def test_roots_and_leaves(self):
+        t = tree(levels=2)
+        assert {s.name for s in t.roots()} == {"s_L", "s_R"}
+        assert {s.name for s in t.leaves()} == {"s_LL", "s_LR", "s_RL", "s_RR"}
+
+    def test_total_wire_length(self):
+        t = tree(levels=2)
+        expected = 2 * um(4000) + 4 * um(2000)
+        assert t.total_wire_length() == pytest.approx(expected)
+
+    def test_path_to_root(self):
+        t = tree(levels=3)
+        path = [s.name for s in t.path_to_root("s_LRL")]
+        assert path == ["s_LRL", "s_LR", "s_L"]
+
+    def test_num_levels(self):
+        assert tree(levels=3).num_levels == 3
+
+    def test_unknown_segment(self):
+        with pytest.raises(GeometryError):
+            tree().segment("s_XX")

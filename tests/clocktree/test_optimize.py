@@ -1,0 +1,91 @@
+"""Clocktree width optimization on extraction tables."""
+
+import pytest
+
+from repro.constants import GHz, fF, ps, um
+from repro.clocktree.buffers import ClockBuffer
+from repro.clocktree.configs import CoplanarWaveguideConfig
+from repro.clocktree.htree import HTree
+from repro.clocktree.optimize import WidthOptimizer
+from repro.core.extraction import TableBasedExtractor
+from repro.errors import GeometryError
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    config = CoplanarWaveguideConfig(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        thickness=um(2), height_below=um(2),
+    )
+    return TableBasedExtractor.characterize(
+        config, frequency=GHz(6.4),
+        widths=[um(2), um(6), um(10), um(16)],
+        lengths=[um(500), um(1000), um(2000), um(4000)],
+    )
+
+
+def make_tree(drive=25.0):
+    config = CoplanarWaveguideConfig(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        thickness=um(2), height_below=um(2),
+    )
+    buffer = ClockBuffer(drive_resistance=drive, input_capacitance=fF(30),
+                         supply=1.8, rise_time=ps(50))
+    return HTree.generate(levels=2, root_length=um(3000), config=config,
+                          buffer=buffer, sink_capacitance=fF(50))
+
+
+class TestPathDelay:
+    def test_positive_delay(self, extractor):
+        optimizer = WidthOptimizer(extractor)
+        candidate = optimizer.path_delay(make_tree(), um(8))
+        assert candidate.path_delay > 0
+        assert candidate.worst_damping > 0
+
+    def test_weak_drive_is_damped(self, extractor):
+        optimizer = WidthOptimizer(extractor)
+        weak = optimizer.path_delay(make_tree(drive=120.0), um(8))
+        assert not weak.rings
+
+    def test_strong_drive_rings(self, extractor):
+        optimizer = WidthOptimizer(extractor)
+        strong = optimizer.path_delay(make_tree(drive=5.0), um(8))
+        assert strong.rings
+
+
+class TestOptimize:
+    def test_best_minimizes_delay(self, extractor):
+        optimizer = WidthOptimizer(extractor)
+        result = optimizer.optimize(make_tree(),
+                                    widths=[um(3), um(6), um(10), um(14)])
+        delays = [c.path_delay for c in result.candidates]
+        assert result.best.path_delay == pytest.approx(min(delays))
+
+    def test_default_width_grid_from_table(self, extractor):
+        optimizer = WidthOptimizer(extractor)
+        result = optimizer.optimize(make_tree())
+        assert len(result.candidates) == 12
+        axis = extractor.inductance_table.axes[0]
+        assert result.candidates[0].width == pytest.approx(axis[0])
+        assert result.candidates[-1].width == pytest.approx(axis[-1])
+
+    def test_damping_constraint(self, extractor):
+        optimizer = WidthOptimizer(extractor)
+        tree = make_tree(drive=60.0)
+        constrained = optimizer.optimize(tree, require_damped=True)
+        assert not constrained.best.rings
+
+    def test_impossible_constraint_raises(self, extractor):
+        optimizer = WidthOptimizer(extractor)
+        tree = make_tree(drive=2.0)   # everything rings
+        with pytest.raises(GeometryError):
+            optimizer.optimize(tree, require_damped=True)
+
+    def test_delay_of_lookup(self, extractor):
+        optimizer = WidthOptimizer(extractor)
+        result = optimizer.optimize(make_tree(),
+                                    widths=[um(4), um(8), um(12)])
+        assert result.delay_of(um(8)) == pytest.approx(
+            next(c.path_delay for c in result.candidates
+                 if c.width == pytest.approx(um(8)))
+        )

@@ -1,0 +1,76 @@
+"""RLC-aware repeater insertion."""
+
+import pytest
+
+from repro.constants import GHz, fF, ps, um
+from repro.clocktree.buffers import ClockBuffer
+from repro.clocktree.configs import CoplanarWaveguideConfig
+from repro.clocktree.repeaters import optimal_repeaters
+from repro.core.extraction import TableBasedExtractor
+from repro.errors import GeometryError
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    config = CoplanarWaveguideConfig(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        thickness=um(2), height_below=um(2),
+    )
+    tables = TableBasedExtractor.characterize(
+        config, frequency=GHz(6.4),
+        widths=[um(5), um(10), um(15)],
+        lengths=[um(250), um(1000), um(4000), um(10000)],
+    )
+    return tables.as_clocktree_extractor()
+
+
+def buffer(drive=40.0):
+    return ClockBuffer(drive_resistance=drive, input_capacitance=fF(30),
+                       supply=1.8, rise_time=ps(50))
+
+
+class TestPlans:
+    def test_candidate_sweep_complete(self, extractor):
+        plan = optimal_repeaters(extractor, um(8000), buffer(), max_count=6)
+        assert [c.count for c in plan.candidates] == [1, 2, 3, 4, 5, 6]
+        assert plan.best in plan.candidates
+
+    def test_repeaters_help_long_rc_lines(self, extractor):
+        plan = optimal_repeaters(extractor, um(10000), buffer(),
+                                 include_inductance=False)
+        assert plan.optimal_count > 1
+        assert plan.best.total_delay < plan.delay_of(1)
+
+    def test_rlc_wants_no_more_repeaters_than_rc(self, extractor):
+        # the companion-paper conclusion: the inductive flight-time floor
+        # cannot be bought down by repeaters
+        rc = optimal_repeaters(extractor, um(10000), buffer(),
+                               include_inductance=False)
+        rlc = optimal_repeaters(extractor, um(10000), buffer(),
+                                include_inductance=True)
+        assert rlc.optimal_count <= rc.optimal_count
+
+    def test_rlc_delay_never_below_rc(self, extractor):
+        rc = optimal_repeaters(extractor, um(10000), buffer(),
+                               include_inductance=False)
+        rlc = optimal_repeaters(extractor, um(10000), buffer())
+        assert rlc.best.total_delay >= rc.best.total_delay
+
+    @pytest.mark.filterwarnings("ignore::repro.errors.ExtrapolationWarning")
+    def test_short_line_needs_no_repeaters(self, extractor):
+        # sub-grid stage lengths extrapolate (warned); the conclusion --
+        # one stage is best for a short line -- is robust to that
+        plan = optimal_repeaters(extractor, um(500), buffer(), max_count=5)
+        assert plan.optimal_count == 1
+
+    def test_delay_of_lookup(self, extractor):
+        plan = optimal_repeaters(extractor, um(8000), buffer(), max_count=4)
+        assert plan.delay_of(2) == plan.candidates[1].total_delay
+        with pytest.raises(GeometryError):
+            plan.delay_of(99)
+
+    def test_validation(self, extractor):
+        with pytest.raises(GeometryError):
+            optimal_repeaters(extractor, 0.0, buffer())
+        with pytest.raises(GeometryError):
+            optimal_repeaters(extractor, um(1000), buffer(), max_count=0)

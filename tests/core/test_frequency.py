@@ -1,0 +1,28 @@
+"""Significant frequency rule."""
+
+import pytest
+
+from repro.core.frequency import rise_time_for_frequency, significant_frequency
+from repro.errors import GeometryError
+
+
+def test_paper_value():
+    # 100 ps rise -> 3.2 GHz, the value used throughout the paper
+    assert significant_frequency(100e-12) == pytest.approx(3.2e9)
+
+
+def test_faster_edge_higher_frequency():
+    assert significant_frequency(50e-12) == pytest.approx(6.4e9)
+
+
+def test_inverse_round_trip():
+    assert rise_time_for_frequency(significant_frequency(37e-12)) == pytest.approx(
+        37e-12
+    )
+
+
+def test_invalid_inputs():
+    with pytest.raises(GeometryError):
+        significant_frequency(0.0)
+    with pytest.raises(GeometryError):
+        rise_time_for_frequency(-1.0)

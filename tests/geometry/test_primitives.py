@@ -1,0 +1,124 @@
+"""Point3D and RectBar geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point3D, RectBar
+
+UM = 1e-6
+
+
+def make_bar(axis="x", origin=(0.0, 0.0, 0.0), length=1e-3, width=UM, thickness=2 * UM):
+    return RectBar(Point3D(*origin), length, width, thickness, axis)
+
+
+class TestPoint3D:
+    def test_translated(self):
+        p = Point3D(1.0, 2.0, 3.0).translated(dy=0.5)
+        assert (p.x, p.y, p.z) == (1.0, 2.5, 3.0)
+
+    def test_translation_returns_new_point(self):
+        p = Point3D(0, 0, 0)
+        q = p.translated(dx=1)
+        assert p.x == 0 and q.x == 1
+
+    def test_distance(self):
+        assert Point3D(0, 0, 0).distance_to(Point3D(3, 4, 0)) == pytest.approx(5.0)
+
+    @given(
+        st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1),
+    )
+    def test_distance_symmetric(self, x, y, z):
+        a = Point3D(x, y, z)
+        b = Point3D(0.5, -0.25, 0.125)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+class TestRectBar:
+    def test_rejects_bad_axis(self):
+        with pytest.raises(GeometryError):
+            make_bar(axis="w")
+
+    @pytest.mark.parametrize("field", ["length", "width", "thickness"])
+    def test_rejects_nonpositive_dims(self, field):
+        kwargs = {"length": 1e-3, "width": UM, "thickness": UM, field: 0.0}
+        with pytest.raises(GeometryError):
+            RectBar(Point3D(0, 0, 0), **kwargs)
+
+    def test_rejects_nan_length(self):
+        with pytest.raises(GeometryError):
+            make_bar(length=float("nan"))
+
+    def test_cross_section_area(self):
+        bar = make_bar(width=3 * UM, thickness=2 * UM)
+        assert bar.cross_section_area == pytest.approx(6 * UM * UM)
+
+    def test_volume(self):
+        bar = make_bar(length=10 * UM, width=2 * UM, thickness=1 * UM)
+        assert bar.volume == pytest.approx(20 * UM ** 3)
+
+    def test_far_corner_x_axis(self):
+        bar = make_bar(length=5 * UM, width=3 * UM, thickness=2 * UM)
+        corner = bar.far_corner
+        assert (corner.x, corner.y, corner.z) == pytest.approx(
+            (5 * UM, 3 * UM, 2 * UM)
+        )
+
+    def test_far_corner_y_axis(self):
+        bar = make_bar(axis="y", length=5 * UM, width=3 * UM, thickness=2 * UM)
+        corner = bar.far_corner
+        assert (corner.x, corner.y, corner.z) == pytest.approx(
+            (3 * UM, 5 * UM, 2 * UM)
+        )
+
+    def test_far_corner_z_axis(self):
+        bar = make_bar(axis="z", length=5 * UM, width=3 * UM, thickness=2 * UM)
+        corner = bar.far_corner
+        assert (corner.x, corner.y, corner.z) == pytest.approx(
+            (3 * UM, 2 * UM, 5 * UM)
+        )
+
+    def test_center_is_average_of_corners(self):
+        bar = make_bar(axis="y")
+        center = bar.center
+        lo, hi = bar.origin, bar.far_corner
+        assert center.x == pytest.approx((lo.x + hi.x) / 2)
+        assert center.y == pytest.approx((lo.y + hi.y) / 2)
+        assert center.z == pytest.approx((lo.z + hi.z) / 2)
+
+    def test_start_end_separated_by_length(self):
+        bar = make_bar(axis="y", length=7 * UM)
+        assert bar.start.distance_to(bar.end) == pytest.approx(7 * UM)
+
+    def test_end_start_along_axis_only(self):
+        bar = make_bar(axis="z", length=4 * UM)
+        assert bar.end.x == pytest.approx(bar.start.x)
+        assert bar.end.y == pytest.approx(bar.start.y)
+        assert bar.end.z - bar.start.z == pytest.approx(4 * UM)
+
+    def test_parallel_and_orthogonal(self):
+        a = make_bar(axis="x")
+        b = make_bar(axis="x", origin=(0, 5 * UM, 0))
+        c = make_bar(axis="y", origin=(0, 0, 5 * UM))
+        assert a.is_parallel_to(b)
+        assert not a.is_parallel_to(c)
+        assert a.is_orthogonal_to(c)
+        assert not a.is_orthogonal_to(b)
+
+    def test_overlap_detection(self):
+        a = make_bar()
+        b = make_bar(origin=(0.5e-3, 0, 0))   # overlaps second half
+        c = make_bar(origin=(0, 5 * UM, 0))   # offset transversally
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_touching_bars_do_not_overlap(self):
+        a = make_bar(width=UM)
+        b = make_bar(origin=(0, UM, 0))  # shares the y = 1um face
+        assert not a.overlaps(b)
+
+    @given(st.floats(0.1, 10.0), st.floats(0.1, 10.0), st.floats(0.1, 10.0))
+    def test_volume_positive(self, l, w, t):
+        bar = make_bar(length=l * UM, width=w * UM, thickness=t * UM)
+        assert bar.volume > 0

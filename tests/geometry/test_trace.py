@@ -1,0 +1,151 @@
+"""Trace and TraceBlock behaviour (the paper's Fig. 4 structure)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import um
+from repro.errors import GeometryError
+from repro.geometry.trace import Trace, TraceBlock
+
+
+def simple_block(n=3, width=um(2), spacing=um(1), length=um(100)):
+    return TraceBlock.from_widths_and_spacings(
+        widths=[width] * n,
+        spacings=[spacing] * (n - 1),
+        length=length,
+        thickness=um(1),
+    )
+
+
+class TestTrace:
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(GeometryError):
+            Trace(width=0.0, length=um(10), thickness=um(1))
+
+    def test_y_center(self):
+        trace = Trace(width=um(4), length=um(10), thickness=um(1), y_offset=um(2))
+        assert trace.y_center == pytest.approx(um(4))
+
+    def test_to_bar_matches_geometry(self):
+        trace = Trace(width=um(4), length=um(10), thickness=um(2),
+                      y_offset=um(1), z_bottom=um(3), x_offset=um(5))
+        bar = trace.to_bar()
+        assert bar.axis == "x"
+        assert bar.origin.x == pytest.approx(um(5))
+        assert bar.origin.y == pytest.approx(um(1))
+        assert bar.origin.z == pytest.approx(um(3))
+        assert bar.length == pytest.approx(um(10))
+
+    def test_spacing_between_traces(self):
+        a = Trace(width=um(2), length=um(10), thickness=um(1), y_offset=0.0)
+        b = Trace(width=um(2), length=um(10), thickness=um(1), y_offset=um(5))
+        assert a.edge_to_edge_spacing(b) == pytest.approx(um(3))
+        assert b.edge_to_edge_spacing(a) == pytest.approx(um(3))
+
+    def test_overlapping_traces_rejected(self):
+        a = Trace(width=um(2), length=um(10), thickness=um(1), y_offset=0.0)
+        b = Trace(width=um(2), length=um(10), thickness=um(1), y_offset=um(1))
+        with pytest.raises(GeometryError):
+            a.edge_to_edge_spacing(b)
+
+
+class TestTraceBlockConstruction:
+    def test_layout_positions(self):
+        block = simple_block(3, width=um(2), spacing=um(1))
+        offsets = [t.y_offset for t in block.traces]
+        assert offsets == pytest.approx([0.0, um(3), um(6)])
+
+    def test_mismatched_spacings_rejected(self):
+        with pytest.raises(GeometryError):
+            TraceBlock.from_widths_and_spacings(
+                widths=[um(1)] * 3, spacings=[um(1)], length=um(10),
+                thickness=um(1),
+            )
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(GeometryError):
+            TraceBlock.from_widths_and_spacings(
+                widths=[], spacings=[], length=um(10), thickness=um(1)
+            )
+
+    def test_default_ground_flags_outer_traces(self):
+        block = simple_block(4)
+        flags = [t.is_ground for t in block.traces]
+        assert flags == [True, False, False, True]
+
+    def test_two_trace_block_has_no_default_grounds(self):
+        block = simple_block(2)
+        assert all(not t.is_ground for t in block.traces)
+
+    def test_unequal_lengths_rejected(self):
+        a = Trace(width=um(1), length=um(10), thickness=um(1), y_offset=0, name="a")
+        b = Trace(width=um(1), length=um(20), thickness=um(1), y_offset=um(2), name="b")
+        with pytest.raises(GeometryError):
+            TraceBlock(traces=[a, b])
+
+    def test_overlapping_traces_rejected(self):
+        a = Trace(width=um(2), length=um(10), thickness=um(1), y_offset=0, name="a")
+        b = Trace(width=um(2), length=um(10), thickness=um(1), y_offset=um(1), name="b")
+        with pytest.raises(GeometryError):
+            TraceBlock(traces=[a, b])
+
+    def test_traces_sorted_by_position(self):
+        a = Trace(width=um(1), length=um(10), thickness=um(1), y_offset=um(5), name="right")
+        b = Trace(width=um(1), length=um(10), thickness=um(1), y_offset=0.0, name="left")
+        block = TraceBlock(traces=[a, b])
+        assert [t.name for t in block.traces] == ["left", "right"]
+
+    def test_nonpositive_spacing_rejected(self):
+        with pytest.raises(GeometryError):
+            TraceBlock.from_widths_and_spacings(
+                widths=[um(1), um(1)], spacings=[0.0], length=um(10),
+                thickness=um(1),
+            )
+
+
+class TestCoplanarWaveguide:
+    def test_fig1_geometry(self):
+        block = TraceBlock.coplanar_waveguide(
+            signal_width=um(10), ground_width=um(5), spacing=um(1),
+            length=um(6000), thickness=um(2),
+        )
+        assert len(block) == 3
+        assert [t.name for t in block.traces] == ["GND_L", "SIG", "GND_R"]
+        assert [t.is_ground for t in block.traces] == [True, False, True]
+        assert block.total_width == pytest.approx(um(22))
+
+    def test_signal_and_ground_accessors(self):
+        block = TraceBlock.coplanar_waveguide(
+            signal_width=um(10), ground_width=um(5), spacing=um(1),
+            length=um(100), thickness=um(2),
+        )
+        assert [t.name for t in block.signal_traces] == ["SIG"]
+        assert len(block.ground_traces) == 2
+
+
+class TestBlockQueries:
+    def test_spacing_and_pitch(self):
+        block = simple_block(3, width=um(2), spacing=um(1))
+        assert block.spacing(0) == pytest.approx(um(1))
+        assert block.pitch(0) == pytest.approx(um(3))
+
+    def test_length_property(self):
+        block = simple_block(3, length=um(123))
+        assert block.length == pytest.approx(um(123))
+
+    def test_subblock_preserves_positions(self):
+        block = simple_block(5)
+        sub = block.subblock([0, 4])
+        assert len(sub) == 2
+        assert sub.traces[0].y_offset == pytest.approx(block.traces[0].y_offset)
+        assert sub.traces[1].y_offset == pytest.approx(block.traces[4].y_offset)
+
+    def test_subblock_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            simple_block(3).subblock([])
+
+    @given(st.integers(2, 8))
+    def test_total_width_consistent(self, n):
+        block = simple_block(n, width=um(2), spacing=um(1))
+        expected = n * um(2) + (n - 1) * um(1)
+        assert block.total_width == pytest.approx(expected)

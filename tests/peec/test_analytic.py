@@ -1,0 +1,144 @@
+"""Closed-form partial inductance formulas against known references."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import MU_0, um
+from repro.errors import GeometryError
+from repro.peec.analytic import (
+    grover_mutual_inductance,
+    grover_self_inductance,
+    mutual_inductance_filaments,
+    mutual_inductance_parallel_segments,
+    rectangle_self_gmd,
+    self_inductance_via_gmd,
+    skin_depth,
+)
+
+
+class TestFilamentMutual:
+    def test_long_filament_limit(self):
+        # For l >> d:  M -> (mu0/2pi) l [ln(2l/d) - 1]
+        l, d = 1e-2, 1e-5
+        exact = mutual_inductance_filaments(l, d)
+        approx = MU_0 / (2 * math.pi) * l * (math.log(2 * l / d) - 1 + d / l)
+        assert exact == pytest.approx(approx, rel=1e-6)
+
+    def test_decreases_with_distance(self):
+        values = [mutual_inductance_filaments(1e-3, d * um(1)) for d in (1, 5, 25)]
+        assert values[0] > values[1] > values[2]
+
+    def test_increases_superlinearly_with_length(self):
+        m1 = mutual_inductance_filaments(1e-3, um(10))
+        m2 = mutual_inductance_filaments(2e-3, um(10))
+        assert m2 > 2.0 * m1
+
+    @pytest.mark.parametrize("args", [(0.0, 1e-6), (1e-3, 0.0), (-1e-3, 1e-6)])
+    def test_invalid_arguments(self, args):
+        with pytest.raises(GeometryError):
+            mutual_inductance_filaments(*args)
+
+    @given(st.floats(1e-5, 1e-2), st.floats(1e-7, 1e-4))
+    def test_always_positive(self, l, d):
+        assert mutual_inductance_filaments(l, d) > 0
+
+
+class TestOffsetSegments:
+    def test_aligned_case_matches_equal_filament_formula(self):
+        l, d = 2e-3, um(7)
+        via_offset = mutual_inductance_parallel_segments(0, l, 0, l, d)
+        direct = mutual_inductance_filaments(l, d)
+        assert via_offset == pytest.approx(direct, rel=1e-10)
+
+    def test_additivity_along_length(self):
+        # M(whole) = M(first half) + M(second half) against a fixed filament
+        d = um(5)
+        whole = mutual_inductance_parallel_segments(0, 2e-3, 0, 2e-3, d)
+        part1 = mutual_inductance_parallel_segments(0, 1e-3, 0, 2e-3, d)
+        part2 = mutual_inductance_parallel_segments(1e-3, 2e-3, 0, 2e-3, d)
+        assert part1 + part2 == pytest.approx(whole, rel=1e-10)
+
+    def test_symmetry_under_exchange(self):
+        d = um(4)
+        a = mutual_inductance_parallel_segments(0, 1e-3, 0.5e-3, 2e-3, d)
+        b = mutual_inductance_parallel_segments(0.5e-3, 2e-3, 0, 1e-3, d)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_distant_collinear_segments_couple_weakly(self):
+        d = um(5)
+        near = mutual_inductance_parallel_segments(0, 1e-3, 0, 1e-3, d)
+        far = mutual_inductance_parallel_segments(0, 1e-3, 9e-3, 10e-3, d)
+        assert far < 0.05 * near
+
+    def test_invalid_segment_rejected(self):
+        with pytest.raises(GeometryError):
+            mutual_inductance_parallel_segments(1e-3, 0.5e-3, 0, 1e-3, um(5))
+        with pytest.raises(GeometryError):
+            mutual_inductance_parallel_segments(0, 1e-3, 0, 1e-3, 0.0)
+
+
+class TestSelfInductance:
+    def test_grover_reference_value(self):
+        # 1 mm x 1 um x 1 um wire: the classic ~1.48 nH
+        value = grover_self_inductance(1e-3, um(1), um(1))
+        assert value == pytest.approx(1.48e-9, rel=0.01)
+
+    def test_gmd_equivalence_close_to_grover(self):
+        l, w, t = 1e-3, um(2), um(1)
+        grover = grover_self_inductance(l, w, t)
+        gmd = self_inductance_via_gmd(l, w, t)
+        assert gmd == pytest.approx(grover, rel=0.01)
+
+    def test_wider_wire_has_less_self_inductance(self):
+        narrow = grover_self_inductance(1e-3, um(1), um(1))
+        wide = grover_self_inductance(1e-3, um(10), um(1))
+        assert wide < narrow
+
+    def test_superlinear_in_length(self):
+        l1 = grover_self_inductance(1e-3, um(5), um(2))
+        l2 = grover_self_inductance(2e-3, um(5), um(2))
+        assert 2.1 < l2 / l1 < 2.4   # the paper's ~2.2x observation
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GeometryError):
+            grover_self_inductance(0.0, um(1), um(1))
+
+
+class TestGMD:
+    def test_self_gmd_coefficient(self):
+        assert rectangle_self_gmd(um(1), um(1)) == pytest.approx(0.2235 * um(2))
+
+    def test_scales_with_perimeter_sum(self):
+        assert rectangle_self_gmd(um(4), um(2)) == pytest.approx(
+            2.0 * rectangle_self_gmd(um(2), um(1))
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            rectangle_self_gmd(0.0, um(1))
+
+
+class TestGroverMutual:
+    def test_close_to_exact_for_long_wires(self):
+        exact = mutual_inductance_filaments(5e-3, um(20))
+        approx = grover_mutual_inductance(5e-3, um(20))
+        assert approx == pytest.approx(exact, rel=1e-4)
+
+
+class TestSkinDepth:
+    def test_copper_at_1ghz(self):
+        # Textbook value: ~2.1 um for copper at 1 GHz
+        assert skin_depth(1.72e-8, 1e9) == pytest.approx(2.09e-6, rel=0.02)
+
+    def test_scales_with_inverse_sqrt_frequency(self):
+        d1 = skin_depth(1.72e-8, 1e9)
+        d4 = skin_depth(1.72e-8, 4e9)
+        assert d1 / d4 == pytest.approx(2.0, rel=1e-9)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GeometryError):
+            skin_depth(0.0, 1e9)
+        with pytest.raises(GeometryError):
+            skin_depth(1.7e-8, 0.0)

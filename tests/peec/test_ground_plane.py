@@ -1,0 +1,98 @@
+"""GroundPlane strip meshing and placement helpers."""
+
+import pytest
+
+from repro.constants import um
+from repro.errors import GeometryError
+from repro.geometry.trace import TraceBlock
+from repro.peec.ground_plane import (
+    GroundPlane,
+    plane_over_block,
+    plane_under_block,
+)
+
+
+def block():
+    return TraceBlock.coplanar_waveguide(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        length=um(1000), thickness=um(2), z_bottom=um(10),
+    )
+
+
+class TestGroundPlane:
+    def test_strip_count_and_tiling(self):
+        plane = GroundPlane(length=um(100), width=um(60), thickness=um(1),
+                            z_bottom=0.0, n_strips=6)
+        strips = plane.to_strips()
+        assert len(strips) == 6
+        assert sum(s.width for s in strips) == pytest.approx(um(60))
+        for a, b in zip(strips, strips[1:]):
+            assert b.origin.y == pytest.approx(a.origin.y + a.width)
+
+    def test_strips_carry_x_current(self):
+        plane = GroundPlane(length=um(100), width=um(60), thickness=um(1),
+                            z_bottom=0.0)
+        assert all(s.axis == "x" for s in plane.to_strips())
+
+    def test_offsets_respected(self):
+        plane = GroundPlane(length=um(100), width=um(30), thickness=um(1),
+                            z_bottom=um(2), y_offset=um(-10), x_offset=um(5),
+                            n_strips=3)
+        strip = plane.to_strips()[0]
+        assert strip.origin.x == pytest.approx(um(5))
+        assert strip.origin.y == pytest.approx(um(-10))
+        assert strip.origin.z == pytest.approx(um(2))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"length": 0.0, "width": um(10), "thickness": um(1), "z_bottom": 0.0},
+        {"length": um(10), "width": um(10), "thickness": um(1), "z_bottom": 0.0,
+         "n_strips": 0},
+    ])
+    def test_invalid_planes(self, kwargs):
+        with pytest.raises(GeometryError):
+            GroundPlane(**kwargs)
+
+
+class TestPlacement:
+    def test_plane_under_block_geometry(self):
+        plane = plane_under_block(block(), gap=um(3))
+        blk = block()
+        assert plane.z_bottom + plane.thickness == pytest.approx(
+            blk.traces[0].z_bottom - um(3)
+        )
+        assert plane.length == pytest.approx(blk.length)
+        # default margin: one block width each side
+        assert plane.width == pytest.approx(3 * blk.total_width)
+
+    def test_plane_covers_block_transversally(self):
+        plane = plane_under_block(block(), gap=um(3))
+        blk = block()
+        assert plane.y_offset <= blk.traces[0].y_offset
+        plane_right = plane.y_offset + plane.width
+        block_right = blk.traces[-1].y_offset + blk.traces[-1].width
+        assert plane_right >= block_right
+
+    def test_plane_over_block_above(self):
+        plane = plane_over_block(block(), gap=um(3))
+        blk = block()
+        assert plane.z_bottom == pytest.approx(
+            blk.traces[0].z_bottom + blk.traces[0].thickness + um(3)
+        )
+
+    def test_custom_thickness_and_margin(self):
+        plane = plane_under_block(block(), gap=um(3), thickness=um(0.5),
+                                  margin=um(10))
+        blk = block()
+        assert plane.thickness == pytest.approx(um(0.5))
+        assert plane.width == pytest.approx(blk.total_width + um(20))
+
+    def test_gap_must_be_positive(self):
+        with pytest.raises(GeometryError):
+            plane_under_block(block(), gap=0.0)
+        with pytest.raises(GeometryError):
+            plane_over_block(block(), gap=-um(1))
+
+    def test_implausible_plane_rejected(self):
+        blk = block()
+        with pytest.raises(GeometryError):
+            plane_under_block(blk, gap=2.0)   # two metres below the die

@@ -1,0 +1,120 @@
+"""LoopProblem: block-level loop extraction with returns and victims."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GHz, um
+from repro.errors import GeometryError, SolverError
+from repro.geometry.trace import TraceBlock
+from repro.peec.ground_plane import plane_under_block
+from repro.peec.loop import LoopProblem
+
+
+def cpw(signal=um(10), ground=um(5), spacing=um(1), length=um(2000), t=um(2)):
+    return TraceBlock.coplanar_waveguide(signal, ground, spacing, length, t)
+
+
+def microstrip_array(n=3, width=um(5), spacing=um(5), length=um(1000)):
+    block = TraceBlock.from_widths_and_spacings(
+        widths=[width] * n, spacings=[spacing] * (n - 1),
+        length=length, thickness=um(1), ground_flags=[False] * n,
+    )
+    plane = plane_under_block(block, gap=um(5), n_strips=9)
+    return block, plane
+
+
+class TestConstruction:
+    def test_cpw_signal_autodetected(self):
+        problem = LoopProblem(cpw())
+        assert problem.signal_trace.name == "SIG"
+        assert len(problem.return_traces) == 2
+        assert problem.open_traces == []
+
+    def test_needs_a_return(self):
+        block = TraceBlock.from_widths_and_spacings(
+            widths=[um(5)], spacings=[], length=um(100), thickness=um(1),
+            ground_flags=[False],
+        )
+        with pytest.raises(GeometryError):
+            LoopProblem(block)
+
+    def test_multi_signal_needs_explicit_choice(self):
+        block, plane = microstrip_array()
+        with pytest.raises(GeometryError):
+            LoopProblem(block, plane=plane)
+        problem = LoopProblem(block, signal="T2", plane=plane)
+        assert problem.signal_trace.name == "T2"
+        assert len(problem.open_traces) == 2
+
+    def test_signal_by_index(self):
+        block, plane = microstrip_array()
+        problem = LoopProblem(block, signal=0, plane=plane)
+        assert problem.signal_trace.name == "T1"
+
+    def test_unknown_signal_name(self):
+        with pytest.raises(GeometryError):
+            LoopProblem(cpw(), signal="nope")
+
+
+class TestSolutions:
+    def test_positive_rl(self):
+        r, l = LoopProblem(cpw()).loop_rl(GHz(3.2))
+        assert r > 0 and l > 0
+
+    def test_frequency_must_be_positive(self):
+        with pytest.raises(SolverError):
+            LoopProblem(cpw()).solve(0.0)
+
+    def test_loop_l_grows_with_length_superlinearly(self):
+        l_short = LoopProblem(cpw(length=um(1000))).loop_rl(GHz(1))[1]
+        l_long = LoopProblem(cpw(length=um(2000))).loop_rl(GHz(1))[1]
+        assert l_long > 1.9 * l_short
+
+    def test_wider_spacing_increases_loop_l(self):
+        l_tight = LoopProblem(cpw(spacing=um(1))).loop_rl(GHz(1))[1]
+        l_loose = LoopProblem(cpw(spacing=um(10))).loop_rl(GHz(1))[1]
+        assert l_loose > l_tight
+
+    def test_plane_lowers_loop_inductance(self):
+        block = cpw()
+        no_plane = LoopProblem(block).loop_rl(GHz(1))[1]
+        plane = plane_under_block(block, gap=um(2), n_strips=9)
+        with_plane = LoopProblem(block, plane=plane).loop_rl(GHz(1))[1]
+        assert with_plane < no_plane
+
+    def test_mutual_loop_couplings_decay_with_distance(self):
+        block, plane = microstrip_array(n=4)
+        problem = LoopProblem(block, signal="T1", plane=plane)
+        solution = problem.solve(GHz(1))
+        mutuals = solution.mutual_loop_inductances
+        assert mutuals["T2"] > mutuals["T3"] > mutuals["T4"] > 0
+
+    def test_mutual_reciprocity(self):
+        block, plane = microstrip_array(n=3)
+        m_12 = LoopProblem(block, signal="T1", plane=plane).solve(
+            GHz(1)
+        ).mutual_loop_inductances["T2"]
+        m_21 = LoopProblem(block, signal="T2", plane=plane).solve(
+            GHz(1)
+        ).mutual_loop_inductances["T1"]
+        assert m_12 == pytest.approx(m_21, rel=1e-6)
+
+    def test_loop_solution_properties(self):
+        solution = LoopProblem(cpw()).solve(GHz(2))
+        omega = 2 * np.pi * GHz(2)
+        assert solution.loop_resistance == pytest.approx(
+            solution.loop_impedance.real
+        )
+        assert solution.loop_inductance == pytest.approx(
+            solution.loop_impedance.imag / omega
+        )
+
+    def test_more_plane_strips_converges(self):
+        block, _ = microstrip_array(n=1)
+        values = []
+        for strips in (3, 9, 15):
+            plane = plane_under_block(block, gap=um(5), n_strips=strips)
+            problem = LoopProblem(block, signal="T1", plane=plane)
+            values.append(problem.loop_rl(GHz(1))[1])
+        # refinement changes the answer less and less
+        assert abs(values[2] - values[1]) < abs(values[1] - values[0])

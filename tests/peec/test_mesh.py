@@ -1,0 +1,125 @@
+"""Filament meshing for skin-effect extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import um
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point3D, RectBar
+from repro.peec.mesh import (
+    FilamentMesh,
+    graded_intervals,
+    mesh_bar,
+    skin_mesh_counts,
+)
+
+
+def bar(axis="x", w=um(4), t=um(2), l=um(100)):
+    return RectBar(Point3D(0, 0, 0), l, w, t, axis)
+
+
+class TestGradedIntervals:
+    def test_uniform_split(self):
+        edges = graded_intervals(1.0, 4, ratio=1.0)
+        assert np.allclose(edges, [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_endpoints_exact(self):
+        edges = graded_intervals(3.0, 5, ratio=2.0)
+        assert edges[0] == 0.0
+        assert edges[-1] == pytest.approx(3.0)
+
+    def test_edge_refinement(self):
+        edges = graded_intervals(1.0, 5, ratio=2.0)
+        widths = np.diff(edges)
+        assert widths[0] < widths[2]         # edge cells smaller than centre
+        assert widths[0] == pytest.approx(widths[-1])  # symmetric
+
+    def test_single_cell(self):
+        assert np.allclose(graded_intervals(2.0, 1), [0.0, 2.0])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"total": 0.0, "count": 2},
+        {"total": 1.0, "count": 0},
+        {"total": 1.0, "count": 2, "ratio": 0.0},
+    ])
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(GeometryError):
+            graded_intervals(**kwargs)
+
+    @given(st.integers(1, 12), st.floats(0.5, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_widths_sum_to_total(self, count, ratio):
+        edges = graded_intervals(5.0, count, ratio)
+        assert edges[-1] == pytest.approx(5.0)
+        assert np.all(np.diff(edges) > 0)
+
+
+class TestMeshBar:
+    def test_filament_count(self):
+        mesh = mesh_bar(bar(), n_width=3, n_thickness=2)
+        assert len(mesh) == 6
+
+    def test_total_area_preserved(self):
+        b = bar(w=um(5), t=um(3))
+        mesh = mesh_bar(b, n_width=4, n_thickness=3, grading=1.8)
+        assert mesh.total_area == pytest.approx(b.cross_section_area, rel=1e-12)
+
+    def test_filaments_inherit_axis_and_length(self):
+        b = bar(axis="y")
+        mesh = mesh_bar(b, 2, 2)
+        assert all(f.axis == "y" for f in mesh.filaments)
+        assert all(f.length == b.length for f in mesh.filaments)
+
+    def test_filaments_tile_without_overlap(self):
+        mesh = mesh_bar(bar(), 3, 3)
+        fils = mesh.filaments
+        for i in range(len(fils)):
+            for j in range(i + 1, len(fils)):
+                assert not fils[i].overlaps(fils[j])
+
+    def test_filaments_stay_inside_parent(self):
+        b = bar(axis="z", w=um(3), t=um(2))
+        mesh = mesh_bar(b, 3, 2, grading=2.0)
+        lo, hi = b.origin, b.far_corner
+        for f in mesh.filaments:
+            flo, fhi = f.origin, f.far_corner
+            assert flo.x >= lo.x - 1e-15 and fhi.x <= hi.x + 1e-15
+            assert flo.y >= lo.y - 1e-15 and fhi.y <= hi.y + 1e-15
+            assert flo.z >= lo.z - 1e-15 and fhi.z <= hi.z + 1e-15
+
+    def test_resistances_parallel_to_dc_value(self):
+        b = bar(w=um(4), t=um(2), l=um(1000))
+        rho = 1.7e-8
+        mesh = mesh_bar(b, 3, 2, grading=1.4)
+        parallel = 1.0 / np.sum(1.0 / mesh.resistances(rho))
+        expected = rho * b.length / b.cross_section_area
+        assert parallel == pytest.approx(expected, rel=1e-12)
+
+    def test_resistances_reject_bad_resistivity(self):
+        mesh = mesh_bar(bar(), 2, 2)
+        with pytest.raises(GeometryError):
+            mesh.resistances(0.0)
+
+    def test_empty_mesh_rejected(self):
+        with pytest.raises(GeometryError):
+            FilamentMesh(parent=bar(), filaments=[])
+
+
+class TestSkinMeshCounts:
+    def test_thick_conductor_gets_more_filaments(self):
+        delta = um(1)
+        n_w, n_t = skin_mesh_counts(um(10), um(2), delta)
+        assert n_w > n_t >= 1
+
+    def test_thin_conductor_single_filament(self):
+        n_w, n_t = skin_mesh_counts(um(0.5), um(0.3), um(2))
+        assert (n_w, n_t) == (1, 1)
+
+    def test_cap_respected(self):
+        n_w, n_t = skin_mesh_counts(um(100), um(100), um(1), max_per_side=6)
+        assert (n_w, n_t) == (6, 6)
+
+    def test_invalid_skin_depth(self):
+        with pytest.raises(GeometryError):
+            skin_mesh_counts(um(1), um(1), 0.0)

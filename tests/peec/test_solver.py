@@ -1,0 +1,133 @@
+"""PartialInductanceSolver: Lp assembly and frequency reduction."""
+
+import numpy as np
+import pytest
+
+from repro.constants import um
+from repro.errors import GeometryError, SolverError
+from repro.geometry.primitives import Point3D, RectBar
+from repro.peec.hoer_love import bar_mutual_inductance, bar_self_inductance
+from repro.peec.solver import (
+    Conductor,
+    PartialInductanceSolver,
+    assemble_partial_inductance_matrix,
+)
+
+
+def bar(y=0.0, w=um(2), t=um(1), l=um(500), axis="x", x=0.0, z=0.0):
+    return RectBar(Point3D(x, y, z), l, w, t, axis)
+
+
+class TestAssembly:
+    def test_matrix_symmetric_positive_definite(self):
+        bars = [bar(0.0), bar(um(5)), bar(um(12))]
+        lp = assemble_partial_inductance_matrix(bars)
+        assert np.allclose(lp, lp.T, rtol=1e-12)
+        assert np.all(np.linalg.eigvalsh(lp) > 0)
+
+    def test_diagonal_matches_self_inductance(self):
+        bars = [bar(0.0), bar(um(5))]
+        lp = assemble_partial_inductance_matrix(bars)
+        assert lp[0, 0] == pytest.approx(bar_self_inductance(bars[0]), rel=1e-12)
+
+    def test_off_diagonal_matches_mutual(self):
+        bars = [bar(0.0), bar(um(5))]
+        lp = assemble_partial_inductance_matrix(bars)
+        expected = bar_mutual_inductance(bars[0], bars[1])
+        assert lp[0, 1] == pytest.approx(expected, rel=1e-12)
+
+    def test_orthogonal_bars_zero_block(self):
+        bars = [bar(0.0), bar(axis="y", z=um(3))]
+        lp = assemble_partial_inductance_matrix(bars)
+        assert lp[0, 1] == 0.0
+        assert lp[1, 0] == 0.0
+        assert lp[0, 0] > 0 and lp[1, 1] > 0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(GeometryError):
+            assemble_partial_inductance_matrix([])
+
+
+class TestConductor:
+    def test_from_bar_meshes(self):
+        cond = Conductor.from_bar("sig", bar(), n_width=3, n_thickness=2)
+        assert len(cond.mesh) == 6
+        assert cond.bar == bar()
+
+
+class TestSolver:
+    def test_duplicate_names_rejected(self):
+        conds = [Conductor.from_bar("a", bar()), Conductor.from_bar("a", bar(um(5)))]
+        with pytest.raises(GeometryError):
+            PartialInductanceSolver(conds)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            PartialInductanceSolver([])
+
+    def test_index_of(self):
+        solver = PartialInductanceSolver([
+            Conductor.from_bar("a", bar()), Conductor.from_bar("b", bar(um(5))),
+        ])
+        assert solver.index_of("b") == 1
+        with pytest.raises(GeometryError):
+            solver.index_of("zzz")
+
+    def test_single_filament_lp_equals_bar_value(self):
+        solver = PartialInductanceSolver([Conductor.from_bar("a", bar())])
+        lp = solver.conductor_lp_matrix()
+        assert lp[0, 0] == pytest.approx(bar_self_inductance(bar()), rel=1e-12)
+
+    def test_meshing_preserves_uniform_current_lp(self):
+        # conductor-level Lp under uniform current is mesh-independent
+        coarse = PartialInductanceSolver([Conductor.from_bar("a", bar())])
+        fine = PartialInductanceSolver([
+            Conductor.from_bar("a", bar(), n_width=4, n_thickness=2)
+        ])
+        l_coarse = coarse.conductor_lp_matrix()[0, 0]
+        l_fine = fine.conductor_lp_matrix()[0, 0]
+        assert l_fine == pytest.approx(l_coarse, rel=1e-10)
+
+    def test_low_frequency_limit_matches_uniform_current(self):
+        solver = PartialInductanceSolver([
+            Conductor.from_bar("a", bar(), n_width=3, n_thickness=2),
+            Conductor.from_bar("b", bar(um(6)), n_width=3, n_thickness=2),
+        ])
+        _, l_lf = solver.effective_rl(1e3)   # 1 kHz: uniform current
+        lp = solver.conductor_lp_matrix()
+        assert np.allclose(l_lf, lp, rtol=1e-6)
+
+    def test_skin_effect_raises_resistance_lowers_inductance(self):
+        solver = PartialInductanceSolver([
+            Conductor.from_bar("a", bar(w=um(10), t=um(2), l=um(2000)),
+                               n_width=6, n_thickness=3, grading=1.5),
+        ])
+        r_lo, l_lo = solver.effective_rl(1e6)
+        r_hi, l_hi = solver.effective_rl(20e9)
+        assert r_hi[0, 0] > r_lo[0, 0] * 1.05
+        assert l_hi[0, 0] < l_lo[0, 0]
+
+    def test_dc_impedance_is_resistive(self):
+        solver = PartialInductanceSolver([Conductor.from_bar("a", bar())])
+        z = solver.conductor_impedance_matrix(0.0)
+        assert z[0, 0].imag == pytest.approx(0.0)
+        rho = 1.72e-8
+        expected = rho * um(500) / (um(2) * um(1))
+        assert z[0, 0].real == pytest.approx(expected, rel=1e-9)
+
+    def test_negative_frequency_rejected(self):
+        solver = PartialInductanceSolver([Conductor.from_bar("a", bar())])
+        with pytest.raises(SolverError):
+            solver.conductor_impedance_matrix(-1.0)
+        with pytest.raises(SolverError):
+            solver.effective_rl(0.0)
+
+    def test_proximity_effect_on_mutual(self):
+        # at high frequency currents redistribute; matrix stays symmetric
+        solver = PartialInductanceSolver([
+            Conductor.from_bar("a", bar(w=um(6)), n_width=4, n_thickness=2),
+            Conductor.from_bar("b", bar(um(8), w=um(6)), n_width=4, n_thickness=2),
+        ])
+        _, l_hi = solver.effective_rl(10e9)
+        assert l_hi[0, 1] == pytest.approx(l_hi[1, 0], rel=1e-9)
+        assert 0 < l_hi[0, 1] < l_hi[0, 0]

@@ -1,0 +1,75 @@
+"""Frequency sweeps of loop R and L."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GHz, um
+from repro.errors import SolverError
+from repro.geometry.trace import TraceBlock
+from repro.peec.loop import LoopProblem
+from repro.peec.sweep import loop_frequency_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    block = TraceBlock.coplanar_waveguide(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        length=um(2000), thickness=um(2),
+    )
+    problem = LoopProblem(block, n_width=6, n_thickness=3, grading=1.5)
+    return loop_frequency_sweep(
+        problem, [1e7, 1e8, 1e9, 3.2e9, 1e10, 3e10]
+    )
+
+
+class TestSweepPhysics:
+    def test_resistance_monotone_increasing(self, sweep):
+        assert np.all(np.diff(sweep.resistance) >= -1e-12)
+
+    def test_inductance_monotone_decreasing(self, sweep):
+        assert np.all(np.diff(sweep.inductance) <= 1e-18)
+
+    def test_skin_effect_material_at_high_frequency(self, sweep):
+        assert sweep.resistance_ratio > 1.5
+
+    def test_inductance_drop_is_moderate(self, sweep):
+        # L varies logarithmically: big R change, modest L change
+        assert 0.0 < sweep.inductance_drop < 0.5
+
+    def test_interpolators(self, sweep):
+        mid = sweep.inductance_at(GHz(2))
+        assert sweep.inductance[-1] < mid < sweep.inductance[0]
+        assert sweep.resistance_at(1e7) == pytest.approx(
+            sweep.resistance[0], rel=1e-9
+        )
+
+    def test_characterization_error_zero_at_same_frequency(self, sweep):
+        assert sweep.characterization_error(GHz(3.2), GHz(3.2)) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_wrong_frequency_costs_accuracy(self, sweep):
+        error = sweep.characterization_error(used=1e7, actual=3e10)
+        assert error > 0.02
+
+
+class TestValidation:
+    def test_needs_two_frequencies(self):
+        block = TraceBlock.coplanar_waveguide(
+            signal_width=um(10), ground_width=um(5), spacing=um(1),
+            length=um(500), thickness=um(2),
+        )
+        problem = LoopProblem(block, n_width=1, n_thickness=1)
+        with pytest.raises(SolverError):
+            loop_frequency_sweep(problem, [1e9])
+        with pytest.raises(SolverError):
+            loop_frequency_sweep(problem, [0.0, 1e9])
+
+    def test_unsorted_input_sorted(self):
+        block = TraceBlock.coplanar_waveguide(
+            signal_width=um(10), ground_width=um(5), spacing=um(1),
+            length=um(500), thickness=um(2),
+        )
+        problem = LoopProblem(block, n_width=1, n_thickness=1)
+        sweep = loop_frequency_sweep(problem, [1e9, 1e8])
+        assert sweep.frequencies[0] < sweep.frequencies[1]

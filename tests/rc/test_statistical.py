@@ -1,0 +1,148 @@
+"""Statistical worst-case RC generation (ref [4])."""
+
+import numpy as np
+import pytest
+
+from repro.constants import um
+from repro.errors import GeometryError
+from repro.geometry.trace import TraceBlock
+from repro.rc.capacitance import CapacitanceModel
+from repro.rc.statistical import (
+    GeometrySample,
+    ProcessVariation,
+    monte_carlo_rc,
+    perturb_block,
+    perturbed_capacitance_model,
+    sample_factors,
+    worst_case_corners,
+)
+
+
+def cpw():
+    return TraceBlock.coplanar_waveguide(
+        signal_width=um(10), ground_width=um(5), spacing=um(2),
+        length=um(1000), thickness=um(2),
+    )
+
+
+def model():
+    return CapacitanceModel(height_below=um(2))
+
+
+class TestProcessVariation:
+    def test_defaults_valid(self):
+        ProcessVariation()
+
+    def test_rejects_unphysical_sigma(self):
+        with pytest.raises(GeometryError):
+            ProcessVariation(sigma_width=-0.1)
+        with pytest.raises(GeometryError):
+            ProcessVariation(sigma_ild=0.5)
+
+
+class TestSampling:
+    def test_zero_sigma_gives_nominal(self):
+        rng = np.random.default_rng(0)
+        variation = ProcessVariation(0.0, 0.0, 0.0, 0.0)
+        sample = sample_factors(variation, rng)
+        assert sample == GeometrySample()
+
+    def test_samples_clipped(self):
+        rng = np.random.default_rng(0)
+        variation = ProcessVariation(sigma_width=0.05)
+        factors = [
+            sample_factors(variation, rng, sigma_clip=3.0).width_factor
+            for _ in range(500)
+        ]
+        assert all(0.85 - 1e-12 <= f <= 1.15 + 1e-12 for f in factors)
+
+    def test_mean_near_nominal(self):
+        rng = np.random.default_rng(1)
+        variation = ProcessVariation(sigma_width=0.05)
+        factors = [sample_factors(variation, rng).width_factor for _ in range(800)]
+        assert np.mean(factors) == pytest.approx(1.0, abs=0.01)
+
+
+class TestPerturbation:
+    def test_pitch_preserved(self):
+        block = cpw()
+        sample = GeometrySample(width_factor=1.1)
+        perturbed = perturb_block(block, sample)
+        for orig_a, orig_b, new_a, new_b in zip(
+            block.traces, block.traces[1:], perturbed.traces, perturbed.traces[1:]
+        ):
+            orig_pitch = orig_b.y_center - orig_a.y_center
+            new_pitch = new_b.y_center - new_a.y_center
+            assert new_pitch == pytest.approx(orig_pitch)
+
+    def test_widths_scaled(self):
+        perturbed = perturb_block(cpw(), GeometrySample(width_factor=1.1))
+        assert perturbed.traces[1].width == pytest.approx(um(10) * 1.1)
+
+    def test_spacing_shrinks_as_width_grows(self):
+        block = cpw()
+        perturbed = perturb_block(block, GeometrySample(width_factor=1.1))
+        assert perturbed.spacing(0) < block.spacing(0)
+
+    def test_model_ild_scaled(self):
+        scaled = perturbed_capacitance_model(model(), GeometrySample(ild_factor=1.2))
+        assert scaled.height_below == pytest.approx(um(2) * 1.2)
+
+
+class TestMonteCarlo:
+    def test_population_sizes(self):
+        stats = monte_carlo_rc(cpw(), model(), ProcessVariation(), n_samples=50)
+        assert stats.resistances.shape == (50,)
+        assert stats.ground_capacitances.shape == (50,)
+        assert len(stats.samples) == 50
+
+    def test_deterministic_given_seed(self):
+        a = monte_carlo_rc(cpw(), model(), ProcessVariation(), 20, seed=3)
+        b = monte_carlo_rc(cpw(), model(), ProcessVariation(), 20, seed=3)
+        assert np.allclose(a.resistances, b.resistances)
+
+    def test_zero_variation_zero_spread(self):
+        stats = monte_carlo_rc(
+            cpw(), model(), ProcessVariation(0, 0, 0, 0), n_samples=10
+        )
+        assert stats.resistance_std == pytest.approx(0.0)
+        assert stats.capacitance_std == pytest.approx(0.0)
+
+    def test_resistance_spread_tracks_sigmas(self):
+        tight = monte_carlo_rc(
+            cpw(), model(),
+            ProcessVariation(0.01, 0.01, 0.01, 0.01), 100, seed=5,
+        )
+        loose = monte_carlo_rc(
+            cpw(), model(),
+            ProcessVariation(0.05, 0.05, 0.05, 0.05), 100, seed=5,
+        )
+        assert loose.resistance_std > 2 * tight.resistance_std
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(GeometryError):
+            monte_carlo_rc(cpw(), model(), ProcessVariation(), n_samples=0)
+
+
+class TestCorners:
+    def test_corners_bracket_nominal(self):
+        from repro.rc.capacitance import block_capacitance_matrix
+        from repro.rc.resistance import dc_resistance
+
+        block = cpw()
+        corners = worst_case_corners(block, model(), ProcessVariation())
+        signal = block.traces[1]
+        r_nom = dc_resistance(signal.length, signal.width, signal.thickness)
+        c_nom = block_capacitance_matrix(block, model())[1, 1]
+        assert corners.r_min < r_nom < corners.r_max
+        assert corners.c_min < c_nom < corners.c_max
+
+    def test_rc_spread_positive(self):
+        corners = worst_case_corners(cpw(), model(), ProcessVariation())
+        assert corners.rc_spread > 0
+
+    def test_larger_k_sigma_wider_corners(self):
+        narrow = worst_case_corners(cpw(), model(), ProcessVariation(), k_sigma=1)
+        wide = worst_case_corners(cpw(), model(), ProcessVariation(), k_sigma=3)
+        assert wide.r_max > narrow.r_max
+        assert wide.r_min < narrow.r_min

@@ -1,0 +1,113 @@
+"""Tensor-product N-D spline interpolation."""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExtrapolationWarning, TableError
+from repro.tables.grid import TensorSplineInterpolator
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(TableError):
+            TensorSplineInterpolator([[0, 1, 2]], np.zeros(4))
+
+    def test_non_monotone_axis(self):
+        with pytest.raises(TableError):
+            TensorSplineInterpolator([[0, 2, 1]], np.zeros(3))
+
+    def test_no_axes(self):
+        with pytest.raises(TableError):
+            TensorSplineInterpolator([], np.zeros(()))
+
+    def test_wrong_coordinate_count(self):
+        interp = TensorSplineInterpolator([[0, 1, 2]], np.zeros(3))
+        with pytest.raises(TableError):
+            interp(0.5, 0.5)
+
+
+class Test1D:
+    def test_matches_knots(self):
+        interp = TensorSplineInterpolator([[0.0, 1.0, 2.0]], [5.0, 7.0, 9.0])
+        assert interp(1.0) == pytest.approx(7.0)
+
+    def test_linear_fallback_for_two_points(self):
+        interp = TensorSplineInterpolator([[0.0, 2.0]], [0.0, 10.0])
+        assert interp(0.5) == pytest.approx(2.5)
+
+
+class Test2D:
+    def test_separable_product(self):
+        x = np.linspace(1, 3, 5)
+        y = np.linspace(0, 2, 4)
+        values = x[:, None] * (y[None, :] + 1.0)
+        interp = TensorSplineInterpolator([x, y], values)
+        assert interp(2.0, 1.0) == pytest.approx(4.0, rel=1e-9)
+
+    def test_tuple_argument_accepted(self):
+        x = np.linspace(0, 1, 3)
+        interp = TensorSplineInterpolator([x, x], np.zeros((3, 3)))
+        assert interp((0.5, 0.5)) == pytest.approx(0.0)
+
+
+class Test4D:
+    def test_mutual_inductance_style_table(self):
+        # a 4-D table like the paper's mutual table (w1, w2, s, l)
+        axes = [np.linspace(1, 2, 3)] * 4
+        grid = np.meshgrid(*axes, indexing="ij")
+        values = grid[0] * grid[1] + grid[2] * grid[3]
+        interp = TensorSplineInterpolator(axes, values)
+        q = (1.25, 1.75, 1.5, 1.1)
+        expected = q[0] * q[1] + q[2] * q[3]
+        assert interp(*q) == pytest.approx(expected, rel=1e-6)
+
+    def test_knot_exactness(self):
+        axes = [np.linspace(0, 1, 3)] * 4
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(3, 3, 3, 3))
+        interp = TensorSplineInterpolator(axes, values)
+        assert interp(0.0, 0.5, 1.0, 0.5) == pytest.approx(
+            values[0, 1, 2, 1], abs=1e-9
+        )
+
+
+class TestExtrapolation:
+    def test_warns_outside_grid(self):
+        interp = TensorSplineInterpolator([[0.0, 1.0, 2.0]], [0.0, 1.0, 4.0])
+        with pytest.warns(ExtrapolationWarning):
+            interp(3.0)
+
+    def test_silent_inside_grid(self):
+        interp = TensorSplineInterpolator([[0.0, 1.0, 2.0]], [0.0, 1.0, 4.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            interp(1.5)
+
+    def test_warning_can_be_disabled(self):
+        interp = TensorSplineInterpolator(
+            [[0.0, 1.0, 2.0]], [0.0, 1.0, 4.0], warn_on_extrapolation=False
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            interp(5.0)
+
+    def test_in_range(self):
+        interp = TensorSplineInterpolator(
+            [[0, 1], [0, 1]], np.zeros((2, 2))
+        )
+        assert interp.in_range((0.5, 0.5))
+        assert not interp.in_range((0.5, 1.5))
+
+
+@given(
+    st.floats(0.1, 0.9), st.floats(0.1, 0.9),
+)
+@settings(max_examples=30)
+def test_2d_linear_surface_property(qx, qy):
+    x = np.linspace(0, 1, 4)
+    values = 2.0 * x[:, None] - 1.5 * x[None, :] + 0.25
+    interp = TensorSplineInterpolator([x, x], values)
+    assert interp(qx, qy) == pytest.approx(2 * qx - 1.5 * qy + 0.25, abs=1e-9)

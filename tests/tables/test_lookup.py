@@ -1,0 +1,88 @@
+"""ExtractionTable lookup API and JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TableError
+from repro.tables.lookup import ExtractionTable
+
+
+def simple_table():
+    return ExtractionTable(
+        name="demo",
+        quantity="self_inductance",
+        axis_names=("width", "length"),
+        axes=[np.array([1.0, 2.0, 3.0]), np.array([10.0, 20.0, 40.0])],
+        values=np.arange(9, dtype=float).reshape(3, 3),
+        metadata={"frequency": 3.2e9},
+    )
+
+
+class TestLookup:
+    def test_positional(self):
+        table = simple_table()
+        assert table.lookup(2.0, 20.0) == pytest.approx(4.0)
+
+    def test_by_name(self):
+        table = simple_table()
+        assert table.lookup(width=2.0, length=20.0) == pytest.approx(4.0)
+
+    def test_name_order_irrelevant(self):
+        table = simple_table()
+        assert table.lookup(length=20.0, width=2.0) == pytest.approx(4.0)
+
+    def test_mixing_rejected(self):
+        with pytest.raises(TableError):
+            simple_table().lookup(2.0, length=20.0)
+
+    def test_missing_axis_rejected(self):
+        with pytest.raises(TableError):
+            simple_table().lookup(width=2.0)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(TableError):
+            simple_table().lookup(width=2.0, length=20.0, bogus=1.0)
+
+    def test_in_range(self):
+        table = simple_table()
+        assert table.in_range(2.0, 15.0)
+        assert not table.in_range(0.5, 15.0)
+
+    def test_axis_name_count_must_match(self):
+        with pytest.raises(TableError):
+            ExtractionTable(
+                name="bad", quantity="x", axis_names=("a",),
+                axes=[np.array([0.0, 1.0]), np.array([0.0, 1.0])],
+                values=np.zeros((2, 2)),
+            )
+
+
+class TestPersistence:
+    def test_round_trip_dict(self):
+        table = simple_table()
+        rebuilt = ExtractionTable.from_dict(table.to_dict())
+        assert rebuilt.name == table.name
+        assert rebuilt.axis_names == ["width", "length"]
+        assert rebuilt.lookup(1.7, 33.0) == pytest.approx(table.lookup(1.7, 33.0))
+        assert rebuilt.metadata["frequency"] == 3.2e9
+
+    def test_round_trip_file(self, tmp_path):
+        table = simple_table()
+        path = tmp_path / "table.json"
+        table.save(path)
+        rebuilt = ExtractionTable.load(path)
+        assert rebuilt.lookup(width=2.5, length=25.0) == pytest.approx(
+            table.lookup(width=2.5, length=25.0)
+        )
+
+    def test_missing_key_rejected(self):
+        data = simple_table().to_dict()
+        del data["values"]
+        with pytest.raises(TableError):
+            ExtractionTable.from_dict(data)
+
+    def test_json_is_plain_text(self, tmp_path):
+        path = tmp_path / "table.json"
+        simple_table().save(path)
+        text = path.read_text()
+        assert '"quantity": "self_inductance"' in text

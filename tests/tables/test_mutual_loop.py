@@ -1,0 +1,64 @@
+"""Mutual loop inductance tables for neighbour coupling."""
+
+import pytest
+
+from repro.clocktree.configs import MicrostripConfig
+from repro.constants import GHz, um
+from repro.errors import TableError
+from repro.tables.builder import MutualLoopTableBuilder
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MicrostripConfig(signal_width=um(5), thickness=um(1),
+                            plane_gap=um(3))
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    builder = MutualLoopTableBuilder(config.pair_problem, GHz(3.2))
+    return builder.build_mutual_loop_table(
+        separations=[um(3), um(8), um(20)],
+        lengths=[um(500), um(1500)],
+    )
+
+
+class TestMutualLoopTable:
+    def test_axes_and_quantity(self, table):
+        assert tuple(table.axis_names) == ("separation", "length")
+        assert table.quantity == "mutual_loop_inductance"
+
+    def test_coupling_decays_with_separation(self, table):
+        near = table.lookup(separation=um(3), length=um(1500))
+        far = table.lookup(separation=um(20), length=um(1500))
+        assert near > far > 0
+
+    def test_coupling_grows_with_length(self, table):
+        short = table.lookup(separation=um(8), length=um(500))
+        long = table.lookup(separation=um(8), length=um(1500))
+        assert long > 2.0 * short    # super-linear, like self L
+
+    def test_knot_matches_direct_solve(self, config, table):
+        problem = config.pair_problem(um(8), um(1500))
+        direct = problem.solve(GHz(3.2)).mutual_loop_inductances["VICTIM"]
+        assert table.lookup(separation=um(8), length=um(1500)) == pytest.approx(
+            direct, rel=1e-9
+        )
+
+    def test_bad_factory_detected(self):
+        from repro.clocktree.configs import CoplanarWaveguideConfig
+
+        cpw = CoplanarWaveguideConfig(
+            signal_width=um(10), ground_width=um(5), spacing=um(1),
+            thickness=um(2), height_below=um(2),
+        )
+        # the CPW loop problem has no open 'VICTIM' trace
+        builder = MutualLoopTableBuilder(
+            lambda s, l: cpw.loop_problem(um(10), l), GHz(3.2)
+        )
+        with pytest.raises(TableError):
+            builder.build_mutual_loop_table([um(2), um(4)], [um(500), um(900)])
+
+    def test_invalid_frequency(self, config):
+        with pytest.raises(TableError):
+            MutualLoopTableBuilder(config.pair_problem, 0.0)

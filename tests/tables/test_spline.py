@@ -1,0 +1,117 @@
+"""Natural cubic and bicubic splines (Numerical Recipes routines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TableError
+from repro.tables.spline import BicubicSpline, CubicSpline1D
+
+
+class TestCubicSpline:
+    def test_interpolates_knots_exactly(self):
+        x = np.array([0.0, 1.0, 2.5, 4.0])
+        y = np.array([1.0, -2.0, 0.5, 3.0])
+        spline = CubicSpline1D(x, y)
+        for xi, yi in zip(x, y):
+            assert spline(xi) == pytest.approx(yi, abs=1e-12)
+
+    def test_exact_for_lines(self):
+        x = np.linspace(0, 10, 7)
+        spline = CubicSpline1D(x, 3.0 * x - 2.0)
+        assert spline(4.321) == pytest.approx(3.0 * 4.321 - 2.0, rel=1e-12)
+
+    def test_near_exact_for_smooth_function(self):
+        x = np.linspace(0, np.pi, 15)
+        spline = CubicSpline1D(x, np.sin(x))
+        xq = np.linspace(0.1, np.pi - 0.1, 50)
+        assert np.max(np.abs(spline(xq) - np.sin(xq))) < 1e-3
+
+    def test_two_point_spline_is_linear(self):
+        spline = CubicSpline1D([0.0, 2.0], [1.0, 5.0])
+        assert spline(1.0) == pytest.approx(3.0)
+        assert spline(0.5) == pytest.approx(2.0)
+
+    def test_vector_evaluation(self):
+        x = np.linspace(0, 1, 5)
+        spline = CubicSpline1D(x, x ** 2)
+        queries = np.array([0.1, 0.5, 0.9])
+        result = spline(queries)
+        assert result.shape == (3,)
+
+    def test_scalar_returns_float(self):
+        spline = CubicSpline1D([0, 1, 2], [0, 1, 4])
+        assert isinstance(spline(0.5), float)
+
+    def test_extrapolation_continuous(self):
+        x = np.linspace(0, 1, 5)
+        spline = CubicSpline1D(x, x ** 2)
+        just_in = spline(1.0)
+        just_out = spline(1.0 + 1e-9)
+        assert just_out == pytest.approx(just_in, abs=1e-6)
+
+    def test_in_range(self):
+        spline = CubicSpline1D([0, 1, 2], [0, 1, 4])
+        assert spline.in_range(1.5)
+        assert not spline.in_range(2.5)
+        assert not spline.in_range(-0.1)
+
+    @pytest.mark.parametrize("x,y", [
+        ([0.0], [1.0]),
+        ([0.0, 1.0], [1.0, 2.0, 3.0]),
+        ([0.0, 0.0, 1.0], [1.0, 2.0, 3.0]),
+        ([1.0, 0.0, 2.0], [1.0, 2.0, 3.0]),
+    ])
+    def test_invalid_knots(self, x, y):
+        with pytest.raises(TableError):
+            CubicSpline1D(x, y)
+
+    @given(st.lists(st.floats(-10, 10), min_size=4, max_size=10))
+    @settings(max_examples=40)
+    def test_knot_exactness_property(self, values):
+        x = np.arange(len(values), dtype=float)
+        spline = CubicSpline1D(x, values)
+        for xi, yi in zip(x, values):
+            assert spline(xi) == pytest.approx(yi, abs=1e-9)
+
+    @given(st.floats(0.0, 3.0))
+    @settings(max_examples=40)
+    def test_monotone_data_bounded_overshoot(self, q):
+        # natural splines can overshoot, but stay within a modest factor
+        spline = CubicSpline1D([0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0])
+        assert -0.5 <= spline(q) <= 3.5
+
+
+class TestBicubicSpline:
+    def test_interpolates_grid_exactly(self):
+        x1 = np.array([0.0, 1.0, 2.0])
+        x2 = np.array([0.0, 0.5, 1.5, 3.0])
+        values = np.outer(x1 + 1.0, x2 ** 2 + 1.0)
+        spline = BicubicSpline(x1, x2, values)
+        for i, a in enumerate(x1):
+            for j, b in enumerate(x2):
+                assert spline(a, b) == pytest.approx(values[i, j], abs=1e-10)
+
+    def test_exact_for_bilinear(self):
+        x1 = np.linspace(0, 2, 4)
+        x2 = np.linspace(0, 3, 5)
+        values = 2.0 * x1[:, None] + 3.0 * x2[None, :] + 1.0
+        spline = BicubicSpline(x1, x2, values)
+        assert spline(0.7, 1.9) == pytest.approx(2 * 0.7 + 3 * 1.9 + 1, rel=1e-10)
+
+    def test_smooth_surface_accuracy(self):
+        x1 = np.linspace(0, 1, 9)
+        x2 = np.linspace(0, 1, 9)
+        values = np.sin(np.pi * x1)[:, None] * np.cos(np.pi * x2)[None, :]
+        spline = BicubicSpline(x1, x2, values)
+        exact = np.sin(np.pi * 0.37) * np.cos(np.pi * 0.61)
+        assert spline(0.37, 0.61) == pytest.approx(exact, abs=2e-3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TableError):
+            BicubicSpline([0, 1], [0, 1, 2], np.zeros((3, 2)))
+
+    def test_in_range(self):
+        spline = BicubicSpline([0, 1, 2], [0, 1, 2], np.zeros((3, 3)))
+        assert spline.in_range(1.0, 1.5)
+        assert not spline.in_range(3.0, 1.0)

@@ -1,0 +1,93 @@
+"""Switching-pattern delay analysis on extracted buses.
+
+Two regimes, opposite signs:
+
+* capacitive (no mutual L): in-phase neighbours remove the Miller
+  charge (faster), anti-phase double it (slower) -- the classic window;
+* inductive: in-phase currents share returns, so each line sees L + M
+  (slower) while anti-phase sees L - M (faster).
+
+On a tightly coupled bus the two mechanisms partially cancel -- an
+effect only a full RLC netlist (the paper's point) can predict.
+"""
+
+import pytest
+
+from repro.bus import BusRLCExtractor, switching_delay_analysis
+from repro.constants import GHz, um
+from repro.errors import CircuitError
+from repro.geometry.trace import TraceBlock
+from repro.rc.capacitance import CapacitanceModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    block = TraceBlock.from_widths_and_spacings(
+        widths=[um(2)] * 5, spacings=[um(1)] * 4, length=um(1500),
+        thickness=um(1),
+    )
+    extractor = BusRLCExtractor(
+        frequency=GHz(6.4),
+        capacitance_model=CapacitanceModel(height_below=um(2)),
+    )
+    return extractor, extractor.extract(block)
+
+
+@pytest.fixture(scope="module")
+def rc_result(setup):
+    extractor, bus = setup
+    return switching_delay_analysis(extractor, bus, victim="T3", sections=2,
+                                    include_inductance=False)
+
+
+@pytest.fixture(scope="module")
+def full_result(setup):
+    extractor, bus = setup
+    return switching_delay_analysis(extractor, bus, victim="T3", sections=2)
+
+
+class TestCapacitiveRegime:
+    def test_all_delays_positive(self, rc_result):
+        assert rc_result.quiet_delay > 0
+        assert rc_result.in_phase_delay > 0
+        assert rc_result.anti_phase_delay > 0
+
+    def test_in_phase_fastest(self, rc_result):
+        # classic Miller: neighbours switching along remove the coupling
+        # charge entirely
+        assert rc_result.in_phase_delay < rc_result.quiet_delay
+
+    def test_anti_phase_slowest(self, rc_result):
+        assert rc_result.anti_phase_delay > rc_result.quiet_delay
+
+    def test_window_material_at_tight_pitch(self, rc_result):
+        assert rc_result.delay_window > 0.03 * rc_result.quiet_delay
+
+    def test_window_algebra(self, rc_result):
+        assert rc_result.delay_window == pytest.approx(
+            rc_result.push_out + rc_result.pull_in
+        )
+
+
+class TestInductiveCompensation:
+    def test_mutual_inductance_shrinks_the_window(self, setup, rc_result,
+                                                  full_result):
+        """The inductive switching effect opposes the capacitive one, so
+        the full-RLC delay window is much smaller than the RC-only
+        prediction -- another way omitting L misleads bus timing."""
+        assert abs(full_result.delay_window) < 0.5 * rc_result.delay_window
+
+    def test_cap_only_with_self_l_keeps_classic_signs(self, setup):
+        extractor, bus = setup
+        result = switching_delay_analysis(
+            extractor, bus, victim="T3", sections=2, include_mutual=False,
+        )
+        assert result.in_phase_delay < result.quiet_delay
+        assert result.anti_phase_delay > result.quiet_delay
+
+
+class TestValidation:
+    def test_unknown_victim(self, setup):
+        extractor, bus = setup
+        with pytest.raises(CircuitError):
+            switching_delay_analysis(extractor, bus, victim="T1")  # a shield

@@ -1,0 +1,84 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("fig1", "fig5", "table1", "scaling", "skew",
+                        "variation", "accuracy"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_characterize_needs_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize"])
+
+
+class TestExecution:
+    def test_scaling_runs(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "2.2" in out or "2.3" in out
+        assert "Super-linear" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6a" in out
+        assert "fig6b" in out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--traces", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Foundation 1" in out
+        assert "Foundation 2" in out
+
+    def test_accuracy_runs(self, capsys):
+        assert main(["accuracy"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "characterization time" in out
+
+    def test_variation_runs(self, capsys):
+        assert main(["variation"]) == 0
+        out = capsys.readouterr().out
+        assert "L spread" in out or "L is" in out
+
+    def test_crosstalk_runs(self, capsys):
+        assert main(["crosstalk", "--traces", "5", "--length", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "aggressor T3" in out
+        assert "mV" in out
+
+    def test_spice_export(self, tmp_path, capsys):
+        path = tmp_path / "tree.sp"
+        assert main(["spice", "--output", str(path), "--levels", "1",
+                     "--root-length", "1000"]) == 0
+        text = path.read_text()
+        assert text.rstrip().endswith(".end")
+        assert "PULSE(" in text
+
+    def test_spice_rc_only(self, tmp_path):
+        path = tmp_path / "rc.sp"
+        assert main(["spice", "--output", str(path), "--levels", "1",
+                     "--root-length", "1000", "--rc-only"]) == 0
+        text = path.read_text()
+        assert "\nL_" not in text
+
+    def test_characterize_writes_tables(self, tmp_path, capsys):
+        code = main([
+            "characterize", "--output", str(tmp_path),
+            "--widths", "5", "10",
+            "--lengths", "500", "1000",
+        ])
+        assert code == 0
+        assert (tmp_path / "inductance.json").exists()
+        assert (tmp_path / "resistance.json").exists()
