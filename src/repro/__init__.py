@@ -61,6 +61,12 @@ from repro.peec import (
     bar_self_inductance,
     plane_under_block,
 )
+from repro.library import (
+    BuildRunner,
+    TableLibrary,
+    build_library,
+    standard_clocktree_jobs,
+)
 from repro.rc import CapacitanceModel, CrossSection2D, FieldSolver2D
 from repro.tables import ExtractionTable
 
@@ -80,6 +86,9 @@ __all__ = [
     # tables / core
     "ExtractionTable", "TableBasedExtractor", "significant_frequency",
     "foundation1_check", "foundation2_check", "loop_inductance_matrix",
+    # characterization library
+    "TableLibrary", "BuildRunner", "build_library",
+    "standard_clocktree_jobs",
     # bus
     "BusRLC", "BusRLCExtractor", "crosstalk_analysis",
     # cascade

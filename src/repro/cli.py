@@ -82,7 +82,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 def _cmd_skew(args: argparse.Namespace) -> int:
     from repro.experiments import run_htree_skew
 
-    result = run_htree_skew()
+    result = run_htree_skew(library=getattr(args, "library", None))
     print("H-tree clock skew, RC-only vs RLC netlist (Sec. V)")
     print(f"  sinks: {result.htree.num_sinks}, levels: {result.htree.num_levels}")
     print(f"  skew RC  = {to_ps(result.rc_skew):7.2f} ps")
@@ -204,6 +204,162 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _library_config(args: argparse.Namespace):
+    from repro.clocktree.configs import CoplanarWaveguideConfig
+
+    return CoplanarWaveguideConfig(
+        signal_width=um(args.signal_width),
+        ground_width=um(args.ground_width),
+        spacing=um(args.spacing),
+        thickness=um(args.thickness),
+        height_below=um(args.height_below),
+    )
+
+
+def _cmd_library_build(args: argparse.Namespace) -> int:
+    from repro.library import BuildRunner, standard_clocktree_jobs
+
+    config = _library_config(args)
+    jobs = standard_clocktree_jobs(
+        config,
+        frequency=GHz(args.frequency),
+        widths=[um(w) for w in args.widths],
+        lengths=[um(l) for l in args.lengths],
+        spacings=[um(s) for s in args.cap_spacings] if args.cap_spacings else None,
+        layer=args.layer,
+        name_prefix=args.name_prefix,
+    )
+
+    def progress(tick):
+        print(f"  [{tick.job.kind:>10}] {tick.done}/{tick.total} points "
+              f"({tick.elapsed:6.1f} s)", end="\r", flush=True)
+
+    runner = BuildRunner(
+        args.root,
+        workers=args.workers,
+        parallel=not args.serial,
+        progress=progress if not args.quiet else None,
+    )
+    stats = runner.build(jobs)
+    if not args.quiet:
+        print()
+    print(f"library {args.root}: {stats.summary()}")
+    for job_stats in stats.jobs:
+        state = "warm (skipped)" if job_stats.skipped else (
+            f"{job_stats.points_solved} solved"
+            + (f", {job_stats.points_resumed} resumed"
+               if job_stats.points_resumed else "")
+        )
+        print(f"  {job_stats.kind:>12}  {job_stats.job_id[:12]}  "
+              f"{state}  {job_stats.wall_time:.2f} s")
+    return 0
+
+
+def _cmd_library_list(args: argparse.Namespace) -> int:
+    from repro.library import TableLibrary
+
+    lib = TableLibrary(args.root, create=False)
+    entries = lib.entries()
+    if not entries:
+        print(f"library {args.root} is empty")
+        return 0
+    print(f"library {args.root}: {len(entries)} table(s)")
+    print(f"  {'key':>12} {'quantity':>26} {'layer':>6} {'freq [GHz]':>11} "
+          f"{'shape':>10}  name")
+    for e in entries:
+        freq = f"{to_GHz(e.frequency):.3f}" if e.frequency else "-"
+        shape = "x".join(str(n) for n in e.shape)
+        print(f"  {e.key[:12]:>12} {e.quantity:>26} {e.layer or '-':>6} "
+              f"{freq:>11} {shape:>10}  {e.name}")
+    return 0
+
+
+def _cmd_library_info(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.library import TableLibrary
+
+    lib = TableLibrary(args.root, create=False)
+    entry = lib.entry(args.key)
+    table = lib.get(entry.key)
+    print(f"key       {entry.key}")
+    print(f"name      {entry.name}")
+    print(f"quantity  {entry.quantity}")
+    print(f"layer     {entry.layer or '-'}")
+    print(f"family    {entry.family[:16] + '...' if entry.family else '-'}")
+    print(f"frequency {entry.frequency if entry.frequency else '-'}")
+    print(f"axes      {', '.join(f'{n}[{s}]' for n, s in zip(entry.axis_names, entry.shape))}")
+    print(f"file      {entry.file}")
+    print(f"sha256    {entry.sha256}")
+    for name, axis in zip(table.axis_names, table.axes):
+        print(f"  axis {name}: {axis.min():.4g} .. {axis.max():.4g} m "
+              f"({axis.size} points)")
+    print(f"  values: {table.values.min():.6g} .. {table.values.max():.6g}")
+    if args.json:
+        print(_json.dumps(entry.to_dict(), indent=1))
+    return 0
+
+
+def _cmd_library_verify(args: argparse.Namespace) -> int:
+    from repro.library import TableLibrary
+    from repro.library.store import iter_problems_summary
+
+    lib = TableLibrary(args.root, create=False)
+    problems = lib.verify()
+    print(f"library {args.root} ({len(lib)} tables): "
+          f"{iter_problems_summary(problems)}")
+    return 1 if problems else 0
+
+
+def _add_library_parser(sub) -> None:
+    p_lib = sub.add_parser(
+        "library",
+        help="characterization library: build / list / info / verify",
+    )
+    lib_sub = p_lib.add_subparsers(dest="library_command", required=True)
+
+    p_build = lib_sub.add_parser(
+        "build", help="run characterization jobs into a library")
+    p_build.add_argument("--root", required=True, help="library directory")
+    p_build.add_argument("--layer", default="", help="layer tag, e.g. M5")
+    p_build.add_argument("--name-prefix", default="loop")
+    p_build.add_argument("--signal-width", type=float, default=10.0,
+                         help="nominal signal width [um]")
+    p_build.add_argument("--ground-width", type=float, default=5.0)
+    p_build.add_argument("--spacing", type=float, default=1.0)
+    p_build.add_argument("--thickness", type=float, default=2.0)
+    p_build.add_argument("--height-below", type=float, default=2.0)
+    p_build.add_argument("--frequency", type=float, default=3.2, help="[GHz]")
+    p_build.add_argument("--widths", type=float, nargs="+",
+                         default=[4.0, 8.0, 12.0, 16.0], help="[um]")
+    p_build.add_argument("--lengths", type=float, nargs="+",
+                         default=[500.0, 1500.0, 3000.0, 6000.0], help="[um]")
+    p_build.add_argument("--cap-spacings", type=float, nargs="+", default=None,
+                         help="also build a C(width, spacing) table [um]")
+    p_build.add_argument("--workers", type=int, default=None,
+                         help="process count (default: CPU count)")
+    p_build.add_argument("--serial", action="store_true",
+                         help="disable the process pool")
+    p_build.add_argument("--quiet", action="store_true")
+    p_build.set_defaults(func=_cmd_library_build)
+
+    p_list = lib_sub.add_parser("list", help="list stored tables")
+    p_list.add_argument("--root", required=True)
+    p_list.set_defaults(func=_cmd_library_list)
+
+    p_info = lib_sub.add_parser("info", help="inspect one stored table")
+    p_info.add_argument("--root", required=True)
+    p_info.add_argument("key", help="cache key (unique prefix ok)")
+    p_info.add_argument("--json", action="store_true",
+                        help="also dump the manifest entry as JSON")
+    p_info.set_defaults(func=_cmd_library_info)
+
+    p_verify = lib_sub.add_parser(
+        "verify", help="integrity-check every blob against the manifest")
+    p_verify.add_argument("--root", required=True)
+    p_verify.set_defaults(func=_cmd_library_verify)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -227,9 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("scaling", help="super-linear length scaling").set_defaults(
         func=_cmd_scaling
     )
-    sub.add_parser("skew", help="H-tree skew RC vs RLC").set_defaults(
-        func=_cmd_skew
-    )
+    p_skew = sub.add_parser("skew", help="H-tree skew RC vs RLC")
+    p_skew.add_argument("--library", default=None,
+                        help="characterization library to pull tables from")
+    p_skew.set_defaults(func=_cmd_skew)
     sub.add_parser("variation", help="process variation study").set_defaults(
         func=_cmd_variation
     )
@@ -276,6 +433,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--lengths", type=float, nargs="+",
                         default=[500.0, 1500.0, 3000.0, 6000.0], help="[um]")
     p_char.set_defaults(func=_cmd_characterize)
+
+    _add_library_parser(sub)
     return parser
 
 

@@ -23,7 +23,7 @@ from typing import List, Optional
 from repro.constants import EPS_R_SIO2, RHO_CU
 from repro.errors import GeometryError
 from repro.geometry.trace import TraceBlock
-from repro.peec.ground_plane import plane_under_block
+from repro.peec.ground_plane import plane_over_block, plane_under_block
 from repro.peec.loop import LoopProblem
 from repro.rc.capacitance import CapacitanceModel
 from repro.rc.fieldsolver2d import ConductorRect, CrossSection2D
@@ -328,8 +328,6 @@ class StriplineConfig:
         grading: float = 1.5,
     ) -> LoopProblem:
         """Loop-L problem with both planes in the return group."""
-        from repro.peec.ground_plane import plane_over_block
-
         block = self.trace_block(length, signal_width=signal_width)
         plane_thickness = self.plane_thickness or self.thickness
         below = plane_under_block(

@@ -20,7 +20,8 @@ underestimation the paper warns about).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import PulseSource
@@ -77,6 +78,15 @@ class ClocktreeRLCExtractor:
         Per-unit-length total-capacitance table over (width, spacing)
         from :class:`~repro.tables.builder.CapacitanceTableBuilder`;
         when absent the closed-form models are used.
+    library:
+        A :class:`~repro.library.store.TableLibrary` (or its root path)
+        to pull missing tables from.  The extractor queries by this
+        config's structure-family fingerprint, quantity, frequency and
+        *layer*; any table not found stays on the direct-solve /
+        closed-form fallback.  A warm library turns every repeated
+        extraction into pure spline lookups -- zero field-solver calls.
+    layer:
+        Library layer tag to query (default: any layer).
     sections_per_segment:
         Ladder sections per segment in the netlist.
     """
@@ -88,6 +98,8 @@ class ClocktreeRLCExtractor:
         inductance_table: Optional[ExtractionTable] = None,
         resistance_table: Optional[ExtractionTable] = None,
         capacitance_table: Optional[ExtractionTable] = None,
+        library: Optional[Union[str, Path, "object"]] = None,
+        layer: Optional[str] = None,
         sections_per_segment: int = 4,
     ):
         if frequency <= 0.0:
@@ -101,6 +113,32 @@ class ClocktreeRLCExtractor:
         self.capacitance_table = capacitance_table
         self.sections_per_segment = sections_per_segment
         self._direct_cache: Dict[tuple, tuple] = {}
+        if library is not None:
+            self._attach_library(library, layer)
+
+    def _attach_library(self, library, layer: Optional[str]) -> None:
+        """Fill any missing tables from a characterization library."""
+        # Imported here: repro.library is a higher layer that itself
+        # builds on the table builders; keep the base import cheap.
+        from repro.library.jobs import config_fingerprint
+        from repro.library.store import open_library
+
+        lib = open_library(library, create=False)
+        family = config_fingerprint(self.config)
+        criteria = {"family": family}
+        if layer is not None:
+            criteria["layer"] = layer
+        if self.inductance_table is None:
+            self.inductance_table = lib.get_one(
+                quantity="loop_inductance", frequency=self.frequency,
+                **criteria)
+        if self.resistance_table is None:
+            self.resistance_table = lib.get_one(
+                quantity="loop_resistance", frequency=self.frequency,
+                **criteria)
+        if self.capacitance_table is None:
+            self.capacitance_table = lib.get_one(
+                quantity="capacitance_per_length", **criteria)
 
     # ------------------------------------------------------------------
     # per-segment extraction

@@ -107,8 +107,14 @@ def run_fig1(
     extractor: Optional[ClocktreeRLCExtractor] = None,
     t_stop: float = ps(1500),
     dt: float = ps(0.25),
+    library=None,
 ) -> Fig1Result:
-    """Extract and simulate the Fig. 1 net with and without inductance."""
+    """Extract and simulate the Fig. 1 net with and without inductance.
+
+    *library* optionally names a characterization library (path or
+    :class:`~repro.library.store.TableLibrary`); when its tables cover
+    this structure family the extraction is pure lookups.
+    """
     config = CoplanarWaveguideConfig(
         signal_width=signal_width,
         ground_width=ground_width,
@@ -118,7 +124,8 @@ def run_fig1(
     )
     if extractor is None:
         extractor = ClocktreeRLCExtractor(
-            config, frequency=significant_frequency(rise_time)
+            config, frequency=significant_frequency(rise_time),
+            library=library,
         )
     rlc = extractor.segment_rlc(length, signal_width=signal_width)
 

@@ -10,7 +10,8 @@ and per-sink delay discrepancies between the two netlists.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.clocktree.buffers import ClockBuffer
 from repro.clocktree.configs import CoplanarWaveguideConfig
@@ -85,14 +86,23 @@ def run_htree_skew(
     extractor: Optional[ClocktreeRLCExtractor] = None,
     t_stop: float = ps(3000),
     dt: float = ps(0.5),
+    library: Optional[Union[str, Path, object]] = None,
 ) -> HTreeSkewResult:
-    """Extract and simulate the skew comparison on an H-tree."""
+    """Extract and simulate the skew comparison on an H-tree.
+
+    When *library* names a characterization library
+    (:class:`~repro.library.store.TableLibrary` or its root path) the
+    default extractor pulls its loop-L/R and capacitance tables from it;
+    on a warm library the whole experiment runs without a single
+    field-solver call.
+    """
     if htree is None:
         htree = default_htree()
     if extractor is None:
         extractor = ClocktreeRLCExtractor(
             htree.config,
             frequency=significant_frequency(htree.buffer.rise_time),
+            library=library,
         )
     comparison = compare_rc_vs_rlc(extractor, htree, t_stop=t_stop, dt=dt)
     return HTreeSkewResult(comparison=comparison, htree=htree)

@@ -1,0 +1,88 @@
+"""Process-wide solver-invocation counters.
+
+The paper's headline claim is economic: characterize once, then answer
+every extraction query by table lookup, with *zero* field-solver calls
+on the hot path.  These counters make that claim testable -- the
+expensive entry points (:class:`~repro.peec.loop.LoopProblem` solves,
+:class:`~repro.peec.solver.PartialInductanceSolver` reductions, and 2-D
+:class:`~repro.rc.fieldsolver2d.FieldSolver2D` capacitance solves) tick
+a named counter, and tests/benchmarks assert e.g. that a warm-library
+H-tree extraction performs no solves at all.
+
+Counters are per-process: worker processes of a parallel build count
+their own solves, which keeps the parent's view focused on the calls
+*it* made (exactly what the zero-solve assertions need).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+_LOCK = threading.Lock()
+_COUNTS: Dict[str, int] = {}
+
+#: Canonical counter names used by the solvers.
+LOOP_SOLVE = "loop_solve"
+PARTIAL_SOLVE = "partial_inductance_solve"
+FIELD_SOLVE_2D = "field_solve_2d"
+
+
+def count_solver_call(kind: str, n: int = 1) -> None:
+    """Record *n* invocations of the solver class *kind*."""
+    with _LOCK:
+        _COUNTS[kind] = _COUNTS.get(kind, 0) + n
+
+
+def solver_call_count(kind: Optional[str] = None) -> int:
+    """Total recorded calls for *kind*, or across every kind when None."""
+    with _LOCK:
+        if kind is not None:
+            return _COUNTS.get(kind, 0)
+        return sum(_COUNTS.values())
+
+
+def solver_call_counts() -> Dict[str, int]:
+    """A snapshot of every counter."""
+    with _LOCK:
+        return dict(_COUNTS)
+
+
+def reset_solver_calls() -> None:
+    """Zero every counter (tests call this before a measured region)."""
+    with _LOCK:
+        _COUNTS.clear()
+
+
+class solver_call_meter:
+    """Context manager measuring solver calls inside a ``with`` block.
+
+    Does not reset the global counters; it differences snapshots, so
+    meters nest and co-exist with other measurements::
+
+        with solver_call_meter() as meter:
+            extractor.segment_rlc(length)
+        assert meter.total == 0
+    """
+
+    def __init__(self) -> None:
+        self._start: Dict[str, int] = {}
+        self.counts: Dict[str, int] = {}
+
+    def __enter__(self) -> "solver_call_meter":
+        self._start = solver_call_counts()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = solver_call_counts()
+        keys = set(end) | set(self._start)
+        self.counts = {
+            k: end.get(k, 0) - self._start.get(k, 0)
+            for k in keys
+            if end.get(k, 0) - self._start.get(k, 0)
+        }
+
+    @property
+    def total(self) -> int:
+        """Solver calls observed inside the block (so far recorded)."""
+        return sum(self.counts.values())

@@ -1,0 +1,59 @@
+"""Crash-safe filesystem primitives shared by tables and the library.
+
+A characterization build can be killed at any moment (Ctrl-C, OOM, a
+cluster preemption); a half-written JSON table or manifest must never be
+observable.  :func:`atomic_write_text` gives the standard POSIX recipe:
+write to a temporary file *in the same directory* (so the final rename
+stays on one filesystem), flush + fsync, then :func:`os.replace` into
+place -- readers see either the old file or the complete new one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Atomically replace *path* with *text*; returns the path.
+
+    The temporary file lives next to the target so ``os.replace`` is an
+    atomic rename even across mount points being different elsewhere.
+    On any failure the temporary file is removed and the original file
+    (if any) is left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, str(target))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """Best-effort fsync of a directory (persists a rename across crash)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

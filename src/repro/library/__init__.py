@@ -1,0 +1,75 @@
+"""Characterization library: durable table storage + parallel builds.
+
+The design-kit half of the paper's methodology ("the tables can be
+built into the design kit"): a content-addressed
+:class:`~repro.library.store.TableLibrary` persists characterized
+:class:`~repro.tables.lookup.ExtractionTable` blobs keyed by the sha256
+of what was solved, declarative
+:class:`~repro.library.jobs.CharacterizationJob` specs describe what to
+build, and :class:`~repro.library.runner.BuildRunner` fans the field
+solves out over a process pool with point-level resume checkpoints.
+
+Build once::
+
+    from repro.library import (TableLibrary, BuildRunner,
+                               standard_clocktree_jobs)
+
+    jobs = standard_clocktree_jobs(cpw, frequency=GHz(6.4),
+                                   widths=[...], lengths=[...])
+    BuildRunner("kit/").build(jobs)          # minutes of field solving
+
+then every extraction run is warm::
+
+    extractor = ClocktreeRLCExtractor(cpw, frequency=GHz(6.4),
+                                      library="kit/")   # zero solves
+"""
+
+from repro.library.jobs import (
+    CharacterizationJob,
+    LoopTableJob,
+    MutualLoopJob,
+    PartialMutualInductanceJob,
+    PartialSelfInductanceJob,
+    ThreeTraceCapacitanceJob,
+    TotalCapacitanceJob,
+    config_fingerprint,
+    standard_clocktree_jobs,
+)
+from repro.library.runner import (
+    BuildRunner,
+    BuildStats,
+    JobProgress,
+    JobStats,
+    build_library,
+)
+from repro.library.store import (
+    SCHEMA_VERSION,
+    LibraryEntry,
+    TableLibrary,
+    cache_key,
+    canonical_json,
+    open_library,
+)
+
+__all__ = [
+    "CharacterizationJob",
+    "LoopTableJob",
+    "MutualLoopJob",
+    "PartialMutualInductanceJob",
+    "PartialSelfInductanceJob",
+    "ThreeTraceCapacitanceJob",
+    "TotalCapacitanceJob",
+    "config_fingerprint",
+    "standard_clocktree_jobs",
+    "BuildRunner",
+    "BuildStats",
+    "JobProgress",
+    "JobStats",
+    "build_library",
+    "SCHEMA_VERSION",
+    "LibraryEntry",
+    "TableLibrary",
+    "cache_key",
+    "canonical_json",
+    "open_library",
+]

@@ -1,0 +1,310 @@
+"""Parallel, resumable characterization builds.
+
+:class:`BuildRunner` drives a list of
+:class:`~repro.library.jobs.CharacterizationJob` specs into a
+:class:`~repro.library.store.TableLibrary`:
+
+* **Skip what is built.** A job whose output tables are all present in
+  the library (by content key) costs one manifest lookup.
+* **Fan out.** Remaining grid points are solved concurrently on a
+  ``ProcessPoolExecutor`` (each point is an independent field solve, so
+  the problem is embarrassingly parallel); ``workers=1`` or
+  ``parallel=False`` degrades to a deterministic in-process loop.
+* **Checkpoint.** Every completed point is appended as one JSON line to
+  ``<library>/checkpoints/<job_id>.jsonl`` and flushed, so a build
+  killed mid-grid resumes from exactly the solved set -- only the
+  missing points are solved again, and a torn trailing line (the crash
+  case) is ignored.
+* **Report.** :class:`BuildStats` carries per-job and total counts and
+  wall times, and a ``progress`` callback streams live completion.
+
+The checkpoint granularity is the *point*, not the table, because one
+field solve can take seconds to minutes while a line append is
+microseconds -- the durability overhead is negligible against the work
+it protects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TableError
+from repro.library.jobs import CharacterizationJob
+from repro.library.store import TableLibrary, open_library
+
+ProgressFn = Callable[["JobProgress"], None]
+
+
+@dataclass(frozen=True)
+class JobProgress:
+    """One progress tick: *done* of *total* points for *job*."""
+
+    job: CharacterizationJob
+    done: int
+    total: int
+    resumed: int
+    elapsed: float
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+
+@dataclass
+class JobStats:
+    """Build accounting for one job."""
+
+    job_id: str
+    kind: str
+    points_total: int = 0
+    points_solved: int = 0
+    points_resumed: int = 0
+    skipped: bool = False
+    wall_time: float = 0.0
+    table_keys: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class BuildStats:
+    """Build accounting for a whole run."""
+
+    jobs: List[JobStats] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def jobs_total(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def jobs_skipped(self) -> int:
+        return sum(1 for j in self.jobs if j.skipped)
+
+    @property
+    def points_total(self) -> int:
+        return sum(j.points_total for j in self.jobs)
+
+    @property
+    def points_solved(self) -> int:
+        return sum(j.points_solved for j in self.jobs)
+
+    @property
+    def points_resumed(self) -> int:
+        return sum(j.points_resumed for j in self.jobs)
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.jobs_total} job(s): {self.jobs_skipped} warm-skipped, "
+            f"{self.points_solved} point(s) solved, "
+            f"{self.points_resumed} resumed from checkpoint, "
+            f"{self.wall_time:.2f} s"
+        )
+
+
+def _solve_point_task(
+    job: CharacterizationJob, index: int, point: Tuple[float, ...]
+) -> Tuple[int, Tuple[float, ...]]:
+    """Module-level worker entry point (picklable for the process pool)."""
+    return index, job.solve_point(point)
+
+
+def _load_checkpoint(path: Path, n_outputs: int) -> Dict[int, List[float]]:
+    """Read completed points from a JSONL checkpoint, tolerating torn tails.
+
+    A crash can leave the final line truncated; any undecodable or
+    malformed line is skipped (its point simply gets re-solved).
+    """
+    done: Dict[int, List[float]] = {}
+    if not path.exists():
+        return done
+    try:
+        text = path.read_text()
+    except OSError:
+        return done
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            index = int(record["i"])
+            values = [float(v) for v in record["v"]]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            continue
+        if len(values) == n_outputs and index >= 0:
+            done[index] = values
+    return done
+
+
+class BuildRunner:
+    """Execute characterization jobs against a library.
+
+    Parameters
+    ----------
+    library:
+        Target :class:`TableLibrary` (or its root path; created if
+        missing).
+    workers:
+        Process count for parallel builds; ``None`` uses the CPU count.
+    parallel:
+        ``False`` forces the in-process serial path (deterministic, no
+        fork -- what the tests use).
+    progress:
+        Optional callback receiving a :class:`JobProgress` after every
+        completed point.  Raising from the callback aborts the build;
+        everything already solved is safely checkpointed first.
+    """
+
+    def __init__(
+        self,
+        library: Union[TableLibrary, str, Path],
+        workers: Optional[int] = None,
+        parallel: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise TableError("workers must be >= 1")
+        self.library = open_library(library, create=True)
+        self.workers = workers
+        self.parallel = parallel and (workers is None or workers > 1)
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def build(self, jobs: Sequence[CharacterizationJob]) -> BuildStats:
+        """Run every job, reusing library content and checkpoints."""
+        stats = BuildStats()
+        t0 = time.perf_counter()
+        for job in jobs:
+            stats.jobs.append(self._build_job(job))
+        stats.wall_time = time.perf_counter() - t0
+        return stats
+
+    # ------------------------------------------------------------------
+    def _build_job(self, job: CharacterizationJob) -> JobStats:
+        keys = job.table_keys()
+        job_stats = JobStats(
+            job_id=job.job_id,
+            kind=job.kind,
+            points_total=job.num_points(),
+            table_keys=dict(keys),
+        )
+        t0 = time.perf_counter()
+        if all(key in self.library for key in keys.values()):
+            job_stats.skipped = True
+            job_stats.wall_time = time.perf_counter() - t0
+            return job_stats
+
+        points = job.points()
+        n_outputs = len(job.outputs())
+        checkpoint = self.library.checkpoint_path(job.job_id)
+        done = {
+            i: v for i, v in _load_checkpoint(checkpoint, n_outputs).items()
+            if i < len(points)
+        }
+        job_stats.points_resumed = len(done)
+        remaining = [i for i in range(len(points)) if i not in done]
+
+        if remaining:
+            checkpoint.parent.mkdir(parents=True, exist_ok=True)
+            with open(checkpoint, "a", encoding="utf-8") as log:
+                def record(index: int, values: Tuple[float, ...]) -> None:
+                    values = [float(v) for v in values]
+                    done[index] = values
+                    log.write(json.dumps({"i": index, "v": values}) + "\n")
+                    log.flush()
+                    os.fsync(log.fileno())
+                    job_stats.points_solved += 1
+                    if self.progress is not None:
+                        self.progress(JobProgress(
+                            job=job,
+                            done=len(done),
+                            total=len(points),
+                            resumed=job_stats.points_resumed,
+                            elapsed=time.perf_counter() - t0,
+                        ))
+
+                if self.parallel:
+                    self._run_parallel(job, points, remaining, record)
+                else:
+                    for index in remaining:
+                        record(index, job.solve_point(points[index]))
+
+        self._finalize_job(job, keys, [done[i] for i in range(len(points))],
+                           checkpoint)
+        job_stats.wall_time = time.perf_counter() - t0
+        return job_stats
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        job: CharacterizationJob,
+        points: Sequence[Tuple[float, ...]],
+        remaining: Sequence[int],
+        record: Callable[[int, Tuple[float, ...]], None],
+    ) -> None:
+        """Fan point solves out over a process pool, recording as they land."""
+        try:
+            executor = ProcessPoolExecutor(max_workers=self.workers)
+        except (OSError, ValueError):  # pragma: no cover - constrained envs
+            for index in remaining:
+                record(index, job.solve_point(points[index]))
+            return
+        with executor:
+            pending = {
+                executor.submit(_solve_point_task, job, index, points[index])
+                for index in remaining
+            }
+            try:
+                while pending:
+                    finished, pending = wait(pending,
+                                             return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        index, values = future.result()
+                        record(index, values)
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
+
+    # ------------------------------------------------------------------
+    def _finalize_job(
+        self,
+        job: CharacterizationJob,
+        keys: Dict[str, str],
+        values_by_point: List[List[float]],
+        checkpoint: Path,
+    ) -> None:
+        tables = job.assemble(values_by_point)
+        for table in tables:
+            self.library.put(
+                table,
+                key=keys[table.name],
+                layer=job.layer,
+                family=job.family,
+                frequency=job.frequency,
+                job_id=job.job_id,
+                metadata={"kind": job.kind},
+            )
+        try:
+            checkpoint.unlink()
+        except OSError:
+            pass
+
+
+def build_library(
+    library: Union[TableLibrary, str, Path],
+    jobs: Sequence[CharacterizationJob],
+    workers: Optional[int] = None,
+    parallel: bool = True,
+    progress: Optional[ProgressFn] = None,
+) -> BuildStats:
+    """Convenience wrapper: run *jobs* into *library* and return stats."""
+    runner = BuildRunner(library, workers=workers, parallel=parallel,
+                         progress=progress)
+    return runner.build(jobs)

@@ -1,0 +1,377 @@
+"""Content-addressed, versioned storage for characterized tables.
+
+The paper's speedup is an amortization argument: run the field solver
+*once* per technology ("the tables can be built into the design kit"),
+then answer every extraction by spline lookup.  :class:`TableLibrary`
+is the durable half of that argument -- a directory-rooted store of
+:class:`~repro.tables.lookup.ExtractionTable` JSON blobs, addressed by a
+deterministic **cache key**: the sha256 of a canonical description of
+everything that determines the numbers in the table (quantity, axis
+names and grids, builder configuration, frequency, schema version).
+
+Properties:
+
+* **Content addressing** -- identical characterization requests map to
+  the same key, so rebuilding an already-built table is a manifest hit,
+  not hours of field solving.  Different grids, frequencies or builder
+  settings never collide.
+* **Durability** -- every blob and the ``manifest.json`` index are
+  written atomically (:mod:`repro.ioutil`), so a killed build leaves
+  the library readable.
+* **Integrity** -- the manifest records the sha256 of each blob's bytes;
+  :meth:`TableLibrary.verify` re-hashes everything and reports missing,
+  truncated or tampered entries.
+* **Lazy loading** -- opening a library reads only the manifest; table
+  blobs are parsed on first :meth:`~TableLibrary.get` and memoized.
+* **Queries** -- :meth:`~TableLibrary.query` finds entries by layer,
+  quantity, frequency, structure family, or name, which is how the
+  clocktree extractor locates its tables at run time.
+
+Layout::
+
+    <root>/
+      manifest.json          index: key -> LibraryEntry
+      tables/<key>.json      ExtractionTable blobs (content-addressed)
+      checkpoints/<job>.jsonl  in-flight build state (runner.py)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import TableError
+from repro.ioutil import atomic_write_text
+from repro.tables.lookup import ExtractionTable
+
+#: Bump when the serialized table format or key derivation changes; the
+#: version participates in every cache key, so old libraries are simply
+#: missed (and rebuilt), never misread.
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# canonical hashing
+# ----------------------------------------------------------------------
+def _canonical(obj):
+    """Reduce *obj* to canonical JSON-compatible primitives."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if hasattr(obj, "tolist"):  # numpy array / scalar
+        return _canonical(obj.tolist())
+    if isinstance(obj, float):
+        # repr() round-trips doubles exactly and is stable across runs.
+        return float(repr(obj))
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    raise TableError(
+        f"cannot canonicalize {type(obj).__name__!r} for a cache key"
+    )
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON text for hashing (sorted keys, fixed separators)."""
+    return json.dumps(_canonical(obj), sort_keys=True,
+                      separators=(",", ":"), allow_nan=True)
+
+
+def cache_key(spec: dict) -> str:
+    """The sha256 content key of a characterization *spec* dict."""
+    digest = hashlib.sha256(canonical_json(spec).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _frequency_matches(a: Optional[float], b: Optional[float]) -> bool:
+    if a is None or b is None:
+        return a is b
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=0.0)
+
+
+# ----------------------------------------------------------------------
+# manifest entries
+# ----------------------------------------------------------------------
+@dataclass
+class LibraryEntry:
+    """One manifest row describing a stored table blob."""
+
+    key: str
+    name: str
+    quantity: str
+    axis_names: List[str]
+    shape: List[int]
+    file: str
+    sha256: str
+    layer: str = ""
+    family: str = ""
+    frequency: Optional[float] = None
+    created_at: float = 0.0
+    job_id: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LibraryEntry":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class TableLibrary:
+    """A characterization library rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Library directory; created (with an empty manifest) unless
+        *create* is False, in which case a missing library raises.
+    """
+
+    MANIFEST_NAME = "manifest.json"
+    TABLES_DIR = "tables"
+    CHECKPOINTS_DIR = "checkpoints"
+
+    def __init__(self, root: Union[str, Path], create: bool = True):
+        self.root = Path(root)
+        self.manifest_path = self.root / self.MANIFEST_NAME
+        self.tables_dir = self.root / self.TABLES_DIR
+        self.checkpoints_dir = self.root / self.CHECKPOINTS_DIR
+        self._entries: Dict[str, LibraryEntry] = {}
+        self._cache: Dict[str, ExtractionTable] = {}
+        if self.manifest_path.exists():
+            self._load_manifest()
+        elif create:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.tables_dir.mkdir(parents=True, exist_ok=True)
+            self._write_manifest()
+        else:
+            raise TableError(f"no table library at {self.root}")
+
+    # ------------------------------------------------------------------
+    # manifest io
+    # ------------------------------------------------------------------
+    def _load_manifest(self) -> None:
+        try:
+            data = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TableError(f"unreadable manifest {self.manifest_path}: {exc}")
+        if data.get("schema_version") != SCHEMA_VERSION:
+            raise TableError(
+                f"library schema {data.get('schema_version')!r} != "
+                f"supported {SCHEMA_VERSION}"
+            )
+        self._entries = {
+            key: LibraryEntry.from_dict(raw)
+            for key, raw in data.get("entries", {}).items()
+        }
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "entries": {k: e.to_dict() for k, e in sorted(self._entries.items())},
+        }
+        atomic_write_text(self.manifest_path, json.dumps(payload, indent=1))
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    def _blob_path(self, key: str) -> Path:
+        return self.tables_dir / f"{key}.json"
+
+    def put(
+        self,
+        table: ExtractionTable,
+        key: str,
+        layer: str = "",
+        family: str = "",
+        frequency: Optional[float] = None,
+        job_id: str = "",
+        metadata: Optional[dict] = None,
+    ) -> LibraryEntry:
+        """Store *table* under the content *key* and index it.
+
+        Re-putting an existing key overwrites the blob and entry (the
+        key pins the content, so this is idempotent for honest callers).
+        """
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise TableError(f"invalid cache key {key!r} (want sha256 hex)")
+        text = json.dumps(table.to_dict(), indent=1)
+        self.tables_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self._blob_path(key), text)
+        entry = LibraryEntry(
+            key=key,
+            name=table.name,
+            quantity=table.quantity,
+            axis_names=list(table.axis_names),
+            shape=list(table.values.shape),
+            file=f"{self.TABLES_DIR}/{key}.json",
+            sha256=_sha256_text(text),
+            layer=layer,
+            family=family,
+            frequency=frequency,
+            created_at=time.time(),
+            job_id=job_id,
+            metadata=dict(metadata or {}),
+        )
+        self._entries[key] = entry
+        self._cache[key] = table
+        self._write_manifest()
+        return entry
+
+    def get(self, key: str) -> ExtractionTable:
+        """Load (lazily, memoized) the table stored under *key*."""
+        if key in self._cache:
+            return self._cache[key]
+        entry = self._entries.get(key)
+        if entry is None:
+            raise TableError(f"no table {key!r} in library {self.root}")
+        path = self.root / entry.file
+        try:
+            table = ExtractionTable.load(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TableError(f"cannot load table blob {path}: {exc}")
+        self._cache[key] = table
+        return table
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[LibraryEntry]:
+        """Every manifest entry, sorted by (layer, quantity, name, key)."""
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (e.layer, e.quantity, e.name, e.key),
+        )
+
+    def entry(self, key: str) -> LibraryEntry:
+        """The manifest entry for *key* (supports unique key prefixes)."""
+        if key in self._entries:
+            return self._entries[key]
+        matches = [e for k, e in self._entries.items() if k.startswith(key)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise TableError(f"no entry matching {key!r} in {self.root}")
+        raise TableError(f"ambiguous key prefix {key!r} ({len(matches)} matches)")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        quantity: Optional[str] = None,
+        layer: Optional[str] = None,
+        frequency: Optional[float] = "any",  # type: ignore[assignment]
+        family: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> List[LibraryEntry]:
+        """Entries matching every given criterion.
+
+        *frequency* defaults to the sentinel ``"any"``; pass ``None`` to
+        match only frequency-independent tables, or a float to match
+        within relative tolerance 1e-9.
+        """
+        out = []
+        for entry in self.entries():
+            if quantity is not None and entry.quantity != quantity:
+                continue
+            if layer is not None and entry.layer != layer:
+                continue
+            if family is not None and entry.family != family:
+                continue
+            if name is not None and entry.name != name:
+                continue
+            if frequency != "any" and not _frequency_matches(
+                entry.frequency, frequency  # type: ignore[arg-type]
+            ):
+                continue
+            out.append(entry)
+        return out
+
+    def get_one(self, **criteria) -> Optional[ExtractionTable]:
+        """The newest table matching *criteria*, or None.
+
+        When several entries match (e.g. a re-characterized grid at the
+        same frequency), the most recently stored wins -- the natural
+        "latest characterization" semantics of a design kit.
+        """
+        matches = self.query(**criteria)
+        if not matches:
+            return None
+        newest = max(matches, key=lambda e: (e.created_at, e.key))
+        return self.get(newest.key)
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def verify(self) -> List[str]:
+        """Re-hash every blob against the manifest; return problem strings.
+
+        An empty list means the library is fully intact.  Checks: blob
+        exists, bytes hash to the recorded sha256, JSON parses into a
+        table whose name/quantity/shape match the manifest row.
+        """
+        problems: List[str] = []
+        for key, entry in sorted(self._entries.items()):
+            path = self.root / entry.file
+            if not path.exists():
+                problems.append(f"{key[:12]}: missing blob {entry.file}")
+                continue
+            text = path.read_text()
+            if _sha256_text(text) != entry.sha256:
+                problems.append(f"{key[:12]}: sha256 mismatch (corrupt blob)")
+                continue
+            try:
+                table = ExtractionTable.from_dict(json.loads(text))
+            except (json.JSONDecodeError, TableError) as exc:
+                problems.append(f"{key[:12]}: unparseable blob: {exc}")
+                continue
+            if table.name != entry.name or table.quantity != entry.quantity:
+                problems.append(f"{key[:12]}: manifest/blob identity mismatch")
+            elif list(table.values.shape) != list(entry.shape):
+                problems.append(f"{key[:12]}: shape mismatch")
+        # orphan blobs are not corruption, but worth reporting
+        if self.tables_dir.exists():
+            known = {self._blob_path(k).name for k in self._entries}
+            for blob in sorted(self.tables_dir.glob("*.json")):
+                if blob.name not in known:
+                    problems.append(f"orphan blob not in manifest: {blob.name}")
+        return problems
+
+    # ------------------------------------------------------------------
+    # checkpoints (used by the build runner)
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, job_id: str) -> Path:
+        """Where the build runner checkpoints partial grids for a job."""
+        return self.checkpoints_dir / f"{job_id}.jsonl"
+
+
+def open_library(
+    library: Union["TableLibrary", str, Path], create: bool = False
+) -> "TableLibrary":
+    """Coerce a path-or-library argument into a :class:`TableLibrary`."""
+    if isinstance(library, TableLibrary):
+        return library
+    return TableLibrary(library, create=create)
+
+
+def iter_problems_summary(problems: Iterable[str]) -> str:
+    """Human-readable one-line verify summary."""
+    problems = list(problems)
+    if not problems:
+        return "library OK"
+    return f"{len(problems)} problem(s): " + "; ".join(problems)

@@ -21,6 +21,7 @@ import numpy as np
 from repro.constants import RHO_CU
 from repro.errors import GeometryError, SolverError
 from repro.geometry.trace import Trace, TraceBlock
+from repro.instrumentation import LOOP_SOLVE, count_solver_call
 from repro.peec.ground_plane import GroundPlane
 from repro.peec.network import FilamentNetwork
 
@@ -199,6 +200,7 @@ class LoopProblem:
         """Extract loop R/L and victim EMF couplings at *frequency* [Hz]."""
         if frequency <= 0.0:
             raise SolverError("frequency must be positive")
+        count_solver_call(LOOP_SOLVE)
         solution = self._network.solve(frequency, {NODE_IN: 1.0 + 0.0j})
         z_loop = solution.node_voltages[NODE_IN]
         omega = 2.0 * np.pi * frequency

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.constants import RHO_CU
 from repro.errors import GeometryError, SolverError
+from repro.instrumentation import PARTIAL_SOLVE, count_solver_call
 from repro.geometry.primitives import RectBar
 from repro.peec.hoer_love import _bar_to_x_frame, mutual_inductance_batch
 from repro.peec.mesh import FilamentMesh, mesh_bar
@@ -192,6 +193,7 @@ class PartialInductanceSolver:
         """
         if frequency <= 0.0:
             raise SolverError("frequency must be positive for an R/L split")
+        count_solver_call(PARTIAL_SOLVE)
         z = self.conductor_impedance_matrix(frequency)
         omega = 2.0 * np.pi * frequency
         return z.real, z.imag / omega

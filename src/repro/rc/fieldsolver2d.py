@@ -23,6 +23,7 @@ from scipy.sparse.linalg import spsolve
 
 from repro.constants import EPS_0, EPS_R_SIO2
 from repro.errors import GeometryError, SolverError
+from repro.instrumentation import FIELD_SOLVE_2D, count_solver_call
 from repro.geometry.trace import TraceBlock
 
 
@@ -271,6 +272,7 @@ class FieldSolver2D:
         """
         n = len(self.cs.conductors)
         matrix = np.zeros((n, n))
+        count_solver_call(FIELD_SOLVE_2D)
         for i in range(n):
             potential = self.solve_potential(i)
             for j in range(n):

@@ -23,6 +23,7 @@ import numpy as np
 from repro.constants import RHO_CU
 from repro.errors import TableError
 from repro.geometry.primitives import Point3D, RectBar
+from repro.geometry.trace import TraceBlock
 from repro.peec.analytic import skin_depth
 from repro.peec.hoer_love import bar_self_inductance, mutual_inductance_batch
 from repro.peec.loop import LoopProblem
@@ -331,8 +332,9 @@ class ThreeTraceCapacitanceBuilder:
         self.nz = nz
 
     def _solve_point(self, width: float, spacing: float):
-        from repro.geometry.trace import TraceBlock
-
+        # NOTE: the TraceBlock import lives at module top (not here) so
+        # builder instances stay cleanly picklable for the process-pool
+        # build runner in repro.library.runner.
         block = TraceBlock.from_widths_and_spacings(
             widths=[width] * 3, spacings=[spacing] * 2, length=1.0,
             thickness=self.thickness, ground_flags=[False] * 3,

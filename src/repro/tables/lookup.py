@@ -17,6 +17,7 @@ from typing import Dict, List, Sequence, Union
 import numpy as np
 
 from repro.errors import TableError
+from repro.ioutil import atomic_write_text
 from repro.tables.grid import TensorSplineInterpolator
 
 
@@ -110,8 +111,14 @@ class ExtractionTable:
             raise TableError(f"table dict missing key {exc}") from None
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the table to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+        """Write the table to a JSON file.
+
+        The write is crash-safe: the JSON is staged to a temporary file
+        in the destination directory and atomically renamed into place,
+        so a killed characterization run never leaves a truncated table
+        behind.
+        """
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=1))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ExtractionTable":

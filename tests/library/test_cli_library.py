@@ -1,0 +1,83 @@
+"""The `repro library` command-line surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_build_requires_root(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["library", "build"])
+
+    def test_library_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["library"])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for argv in (
+            ["library", "build", "--root", "kit"],
+            ["library", "list", "--root", "kit"],
+            ["library", "info", "--root", "kit", "abc123"],
+            ["library", "verify", "--root", "kit"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_skew_accepts_library(self):
+        args = build_parser().parse_args(["skew", "--library", "kit"])
+        assert args.library == "kit"
+
+
+class TestExecution:
+    @pytest.fixture()
+    def built_root(self, tmp_path, capsys):
+        root = tmp_path / "kit"
+        code = main([
+            "library", "build", "--root", str(root),
+            "--widths", "6", "10", "--lengths", "500", "2000",
+            "--frequency", "3.2", "--layer", "M5", "--serial", "--quiet",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        return root
+
+    def test_build_then_list(self, built_root, capsys):
+        assert main(["library", "list", "--root", str(built_root)]) == 0
+        out = capsys.readouterr().out
+        assert "loop_inductance" in out
+        assert "loop_resistance" in out
+        assert "M5" in out
+
+    def test_rebuild_is_warm(self, built_root, capsys):
+        code = main([
+            "library", "build", "--root", str(built_root),
+            "--widths", "6", "10", "--lengths", "500", "2000",
+            "--frequency", "3.2", "--layer", "M5", "--serial", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 warm-skipped" in out
+        assert "0 point(s) solved" in out
+
+    def test_info_by_prefix(self, built_root, capsys):
+        from repro.library import TableLibrary
+
+        lib = TableLibrary(built_root, create=False)
+        key = lib.query(quantity="loop_inductance")[0].key
+        assert main(["library", "info", "--root", str(built_root),
+                     key[:10]]) == 0
+        out = capsys.readouterr().out
+        assert "loop_inductance" in out
+        assert key in out
+
+    def test_verify_clean(self, built_root, capsys):
+        assert main(["library", "verify", "--root", str(built_root)]) == 0
+        assert "library OK" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, built_root, capsys):
+        blob = next((built_root / "tables").glob("*.json"))
+        blob.write_text(blob.read_text()[:-30])
+        assert main(["library", "verify", "--root", str(built_root)]) == 1
+        assert "mismatch" in capsys.readouterr().out

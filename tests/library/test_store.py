@@ -1,0 +1,190 @@
+"""TableLibrary: content-addressed storage, queries, integrity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TableError
+from repro.library.store import (
+    SCHEMA_VERSION,
+    TableLibrary,
+    cache_key,
+    canonical_json,
+    open_library,
+)
+from repro.tables.lookup import ExtractionTable
+
+
+def make_table(name="loop_inductance", quantity="loop_inductance", scale=1.0):
+    return ExtractionTable(
+        name=name,
+        quantity=quantity,
+        axis_names=("width", "length"),
+        axes=[np.array([1e-6, 2e-6]), np.array([1e-3, 2e-3, 4e-3])],
+        values=scale * np.arange(6, dtype=float).reshape(2, 3),
+        metadata={"frequency": 3.2e9},
+    )
+
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        spec = {"kind": "loop", "axes": [[1.0, 2.0]], "frequency": 3.2e9}
+        assert cache_key(spec) == cache_key(dict(reversed(list(spec.items()))))
+
+    def test_sensitive_to_values(self):
+        base = {"kind": "loop", "axes": [[1.0, 2.0]], "frequency": 3.2e9}
+        changed = dict(base, frequency=6.4e9)
+        assert cache_key(base) != cache_key(changed)
+
+    def test_numpy_and_tuple_canonicalization(self):
+        a = {"axes": [np.array([1.0, 2.0])]}
+        b = {"axes": [(1.0, 2.0)]}
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_none_and_float_distinct(self):
+        assert cache_key({"f": None}) != cache_key({"f": 0.0})
+
+    def test_unhashable_object_rejected(self):
+        with pytest.raises(TableError):
+            cache_key({"bad": object()})
+
+
+class TestPutGet:
+    def test_put_then_get(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        lib.put(make_table(), key=KEY_A, frequency=3.2e9)
+        table = lib.get(KEY_A)
+        assert table.name == "loop_inductance"
+        assert KEY_A in lib
+        assert len(lib) == 1
+
+    def test_reopen_lazy_load(self, tmp_path):
+        root = tmp_path / "kit"
+        TableLibrary(root).put(make_table(), key=KEY_A, frequency=3.2e9)
+        lib = TableLibrary(root, create=False)
+        # manifest-only until get(): blob parsed lazily
+        assert KEY_A in lib
+        assert lib._cache == {}
+        lib.get(KEY_A)
+        assert KEY_A in lib._cache
+
+    def test_missing_key_raises(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        with pytest.raises(TableError):
+            lib.get(KEY_A)
+
+    def test_invalid_key_rejected(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        with pytest.raises(TableError):
+            lib.put(make_table(), key="not-a-sha")
+
+    def test_open_missing_without_create_raises(self, tmp_path):
+        with pytest.raises(TableError):
+            TableLibrary(tmp_path / "nope", create=False)
+
+    def test_open_library_coerces(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        assert open_library(lib) is lib
+        assert open_library(tmp_path / "kit").root == lib.root
+
+    def test_entry_prefix_lookup(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        lib.put(make_table(), key=KEY_A)
+        assert lib.entry("aaaa").key == KEY_A
+        with pytest.raises(TableError):
+            lib.entry("ffff")
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        root = tmp_path / "kit"
+        TableLibrary(root)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(TableError):
+            TableLibrary(root, create=False)
+
+
+class TestQuery:
+    def _populated(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        lib.put(make_table("m5_l", "loop_inductance"), key=KEY_A,
+                layer="M5", family="fam1", frequency=3.2e9)
+        lib.put(make_table("m6_l", "loop_inductance"), key=KEY_B,
+                layer="M6", family="fam2", frequency=6.4e9)
+        lib.put(make_table("m5_c", "capacitance_per_length"), key=KEY_C,
+                layer="M5", family="fam1", frequency=None)
+        return lib
+
+    def test_by_quantity(self, tmp_path):
+        lib = self._populated(tmp_path)
+        assert len(lib.query(quantity="loop_inductance")) == 2
+
+    def test_by_layer_and_quantity(self, tmp_path):
+        lib = self._populated(tmp_path)
+        hits = lib.query(quantity="loop_inductance", layer="M5")
+        assert [e.key for e in hits] == [KEY_A]
+
+    def test_by_frequency(self, tmp_path):
+        lib = self._populated(tmp_path)
+        assert [e.key for e in lib.query(frequency=6.4e9)] == [KEY_B]
+        # tolerance: a float that is relatively within 1e-9
+        assert lib.query(frequency=6.4e9 * (1 + 1e-12))[0].key == KEY_B
+
+    def test_frequency_none_matches_only_frequencyless(self, tmp_path):
+        lib = self._populated(tmp_path)
+        assert [e.key for e in lib.query(frequency=None)] == [KEY_C]
+
+    def test_by_family(self, tmp_path):
+        lib = self._populated(tmp_path)
+        assert {e.key for e in lib.query(family="fam1")} == {KEY_A, KEY_C}
+
+    def test_get_one_none_when_missing(self, tmp_path):
+        lib = self._populated(tmp_path)
+        assert lib.get_one(quantity="mutual_inductance") is None
+
+    def test_get_one_newest_wins(self, tmp_path):
+        lib = self._populated(tmp_path)
+        lib.put(make_table("newer", "loop_inductance", scale=2.0), key=KEY_B,
+                layer="M6", family="fam2", frequency=3.2e9)
+        lib._entries[KEY_B].created_at = lib._entries[KEY_A].created_at + 60.0
+        got = lib.get_one(quantity="loop_inductance", frequency=3.2e9)
+        assert got.name == "newer"
+
+
+class TestVerify:
+    def test_clean_library_ok(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        lib.put(make_table(), key=KEY_A)
+        assert lib.verify() == []
+
+    def test_corrupt_blob_detected(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        lib.put(make_table(), key=KEY_A)
+        blob = lib.root / lib._entries[KEY_A].file
+        blob.write_text(blob.read_text()[:-20])  # truncate
+        problems = lib.verify()
+        assert len(problems) == 1
+        assert "mismatch" in problems[0]
+
+    def test_missing_blob_detected(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        lib.put(make_table(), key=KEY_A)
+        (lib.root / lib._entries[KEY_A].file).unlink()
+        assert any("missing" in p for p in lib.verify())
+
+    def test_orphan_blob_reported(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        (lib.tables_dir / ("d" * 64 + ".json")).write_text("{}")
+        assert any("orphan" in p for p in lib.verify())
+
+    def test_no_stray_temp_files(self, tmp_path):
+        lib = TableLibrary(tmp_path / "kit")
+        lib.put(make_table(), key=KEY_A)
+        strays = [p for p in lib.root.rglob("*.tmp")]
+        assert strays == []

@@ -1,0 +1,109 @@
+"""Exact table round-tripping and crash-safe persistence."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ioutil import atomic_write_text
+from repro.tables.lookup import ExtractionTable
+
+
+def make_table(frequency=3.2e9):
+    return ExtractionTable(
+        name="m5_loop",
+        quantity="loop_inductance",
+        axis_names=("width", "length"),
+        axes=[np.array([1e-6, 2e-6, 4e-6]),
+              np.array([5e-4, 1e-3, 2e-3, 6e-3])],
+        values=np.linspace(1e-10, 2e-9, 12).reshape(3, 4),
+        metadata={
+            "frequency": frequency,
+            "model": "loop",
+            "nested": {"nx": 160, "nz": 120},
+        },
+    )
+
+
+class TestDictRoundTrip:
+    def test_axes_values_metadata_exact(self):
+        table = make_table()
+        clone = ExtractionTable.from_dict(table.to_dict())
+        assert clone.name == table.name
+        assert clone.quantity == table.quantity
+        assert tuple(clone.axis_names) == tuple(table.axis_names)
+        for a, b in zip(clone.axes, table.axes):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(clone.values, table.values)
+        assert clone.metadata == table.metadata
+
+    def test_frequency_none_preserved(self):
+        table = make_table(frequency=None)
+        clone = ExtractionTable.from_dict(table.to_dict())
+        assert clone.metadata["frequency"] is None
+
+    def test_lookup_identical_after_roundtrip(self):
+        table = make_table()
+        clone = ExtractionTable.from_dict(table.to_dict())
+        assert clone.lookup(width=2.5e-6, length=1.5e-3) == pytest.approx(
+            table.lookup(width=2.5e-6, length=1.5e-3)
+        )
+
+
+class TestFileRoundTrip:
+    def test_save_load_exact(self, tmp_path):
+        table = make_table()
+        path = tmp_path / "table.json"
+        table.save(path)
+        clone = ExtractionTable.load(path)
+        np.testing.assert_array_equal(clone.values, table.values)
+        for a, b in zip(clone.axes, table.axes):
+            np.testing.assert_array_equal(a, b)
+        assert clone.metadata == table.metadata
+
+    def test_save_frequency_none_json_null(self, tmp_path):
+        path = tmp_path / "t.json"
+        make_table(frequency=None).save(path)
+        raw = json.loads(path.read_text())
+        assert raw["metadata"]["frequency"] is None
+        assert ExtractionTable.load(path).metadata["frequency"] is None
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        make_table().save(tmp_path / "t.json")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["t.json"]
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "t.json"
+        make_table().save(path)
+        before = path.read_text()
+        table2 = make_table()
+        table2.values = table2.values * 2.0
+        table2.__post_init__()
+        table2.save(path)
+        after = path.read_text()
+        assert after != before
+        # whole-file replacement, never an in-place partial write
+        assert json.loads(after)["values"][0][0] == pytest.approx(2e-10)
+
+
+class TestAtomicWrite:
+    def test_failure_preserves_original(self, tmp_path, monkeypatch):
+        path = tmp_path / "data.txt"
+        atomic_write_text(path, "original")
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "replacement")
+        monkeypatch.undo()
+        assert path.read_text() == "original"
+        # and the staged temp file was cleaned up
+        assert [p.name for p in tmp_path.iterdir()] == ["data.txt"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"

@@ -114,7 +114,10 @@ class TestNetworkReciprocity:
         )
         za_b = net.solve(f, {"pa": 1.0}).node_voltages["pb"]
         zb_a = net.solve(f, {"pb": 1.0}).node_voltages["pa"]
-        assert za_b == pytest.approx(zb_a, rel=1e-9)
+        # reciprocity is exact in the model; the tolerance only absorbs
+        # the conditioning of the dense complex solve, which hypothesis
+        # occasionally pushes past 1e-9 (a real asymmetry would be O(1))
+        assert za_b == pytest.approx(zb_a, rel=1e-6)
 
     @given(f=st.floats(1e7, 2e10))
     @FAST
