@@ -27,6 +27,23 @@ LOOP_SOLVE = "loop_solve"
 PARTIAL_SOLVE = "partial_inductance_solve"
 FIELD_SOLVE_2D = "field_solve_2d"
 
+#: Kernel-layer counters (see :mod:`repro.peec.kernel`): Hoer-Love pair
+#: evaluations actually performed, and memo-cache hits/misses observed by
+#: the deduplicating assembly.  ``lp_pair_eval`` vs the raw pair count of
+#: a problem is the measured assembly dedup factor; a nonzero
+#: ``lp_memo_hit`` during a table build proves cross-grid-point reuse.
+LP_PAIR_EVAL = "lp_pair_eval"
+LP_MEMO_HIT = "lp_memo_hit"
+LP_MEMO_MISS = "lp_memo_miss"
+
+
+def memo_hit_rate() -> float:
+    """Fraction of memo-cache lookups that hit (0.0 when none recorded)."""
+    hits = solver_call_count(LP_MEMO_HIT)
+    misses = solver_call_count(LP_MEMO_MISS)
+    total = hits + misses
+    return hits / total if total else 0.0
+
 
 def count_solver_call(kind: str, n: int = 1) -> None:
     """Record *n* invocations of the solver class *kind*."""

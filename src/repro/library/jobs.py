@@ -157,6 +157,22 @@ class CharacterizationJob:
         """Solve one grid point; one value per output, in output order."""
         raise NotImplementedError
 
+    def solve_points(
+        self, points: Sequence[Tuple[float, ...]]
+    ) -> List[Tuple[float, ...]]:
+        """Solve a chunk of grid points in one call (worker-task unit).
+
+        The default implementation just loops :meth:`solve_point`, but
+        doing so *inside one process* matters: neighboring grid points of
+        an inductance job share most of their filament-pair geometry, so
+        the kernel's partial-inductance memo cache
+        (:func:`repro.peec.kernel.lp_memo_cache`) converts the overlap
+        into cache hits instead of repeated Hoer-Love evaluations.
+        Chunked task submission in the build runner exists precisely to
+        give the cache that locality.
+        """
+        return [self.solve_point(point) for point in points]
+
     def table_metadata(self) -> dict:
         """Builder provenance recorded into each output table."""
         raise NotImplementedError

@@ -113,6 +113,50 @@ def _axis_points(p, extent_p, q, extent_q):
     )
 
 
+def canonical_pair_parameters(l1, w1, t1, l2, w2, t2, ox, oy, oz):
+    """Canonical relative-geometry parameters of parallel-bar pairs.
+
+    A pair of x-directed bars is fully described -- up to a translation
+    the Neumann integral is invariant under -- by the two cross-section
+    extents plus the offset ``(ox, oy, oz)`` of bar 2's origin relative
+    to bar 1's.  The mutual inductance is also symmetric under swapping
+    the bars, which maps ``(dims1, dims2, o)`` to ``(dims2, dims1, -o)``.
+    This helper picks the lexicographically smaller of the two
+    orientations (and normalizes ``-0.0`` offsets to ``+0.0``) so that
+
+    * ``M(bar1, bar2)`` and ``M(bar2, bar1)`` evaluate bit-identical
+      floating-point expressions (exactly symmetric Lp matrices), and
+    * geometrically congruent pairs share one bitwise-unique parameter
+      tuple -- the deduplication key of the fast assembly path in
+      :mod:`repro.peec.kernel`.
+
+    All nine arguments broadcast together; returns the nine canonical
+    arrays in the same order.
+    """
+    args = np.broadcast_arrays(*(np.asarray(a, dtype=float) for a in
+                                 (l1, w1, t1, l2, w2, t2, ox, oy, oz)))
+    l1, w1, t1, l2, w2, t2, ox, oy, oz = args
+    swap = np.zeros(np.shape(ox), dtype=bool)
+    undecided = np.ones(np.shape(ox), dtype=bool)
+    # Columns 4-6 of the swapped tuple mirror columns 1-3, so comparing
+    # (dims2 vs dims1) then (-o vs o) decides the full lexicographic order.
+    for a, b in ((l2, l1), (w2, w1), (t2, t1),
+                 (-ox, ox), (-oy, oy), (-oz, oz)):
+        less = undecided & (a < b)
+        swap = swap | less
+        undecided = undecided & ~(less | (a > b))
+    out_l1 = np.where(swap, l2, l1)
+    out_w1 = np.where(swap, w2, w1)
+    out_t1 = np.where(swap, t2, t1)
+    out_l2 = np.where(swap, l1, l2)
+    out_w2 = np.where(swap, w1, w2)
+    out_t2 = np.where(swap, t1, t2)
+    out_ox = np.where(swap, -ox, ox) + 0.0
+    out_oy = np.where(swap, -oy, oy) + 0.0
+    out_oz = np.where(swap, -oz, oz) + 0.0
+    return out_l1, out_w1, out_t1, out_l2, out_w2, out_t2, out_ox, out_oy, out_oz
+
+
 def mutual_inductance_batch(
     x1, l1, y1, w1, z1, t1,
     x2, l2, y2, w2, z2, t2,
@@ -124,18 +168,40 @@ def mutual_inductance_batch(
     broadcast together, so a full Lp matrix can be assembled with one call
     on meshgrid-style inputs.  Passing the same geometry for both bars
     yields the exact self partial inductance.
+
+    Every pair is evaluated in a canonical frame: bar 1 is re-anchored at
+    the origin (the integral is translation invariant, and forming the
+    relative offsets *first* keeps the second differences away from
+    absolute-coordinate rounding noise), the two bars are ordered by
+    :func:`canonical_pair_parameters` (so the result is exactly symmetric
+    under operand swap), and each pair is scaled by its own largest
+    extent.  The value therefore depends only on the pair's relative
+    geometry -- bit-for-bit -- no matter how the surrounding batch is
+    composed, which is what makes the deduplicating assembly and the memo
+    cache of :mod:`repro.peec.kernel` exact rather than approximate.
     """
     args = [np.asarray(a, dtype=float) for a in
             (x1, l1, y1, w1, z1, t1, x2, l2, y2, w2, z2, t2)]
-    x1, l1, y1, w1, z1, t1, x2, l2, y2, w2, z2, t2 = args
-    # Scale to a characteristic length: f ~ length^5 over areas ~ length^4,
-    # so M scales linearly and scaling improves floating-point conditioning.
-    scale = np.max([np.max(np.abs(a)) for a in (l1, l2, w1, w2, t1, t2)])
-    if not (scale > 0.0):
+    x1, l1, y1, w1, z1, t1, x2, l2, y2, w2, z2, t2 = np.broadcast_arrays(*args)
+    ox = x2 - x1 + 0.0
+    oy = y2 - y1 + 0.0
+    oz = z2 - z1 + 0.0
+    l1, w1, t1, l2, w2, t2, ox, oy, oz = canonical_pair_parameters(
+        l1, w1, t1, l2, w2, t2, ox, oy, oz)
+    # Scale each pair to its characteristic length: f ~ length^5 over
+    # areas ~ length^4, so M scales linearly and scaling improves
+    # floating-point conditioning.  The scale is a per-pair quantity so
+    # the result is independent of the batch composition.
+    scale = np.maximum.reduce(
+        [np.abs(a) for a in (l1, l2, w1, w2, t1, t2)])
+    if not np.all(scale > 0.0):
         raise GeometryError("bars must have positive extents")
     inv = 1.0 / scale
-    x1, l1, y1, w1, z1, t1 = (a * inv for a in (x1, l1, y1, w1, z1, t1))
-    x2, l2, y2, w2, z2, t2 = (a * inv for a in (x2, l2, y2, w2, z2, t2))
+    zero = np.zeros(np.shape(ox))
+    x1, y1, z1 = zero, zero, zero
+    l1, w1, t1 = l1 * inv, w1 * inv, t1 * inv
+    x2, y2, z2 = ox * inv, oy * inv, oz * inv
+    l2, w2, t2 = l2 * inv, w2 * inv, t2 * inv
 
     total = 0.0
     for vx, sx in _axis_points(x1, l1, x2, l2):

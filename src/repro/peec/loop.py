@@ -196,12 +196,25 @@ class LoopProblem:
         """The underlying filament network (for custom analyses)."""
         return self._network
 
-    def solve(self, frequency: float) -> LoopSolution:
-        """Extract loop R/L and victim EMF couplings at *frequency* [Hz]."""
+    def solve(self, frequency: float, factored: bool = True) -> LoopSolution:
+        """Extract loop R/L and victim EMF couplings at *frequency* [Hz].
+
+        With ``factored=True`` (default) the network's factor-once
+        impedance decomposition is built on the first call and reused by
+        every subsequent solve of this problem, so a frequency sweep
+        pays one O(n^3) eigendecomposition total instead of one LU
+        factorization per point.  ``factored=False`` forces the
+        per-frequency LU reference path.
+        """
         if frequency <= 0.0:
             raise SolverError("frequency must be positive")
         count_solver_call(LOOP_SOLVE)
-        solution = self._network.solve(frequency, {NODE_IN: 1.0 + 0.0j})
+        solution = self._network.solve(
+            frequency, {NODE_IN: 1.0 + 0.0j}, factored=factored
+        )
+        return self._loop_solution(frequency, solution)
+
+    def _loop_solution(self, frequency: float, solution) -> LoopSolution:
         z_loop = solution.node_voltages[NODE_IN]
         omega = 2.0 * np.pi * frequency
         mutuals: Dict[str, float] = {}
@@ -213,6 +226,29 @@ class LoopProblem:
             loop_impedance=complex(z_loop),
             mutual_loop_inductances=mutuals,
         )
+
+    def solve_sweep(
+        self, frequencies: Sequence[float], factored: bool = True
+    ) -> List[LoopSolution]:
+        """Solve the loop problem at every frequency in *frequencies*.
+
+        The filament impedance is diagonalized once (first call) and each
+        frequency point then costs only an O(n^2) modal rescale plus a
+        small nodal solve -- the factor-once sweep of the kernel layer.
+        """
+        freqs = [float(f) for f in frequencies]
+        if not freqs:
+            raise SolverError("sweep needs at least one frequency")
+        if any(f <= 0.0 for f in freqs):
+            raise SolverError("frequencies must be positive")
+        count_solver_call(LOOP_SOLVE, len(freqs))
+        return [
+            self._loop_solution(
+                f,
+                self._network.solve(f, {NODE_IN: 1.0 + 0.0j}, factored=factored),
+            )
+            for f in freqs
+        ]
 
     def loop_rl(self, frequency: float) -> Tuple[float, float]:
         """Convenience: (loop resistance [ohm], loop inductance [H])."""

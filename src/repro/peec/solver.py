@@ -10,7 +10,6 @@ captures skin and proximity effects at the significant frequency.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -20,36 +19,17 @@ from repro.constants import RHO_CU
 from repro.errors import GeometryError, SolverError
 from repro.instrumentation import PARTIAL_SOLVE, count_solver_call
 from repro.geometry.primitives import RectBar
-from repro.peec.hoer_love import _bar_to_x_frame, mutual_inductance_batch
+from repro.peec.kernel import (
+    ImpedanceFactorization,
+    assemble_partial_inductance_matrix,
+)
 from repro.peec.mesh import FilamentMesh, mesh_bar
 
-
-def assemble_partial_inductance_matrix(bars: Sequence[RectBar]) -> np.ndarray:
-    """Exact partial-inductance matrix [H] over a list of bars.
-
-    Bars with different current axes are mutually orthogonal and get an
-    exactly zero entry (the PEEC property the paper uses to ignore
-    adjacent routing layers); same-axis blocks are filled with one
-    vectorized Hoer-Love evaluation each.
-    """
-    n = len(bars)
-    if n == 0:
-        raise GeometryError("need at least one bar")
-    lp = np.zeros((n, n))
-    by_axis: Dict[str, List[int]] = defaultdict(list)
-    for i, bar in enumerate(bars):
-        by_axis[bar.axis].append(i)
-    for indices in by_axis.values():
-        frames = np.array([_bar_to_x_frame(bars[i]) for i in indices])
-        x0, length, y0, width, z0, thickness = frames.T
-        block = mutual_inductance_batch(
-            x0[:, None], length[:, None], y0[:, None],
-            width[:, None], z0[:, None], thickness[:, None],
-            x0[None, :], length[None, :], y0[None, :],
-            width[None, :], z0[None, :], thickness[None, :],
-        )
-        lp[np.ix_(indices, indices)] = block
-    return lp
+__all__ = [
+    "assemble_partial_inductance_matrix",
+    "Conductor",
+    "PartialInductanceSolver",
+]
 
 
 @dataclass
@@ -99,22 +79,27 @@ class PartialInductanceSolver:
         if len(set(names)) != len(names):
             raise GeometryError(f"conductor names must be unique, got {names}")
         self.conductors = list(conductors)
+        self._names = names
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
         self._lp: Optional[np.ndarray] = None
+        self._factorization: Optional[ImpedanceFactorization] = None
+        self._projected_incidence: Optional[np.ndarray] = None
 
         self._filaments: List[RectBar] = []
-        self._owner: List[int] = []
+        owner: List[int] = []
         self._resistance = []
         for ci, cond in enumerate(self.conductors):
             for fil in cond.mesh.filaments:
                 self._filaments.append(fil)
-                self._owner.append(ci)
+                owner.append(ci)
             self._resistance.extend(cond.mesh.resistances(cond.resistivity))
         self._resistance = np.array(self._resistance, dtype=float)
+        self._owner = np.array(owner, dtype=int)
 
     @property
     def names(self) -> List[str]:
         """Conductor names in problem order."""
-        return [c.name for c in self.conductors]
+        return list(self._names)
 
     @property
     def num_filaments(self) -> int:
@@ -122,10 +107,10 @@ class PartialInductanceSolver:
         return len(self._filaments)
 
     def index_of(self, name: str) -> int:
-        """Position of the named conductor."""
+        """Position of the named conductor (O(1) dict lookup)."""
         try:
-            return self.names.index(name)
-        except ValueError:
+            return self._index[name]
+        except KeyError:
             raise GeometryError(f"unknown conductor {name!r}") from None
 
     def filament_lp_matrix(self) -> np.ndarray:
@@ -141,9 +126,21 @@ class PartialInductanceSolver:
     def incidence(self) -> np.ndarray:
         """Filament-to-conductor incidence matrix (n_fil x n_cond)."""
         p = np.zeros((self.num_filaments, len(self.conductors)))
-        for fi, ci in enumerate(self._owner):
-            p[fi, ci] = 1.0
+        p[np.arange(self.num_filaments), self._owner] = 1.0
         return p
+
+    def factorization(self) -> ImpedanceFactorization:
+        """Factor-once decomposition of ``diag(R) + j*w*Lp`` (cached).
+
+        Built on first use; every subsequent frequency point reuses it,
+        turning an m-point impedance sweep from m LU factorizations into
+        one eigendecomposition plus m diagonal scalings.
+        """
+        if self._factorization is None:
+            self._factorization = ImpedanceFactorization(
+                self._resistance, self.filament_lp_matrix()
+            )
+        return self._factorization
 
     def conductor_lp_matrix(self) -> np.ndarray:
         """Conductor partial-inductance matrix under uniform current [H].
@@ -159,6 +156,14 @@ class PartialInductanceSolver:
         weights = incidence * areas[:, None] / conductor_areas[None, :]
         return weights.T @ lp @ weights
 
+    def _conductor_modal_projection(self) -> np.ndarray:
+        """``P^T U``: incidence projected onto the impedance modes (cached)."""
+        if self._projected_incidence is None:
+            self._projected_incidence = (
+                self.incidence().T @ self.factorization().u
+            )
+        return self._projected_incidence
+
     def conductor_impedance_matrix(self, frequency: float) -> np.ndarray:
         """Frequency-dependent conductor impedance matrix [ohm].
 
@@ -167,21 +172,24 @@ class PartialInductanceSolver:
         reduction ``Z_cond = (P^T Z^-1 P)^-1`` with
         ``Z = diag(R) + j omega Lp``.  Captures skin and proximity
         current redistribution.
+
+        ``Z^-1`` is applied through the cached factor-once
+        eigendecomposition (see :meth:`factorization`), so repeated calls
+        at different frequencies cost O(n_cond^2 * n_fil) each instead of
+        a fresh O(n_fil^3) LU factorization.
         """
         if frequency < 0.0:
             raise SolverError("frequency must be non-negative")
         omega = 2.0 * np.pi * frequency
-        z = np.diag(self._resistance).astype(complex)
-        if omega > 0.0:
-            z = z + 1j * omega * self.filament_lp_matrix()
-        p = self.incidence()
+        projected = self._conductor_modal_projection()
+        scale = self.factorization().modal_scale(omega)
+        y_cond = (projected * scale[None, :]) @ projected.T
+        identity = np.eye(y_cond.shape[0], dtype=complex)
         try:
-            y_fil_p = np.linalg.solve(z, p)
-        except np.linalg.LinAlgError as exc:
-            raise SolverError(f"singular filament impedance matrix: {exc}") from exc
-        y_cond = p.T @ y_fil_p
-        try:
-            return np.linalg.inv(y_cond)
+            # Solve against the identity instead of forming an explicit
+            # inverse: one triangular backsubstitution per column and
+            # better conditioning.
+            return np.linalg.solve(y_cond, identity)
         except np.linalg.LinAlgError as exc:
             raise SolverError(f"singular conductor admittance matrix: {exc}") from exc
 
@@ -197,3 +205,28 @@ class PartialInductanceSolver:
         z = self.conductor_impedance_matrix(frequency)
         omega = 2.0 * np.pi * frequency
         return z.real, z.imag / omega
+
+    def effective_rl_sweep(
+        self, frequencies: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Conductor R and L matrices across a frequency grid.
+
+        Returns ``(R, L)`` stacked as ``(n_freq, n_cond, n_cond)``
+        arrays.  The filament impedance is factored once and reused for
+        every frequency -- the factor-once sweep of the kernel layer.
+        """
+        freqs = np.asarray(list(frequencies), dtype=float)
+        if freqs.size == 0:
+            raise SolverError("sweep needs at least one frequency")
+        if np.any(freqs <= 0.0):
+            raise SolverError("frequencies must be positive for an R/L split")
+        count_solver_call(PARTIAL_SOLVE, int(freqs.size))
+        n_cond = len(self.conductors)
+        resistance = np.empty((freqs.size, n_cond, n_cond))
+        inductance = np.empty_like(resistance)
+        for k, frequency in enumerate(freqs):
+            z = self.conductor_impedance_matrix(float(frequency))
+            omega = 2.0 * np.pi * frequency
+            resistance[k] = z.real
+            inductance[k] = z.imag / omega
+        return resistance, inductance

@@ -65,17 +65,24 @@ class RLFrequencySweep:
 def loop_frequency_sweep(
     problem: LoopProblem,
     frequencies: Sequence[float],
+    factored: bool = True,
 ) -> RLFrequencySweep:
-    """Solve a loop problem across a frequency grid."""
+    """Solve a loop problem across a frequency grid.
+
+    With ``factored=True`` (default) the problem's filament impedance is
+    diagonalized once and reused across every grid point, so the sweep
+    costs one O(n^3) eigendecomposition plus O(n^2) per frequency rather
+    than a fresh LU factorization per point.  ``factored=False`` keeps
+    the per-frequency reference path for equivalence checks.
+    """
     freqs = np.asarray(sorted(frequencies), dtype=float)
     if freqs.size < 2:
         raise SolverError("sweep needs at least two frequencies")
     if freqs[0] <= 0.0:
         raise SolverError("frequencies must be positive")
-    resistance = np.empty(freqs.size)
-    inductance = np.empty(freqs.size)
-    for i, f in enumerate(freqs):
-        resistance[i], inductance[i] = problem.loop_rl(float(f))
+    solutions = problem.solve_sweep(freqs, factored=factored)
+    resistance = np.array([s.loop_resistance for s in solutions])
+    inductance = np.array([s.loop_inductance for s in solutions])
     return RLFrequencySweep(
         frequencies=freqs, resistance=resistance, inductance=inductance
     )

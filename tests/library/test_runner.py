@@ -209,3 +209,60 @@ class TestParallelBuild:
         np.testing.assert_allclose(serial.get(key).values,
                                    par.get(key).values)
         assert par.verify() == []
+
+    def test_single_worker_skips_process_pool(self, tmp_path):
+        # workers=1 must run in-process: the solves then hit the
+        # module-global SOLVE_LOG of *this* process, which a pool worker
+        # (separate interpreter) never would.
+        runner = BuildRunner(tmp_path / "kit", workers=1, parallel=True)
+        assert runner.parallel is False
+        assert runner.effective_workers == 1
+        runner.build([StubJob()])
+        assert len(SOLVE_LOG) == 6
+
+    def test_chunk_size_validation(self, tmp_path):
+        with pytest.raises(TableError):
+            BuildRunner(tmp_path / "kit", chunk_size=0)
+
+    def test_chunked_parallel_build_solves_every_point(self, tmp_path):
+        job = StubJob()
+        stats = build_library(tmp_path / "kit", [job], workers=2)
+        assert stats.points_solved == 6
+        lib = TableLibrary(tmp_path / "kit", create=False)
+        table = lib.get(job.table_key("stub_l"))
+        assert table.lookup(width=2.0, length=10.0) == pytest.approx(20.0)
+        assert lib.verify() == []
+
+    def test_explicit_chunk_size_matches_serial(self, tmp_path):
+        job = StubJob()
+        build_library(tmp_path / "serial", [job], parallel=False)
+        runner = BuildRunner(tmp_path / "chunk", workers=2, chunk_size=4)
+        runner.build([job])
+        import numpy as np
+
+        key = job.table_key("stub_r")
+        np.testing.assert_allclose(
+            TableLibrary(tmp_path / "serial", create=False).get(key).values,
+            TableLibrary(tmp_path / "chunk", create=False).get(key).values,
+        )
+
+
+class TestChunking:
+    def test_contiguous_cover(self):
+        from repro.library.runner import _chunk_indices
+
+        remaining = [0, 1, 2, 5, 6, 7, 8]
+        chunks = _chunk_indices(remaining, 3)
+        assert [i for c in chunks for i in c] == remaining
+        assert 1 <= len(chunks) <= 3
+
+    def test_more_chunks_than_points(self):
+        from repro.library.runner import _chunk_indices
+
+        chunks = _chunk_indices([4, 9], 8)
+        assert chunks == [[4], [9]]
+
+    def test_solve_points_default_loops_solve_point(self):
+        job = StubJob()
+        points = job.points()[:3]
+        assert job.solve_points(points) == [job.solve_point(p) for p in points]

@@ -53,6 +53,45 @@ class TestSweepPhysics:
         assert error > 0.02
 
 
+class TestFactoredSweep:
+    """Factor-once sweep path vs the per-frequency LU reference."""
+
+    def _problem(self):
+        block = TraceBlock.coplanar_waveguide(
+            signal_width=um(8), ground_width=um(5), spacing=um(2),
+            length=um(1000), thickness=um(2),
+        )
+        return LoopProblem(block, n_width=3, n_thickness=2, grading=1.5)
+
+    def test_factored_matches_direct_sweep(self):
+        problem = self._problem()
+        freqs = [1e8, 1e9, 1e10]
+        fast = loop_frequency_sweep(problem, freqs, factored=True)
+        slow = loop_frequency_sweep(problem, freqs, factored=False)
+        np.testing.assert_allclose(fast.resistance, slow.resistance,
+                                   rtol=1e-10)
+        np.testing.assert_allclose(fast.inductance, slow.inductance,
+                                   rtol=1e-10)
+
+    def test_solve_sweep_matches_pointwise_solves(self):
+        problem = self._problem()
+        freqs = [1e8, 3.2e9, 2e10]
+        solutions = problem.solve_sweep(freqs)
+        assert [s.frequency for s in solutions] == freqs
+        for s in solutions:
+            point = problem.solve(s.frequency)
+            assert s.loop_impedance == pytest.approx(point.loop_impedance,
+                                                     rel=1e-12)
+            assert s.mutual_loop_inductances == point.mutual_loop_inductances
+
+    def test_solve_sweep_validation(self):
+        problem = self._problem()
+        with pytest.raises(SolverError):
+            problem.solve_sweep([])
+        with pytest.raises(SolverError):
+            problem.solve_sweep([1e9, -1e8])
+
+
 class TestValidation:
     def test_needs_two_frequencies(self):
         block = TraceBlock.coplanar_waveguide(
