@@ -46,6 +46,27 @@ from repro.peec.loop import LoopProblem
 from repro.peec.mesh import mesh_bar
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+TELEMETRY_PATH = RESULTS_PATH.with_name("BENCH_kernel_telemetry.json")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _telemetry_artifact():
+    """Trace the whole benchmark session into BENCH_kernel_telemetry.json.
+
+    The report (span tree + counter/histogram totals) is uploaded by CI
+    next to ``BENCH_kernel.json`` so a regression in the numbers comes
+    with the trace that explains it.  Registry and tracer are cleared up
+    front so the artifact is a clean delta; note that the memo test's
+    own mid-run ``reset_solver_calls()`` means counter totals cover the
+    tail of the session, while spans always cover all of it.
+    """
+    from repro.telemetry import get_registry, get_tracer, telemetry_session
+
+    get_registry().reset()
+    get_tracer().reset()
+    with telemetry_session("bench kernel") as session:
+        yield
+    session.report.save(TELEMETRY_PATH)
 
 
 def _record(update: dict) -> dict:

@@ -231,8 +231,12 @@ def _cmd_library_build(args: argparse.Namespace) -> int:
     )
 
     def progress(tick):
+        eta = tick.eta_seconds
+        eta_text = f"{eta:5.0f} s" if eta != float("inf") else "    ? s"
         print(f"  [{tick.job.kind:>10}] {tick.done}/{tick.total} points "
-              f"({tick.elapsed:6.1f} s)", end="\r", flush=True)
+              f"({tick.elapsed:6.1f} s, {tick.points_per_second:5.2f} pt/s, "
+              f"eta {eta_text}, memo {tick.memo_hit_rate:4.0%})",
+              end="\r", flush=True)
 
     runner = BuildRunner(
         args.root,
@@ -243,6 +247,18 @@ def _cmd_library_build(args: argparse.Namespace) -> int:
     stats = runner.build(jobs)
     if not args.quiet:
         print()
+    session = getattr(args, "_telemetry_session", None)
+    if session is not None:
+        worker_metrics = stats.worker_metrics
+        if worker_metrics is not None:
+            session.add_worker_metrics(worker_metrics)
+        session.add_worker_spans(stats.worker_spans)
+        session.add_meta(
+            library_root=str(args.root),
+            workers=runner.effective_workers if runner.parallel else 1,
+            parallel=runner.parallel,
+            build_summary=stats.summary(),
+        )
     print(f"library {args.root}: {stats.summary()}")
     for job_stats in stats.jobs:
         state = "warm (skipped)" if job_stats.skipped else (
@@ -311,6 +327,25 @@ def _cmd_library_verify(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_report, render_report
+
+    report = load_report(args.file)
+    if args.spans_jsonl:
+        print(report.spans_jsonl(), end="")
+        return 0
+    print(render_report(report, max_spans=args.max_spans), end="")
+    return 0
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", default=None, metavar="FILE",
+        help="write a structured run report (JSON) to FILE; render it "
+             "back with `repro report FILE`",
+    )
+
+
 def _add_library_parser(sub) -> None:
     p_lib = sub.add_parser(
         "library",
@@ -341,6 +376,7 @@ def _add_library_parser(sub) -> None:
     p_build.add_argument("--serial", action="store_true",
                          help="disable the process pool")
     p_build.add_argument("--quiet", action="store_true")
+    _add_telemetry_arg(p_build)
     p_build.set_defaults(func=_cmd_library_build)
 
     p_list = lib_sub.add_parser("list", help="list stored tables")
@@ -371,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig1 = sub.add_parser("fig1", help="Figs. 1-3 delay comparison")
     p_fig1.add_argument("--drive-resistance", type=float, default=15.0)
+    _add_telemetry_arg(p_fig1)
     p_fig1.set_defaults(func=_cmd_fig1)
 
     p_fig5 = sub.add_parser("fig5", help="Fig. 5 loop-L matrix + Foundations")
@@ -386,13 +423,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_skew = sub.add_parser("skew", help="H-tree skew RC vs RLC")
     p_skew.add_argument("--library", default=None,
                         help="characterization library to pull tables from")
+    _add_telemetry_arg(p_skew)
     p_skew.set_defaults(func=_cmd_skew)
     sub.add_parser("variation", help="process variation study").set_defaults(
         func=_cmd_variation
     )
-    sub.add_parser("accuracy", help="table accuracy and speedup").set_defaults(
-        func=_cmd_accuracy
-    )
+    p_accuracy = sub.add_parser("accuracy",
+                                help="table accuracy and speedup")
+    _add_telemetry_arg(p_accuracy)
+    p_accuracy.set_defaults(func=_cmd_accuracy)
 
     p_xtalk = sub.add_parser("crosstalk", help="bus aggressor/victim noise")
     p_xtalk.add_argument("--traces", type=int, default=7)
@@ -432,9 +471,20 @@ def build_parser() -> argparse.ArgumentParser:
                         default=[4.0, 8.0, 12.0, 16.0], help="[um]")
     p_char.add_argument("--lengths", type=float, nargs="+",
                         default=[500.0, 1500.0, 3000.0, 6000.0], help="[um]")
+    _add_telemetry_arg(p_char)
     p_char.set_defaults(func=_cmd_characterize)
 
     _add_library_parser(sub)
+
+    p_report = sub.add_parser(
+        "report", help="render a --telemetry run report (span tree + metrics)")
+    p_report.add_argument("file", help="report JSON written by --telemetry")
+    p_report.add_argument("--max-spans", type=int, default=200,
+                          help="span-tree lines to render before truncating")
+    p_report.add_argument("--spans-jsonl", action="store_true",
+                          help="dump the flattened span records as JSONL "
+                               "instead of rendering")
+    p_report.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -442,7 +492,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path is None:
+        return args.func(args)
+
+    from repro.telemetry import telemetry_session
+
+    command = args.command
+    library_command = getattr(args, "library_command", None)
+    if library_command:
+        command = f"{command} {library_command}"
+    with telemetry_session(f"repro {command}") as session:
+        # Commands that aggregate worker telemetry (library build) pick
+        # the session up from the namespace.
+        args._telemetry_session = session
+        code = args.func(args)
+    report = session.report
+    assert report is not None  # telemetry_session always assembles one
+    report.meta.setdefault("exit_code", code)
+    path = report.save(telemetry_path)
+    print(f"telemetry report -> {path}")
+    return code
 
 
 if __name__ == "__main__":

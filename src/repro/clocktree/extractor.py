@@ -31,6 +31,7 @@ from repro.errors import CircuitError, GeometryError
 from repro.rc.capacitance import block_capacitance_matrix
 from repro.rc.resistance import ac_resistance
 from repro.tables.lookup import ExtractionTable
+from repro.telemetry import span
 
 
 @dataclass(frozen=True)
@@ -196,12 +197,13 @@ class ClocktreeRLCExtractor:
         if length <= 0.0:
             raise GeometryError("length must be positive")
         width = signal_width if signal_width is not None else self.config.signal_width
-        return SegmentRLC(
-            length=length,
-            resistance=self._segment_resistance(width, length),
-            inductance=self._segment_inductance(width, length),
-            capacitance=self._segment_capacitance(width, length),
-        )
+        with span("htree.segment_rlc", length=length):
+            return SegmentRLC(
+                length=length,
+                resistance=self._segment_resistance(width, length),
+                inductance=self._segment_inductance(width, length),
+                capacitance=self._segment_capacitance(width, length),
+            )
 
     def segment_rlc_for(self, segment: HTreeSegment) -> SegmentRLC:
         """Extraction hook for one routed segment.
@@ -247,11 +249,17 @@ class ClocktreeRLCExtractor:
         circuit.add_resistor("Rdrv_root", "src", root_node, buffer.drive_resistance)
 
         sink_nodes: Dict[str, str] = {}
-        for segment in htree.segments:
-            self._stamp_segment(
-                circuit, htree, segment, root_node, sections,
-                include_inductance, sink_nodes, rc_scale,
-            )
+        with span(
+            "htree.build_netlist",
+            segments=len(htree.segments),
+            sections=sections,
+            inductance=include_inductance,
+        ):
+            for segment in htree.segments:
+                self._stamp_segment(
+                    circuit, htree, segment, root_node, sections,
+                    include_inductance, sink_nodes, rc_scale,
+                )
         return ClocktreeNetlist(
             circuit=circuit,
             source_name="Vclk",

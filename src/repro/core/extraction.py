@@ -27,6 +27,7 @@ from repro.tables.builder import (
     LoopInductanceTableBuilder,
 )
 from repro.tables.lookup import ExtractionTable
+from repro.telemetry import LOOKUP_LATENCY, get_registry, span
 
 
 @dataclass(frozen=True)
@@ -106,25 +107,32 @@ class TableBasedExtractor:
         capacitance_grid:
             Optional ``(nx, nz)`` override for the capacitance solver.
         """
-        loop_builder = LoopInductanceTableBuilder(
-            problem_factory=config.loop_problem, frequency=frequency
-        )
-        l_table, r_table = loop_builder.build_loop_tables(
-            widths, lengths, name_prefix=name_prefix
-        )
-        c_table = None
-        if spacings is not None:
-            nx, nz = capacitance_grid if capacitance_grid else (160, 120)
-            cap_builder = CapacitanceTableBuilder(
-                cross_section_factory=lambda w, s: config.cross_section(
-                    signal_width=w, spacing=s
-                ),
-                nx=nx,
-                nz=nz,
+        widths = list(widths)
+        lengths = list(lengths)
+        with span(
+            "extractor.characterize",
+            family=name_prefix,
+            grid=f"{len(widths)}x{len(lengths)}",
+        ):
+            loop_builder = LoopInductanceTableBuilder(
+                problem_factory=config.loop_problem, frequency=frequency
             )
-            c_table = cap_builder.build_total_cap_table(
-                widths, spacings, name=f"{name_prefix}_capacitance"
+            l_table, r_table = loop_builder.build_loop_tables(
+                widths, lengths, name_prefix=name_prefix
             )
+            c_table = None
+            if spacings is not None:
+                nx, nz = capacitance_grid if capacitance_grid else (160, 120)
+                cap_builder = CapacitanceTableBuilder(
+                    cross_section_factory=lambda w, s: config.cross_section(
+                        signal_width=w, spacing=s
+                    ),
+                    nx=nx,
+                    nz=nz,
+                )
+                c_table = cap_builder.build_total_cap_table(
+                    widths, spacings, name=f"{name_prefix}_capacitance"
+                )
         return cls(
             config=config,
             frequency=frequency,
@@ -136,21 +144,39 @@ class TableBasedExtractor:
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
+    def _timed_lookup(self, table: ExtractionTable, **coords: float) -> float:
+        """Table lookup that feeds the ``lookup_latency_seconds`` histogram.
+
+        Histograms never touch the solver-call counters, so the
+        warm-path "zero solver calls" assertions stay meaningful.
+        """
+        t0 = time.perf_counter()
+        try:
+            return table.lookup(**coords)
+        finally:
+            get_registry().observe(LOOKUP_LATENCY, time.perf_counter() - t0)
+
     def loop_inductance(self, width: float, length: float) -> float:
         """Loop inductance of a segment by table lookup [H]."""
-        return self.inductance_table.lookup(width=width, length=length)
+        return self._timed_lookup(
+            self.inductance_table, width=width, length=length
+        )
 
     def loop_resistance(self, width: float, length: float) -> float:
         """Loop resistance of a segment by table lookup [ohm]."""
         if self.resistance_table is None:
             raise TableError("no resistance table was characterized")
-        return self.resistance_table.lookup(width=width, length=length)
+        return self._timed_lookup(
+            self.resistance_table, width=width, length=length
+        )
 
     def capacitance_per_length(self, width: float, spacing: float) -> float:
         """Per-unit-length signal capacitance by table lookup [F/m]."""
         if self.capacitance_table is None:
             raise TableError("no capacitance table was characterized")
-        return self.capacitance_table.lookup(width=width, spacing=spacing)
+        return self._timed_lookup(
+            self.capacitance_table, width=width, spacing=spacing
+        )
 
     # ------------------------------------------------------------------
     # validation & integration

@@ -38,3 +38,7 @@ class CircuitError(ReproError):
 
 class ConvergenceError(SolverError):
     """An iterative analysis failed to converge."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry metric, span or report is used inconsistently."""

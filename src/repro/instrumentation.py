@@ -1,74 +1,87 @@
-"""Process-wide solver-invocation counters.
+"""Deprecated shim over :mod:`repro.telemetry` (kept for compatibility).
 
-The paper's headline claim is economic: characterize once, then answer
-every extraction query by table lookup, with *zero* field-solver calls
-on the hot path.  These counters make that claim testable -- the
-expensive entry points (:class:`~repro.peec.loop.LoopProblem` solves,
-:class:`~repro.peec.solver.PartialInductanceSolver` reductions, and 2-D
-:class:`~repro.rc.fieldsolver2d.FieldSolver2D` capacitance solves) tick
-a named counter, and tests/benchmarks assert e.g. that a warm-library
-H-tree extraction performs no solves at all.
+This module used to own the process-wide solver-invocation counters.
+PR 3 moved them into the :class:`~repro.telemetry.MetricsRegistry`
+(which adds gauges, histograms, atomic snapshots and cross-process
+aggregation); every public name here now delegates to the registry so
+existing tests, benchmarks and downstream code keep working unchanged.
 
-Counters are per-process: worker processes of a parallel build count
-their own solves, which keeps the parent's view focused on the calls
-*it* made (exactly what the zero-solve assertions need).
+Prefer the richer API for new code::
+
+    from repro.telemetry import get_registry, metrics_meter
+
+    with metrics_meter() as meter:
+        ...
+    meter.delta.counter("loop_solve")
+    meter.delta.memo_hit_rate          # race-free single-snapshot rate
+
+Counters remain per-process; the parallel build runner aggregates
+worker snapshots explicitly (see :mod:`repro.library.runner`), which
+keeps the zero-solve warm-path assertions focused on the calls *this*
+process made.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, Optional
 
-_LOCK = threading.Lock()
-_COUNTS: Dict[str, int] = {}
+from repro.telemetry.registry import (  # noqa: F401  (re-exported names)
+    FIELD_SOLVE_2D,
+    LOOP_SOLVE,
+    LP_MEMO_HIT,
+    LP_MEMO_MISS,
+    LP_PAIR_EVAL,
+    LP_PAIR_TOTAL,
+    PARTIAL_SOLVE,
+    get_registry,
+)
 
-#: Canonical counter names used by the solvers.
-LOOP_SOLVE = "loop_solve"
-PARTIAL_SOLVE = "partial_inductance_solve"
-FIELD_SOLVE_2D = "field_solve_2d"
-
-#: Kernel-layer counters (see :mod:`repro.peec.kernel`): Hoer-Love pair
-#: evaluations actually performed, and memo-cache hits/misses observed by
-#: the deduplicating assembly.  ``lp_pair_eval`` vs the raw pair count of
-#: a problem is the measured assembly dedup factor; a nonzero
-#: ``lp_memo_hit`` during a table build proves cross-grid-point reuse.
-LP_PAIR_EVAL = "lp_pair_eval"
-LP_MEMO_HIT = "lp_memo_hit"
-LP_MEMO_MISS = "lp_memo_miss"
+__all__ = [
+    "LOOP_SOLVE",
+    "PARTIAL_SOLVE",
+    "FIELD_SOLVE_2D",
+    "LP_PAIR_EVAL",
+    "LP_PAIR_TOTAL",
+    "LP_MEMO_HIT",
+    "LP_MEMO_MISS",
+    "memo_hit_rate",
+    "count_solver_call",
+    "solver_call_count",
+    "solver_call_counts",
+    "reset_solver_calls",
+    "solver_call_meter",
+]
 
 
 def memo_hit_rate() -> float:
-    """Fraction of memo-cache lookups that hit (0.0 when none recorded)."""
-    hits = solver_call_count(LP_MEMO_HIT)
-    misses = solver_call_count(LP_MEMO_MISS)
-    total = hits + misses
-    return hits / total if total else 0.0
+    """Fraction of memo-cache lookups that hit (0.0 when none recorded).
+
+    Computed from **one** atomic registry snapshot: the historical
+    implementation read hits and misses in two separate lock
+    acquisitions, so a concurrent assembly could land between the reads
+    and skew the rate.  Snapshot semantics make that race impossible.
+    """
+    return get_registry().snapshot().memo_hit_rate
 
 
 def count_solver_call(kind: str, n: int = 1) -> None:
     """Record *n* invocations of the solver class *kind*."""
-    with _LOCK:
-        _COUNTS[kind] = _COUNTS.get(kind, 0) + n
+    get_registry().inc(kind, n)
 
 
 def solver_call_count(kind: Optional[str] = None) -> int:
     """Total recorded calls for *kind*, or across every kind when None."""
-    with _LOCK:
-        if kind is not None:
-            return _COUNTS.get(kind, 0)
-        return sum(_COUNTS.values())
+    return get_registry().counter_value(kind)
 
 
 def solver_call_counts() -> Dict[str, int]:
-    """A snapshot of every counter."""
-    with _LOCK:
-        return dict(_COUNTS)
+    """A snapshot of every counter (one lock acquisition)."""
+    return get_registry().counters_snapshot()
 
 
 def reset_solver_calls() -> None:
-    """Zero every counter (tests call this before a measured region)."""
-    with _LOCK:
-        _COUNTS.clear()
+    """Zero every metric (tests call this before a measured region)."""
+    get_registry().reset()
 
 
 class solver_call_meter:
@@ -80,6 +93,9 @@ class solver_call_meter:
         with solver_call_meter() as meter:
             extractor.segment_rlc(length)
         assert meter.total == 0
+
+    New code should use :class:`repro.telemetry.metrics_meter`, which
+    also carries gauge and histogram deltas.
     """
 
     def __init__(self) -> None:

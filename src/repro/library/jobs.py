@@ -26,6 +26,7 @@ methods, no function-local imports.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -170,8 +171,21 @@ class CharacterizationJob:
         into cache hits instead of repeated Hoer-Love evaluations.
         Chunked task submission in the build runner exists precisely to
         give the cache that locality.
+
+        Each point's wall time is observed into the
+        ``table_build_point_seconds`` histogram, so build-time
+        distributions survive the trip from pool workers back to the
+        parent (workers ship registry snapshot deltas with each chunk).
         """
-        return [self.solve_point(point) for point in points]
+        from repro.telemetry import TABLE_BUILD_POINT, get_registry
+
+        registry = get_registry()
+        values: List[Tuple[float, ...]] = []
+        for point in points:
+            t0 = time.perf_counter()
+            values.append(self.solve_point(point))
+            registry.observe(TABLE_BUILD_POINT, time.perf_counter() - t0)
+        return values
 
     def table_metadata(self) -> dict:
         """Builder provenance recorded into each output table."""

@@ -21,7 +21,18 @@
   missing points are solved again, and a torn trailing line (the crash
   case) is ignored.
 * **Report.** :class:`BuildStats` carries per-job and total counts and
-  wall times, and a ``progress`` callback streams live completion.
+  wall times, and a ``progress`` callback streams live completion
+  (fraction done, points/sec, ETA, memo hit rate).
+* **Aggregate.** Counters tick in whichever process does the work, so a
+  parallel build's solver activity would be invisible to the parent.
+  Each pool task therefore ships back the worker's
+  :class:`~repro.telemetry.MetricsSnapshot` *delta* and drained span
+  tree along with its results; the parent folds them into
+  :class:`JobStats` / :class:`BuildStats` (``worker_metrics``,
+  ``worker_spans``) -- *not* into its own registry, so "this process
+  performed zero solves" assertions keep meaning exactly that.  A
+  compact telemetry summary of every finalized job is embedded in the
+  library manifest entry of each table it produces.
 
 The checkpoint granularity is the *point*, not the table, because one
 field solve can take seconds to minutes while a line append is
@@ -42,23 +53,53 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import TableError
 from repro.library.jobs import CharacterizationJob
 from repro.library.store import TableLibrary, open_library
+from repro.telemetry import (
+    BUILD_CHUNK_SECONDS,
+    MetricsSnapshot,
+    get_registry,
+    get_tracer,
+    span,
+)
 
 ProgressFn = Callable[["JobProgress"], None]
 
 
 @dataclass(frozen=True)
 class JobProgress:
-    """One progress tick: *done* of *total* points for *job*."""
+    """One progress tick: *done* of *total* points for *job*.
+
+    Carries enough for a live status line: completion fraction,
+    throughput, an ETA extrapolated from it, and the build's memo-cache
+    hit rate so far (parent and worker activity combined).
+    """
 
     job: CharacterizationJob
     done: int
     total: int
     resumed: int
     elapsed: float
+    #: Memo-cache hit rate over the job so far (workers included).
+    memo_hit_rate: float = 0.0
 
     @property
     def fraction(self) -> float:
         return self.done / self.total if self.total else 1.0
+
+    @property
+    def points_per_second(self) -> float:
+        """Fresh solves per wall second so far (0.0 before the first)."""
+        solved = self.done - self.resumed
+        if solved <= 0 or self.elapsed <= 0.0:
+            return 0.0
+        return solved / self.elapsed
+
+    @property
+    def eta_seconds(self) -> float:
+        """Projected seconds to completion at the current throughput."""
+        rate = self.points_per_second
+        if rate <= 0.0:
+            return float("inf") if self.done < self.total else 0.0
+        return (self.total - self.done) / rate
 
 
 @dataclass
@@ -73,6 +114,48 @@ class JobStats:
     skipped: bool = False
     wall_time: float = 0.0
     table_keys: Dict[str, str] = field(default_factory=dict)
+    #: Wall seconds of every completed work unit (pool chunk, or single
+    #: point on the serial path), in completion order.
+    chunk_wall_times: List[float] = field(default_factory=list)
+    #: Parent-process metric delta attributable to this job.
+    metrics: Optional[MetricsSnapshot] = None
+    #: Merged pool-worker metric deltas for this job (parallel builds).
+    worker_metrics: Optional[MetricsSnapshot] = None
+    #: Span trees drained from pool workers (serialized dicts).
+    worker_spans: List[dict] = field(default_factory=list)
+
+    def add_worker_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold one worker chunk's metric delta into this job's totals."""
+        if self.worker_metrics is None:
+            self.worker_metrics = snapshot
+        else:
+            self.worker_metrics = self.worker_metrics.merged(snapshot)
+
+    def combined_metrics(self) -> MetricsSnapshot:
+        """Parent + worker metric deltas: the job's true totals."""
+        combined = self.metrics if self.metrics is not None else MetricsSnapshot()
+        if self.worker_metrics is not None:
+            combined = combined.merged(self.worker_metrics)
+        return combined
+
+    def telemetry_summary(self) -> Dict[str, object]:
+        """Compact build provenance embedded into library manifests."""
+        totals = self.combined_metrics()
+        return {
+            "build_seconds": round(self.wall_time, 6),
+            "points_solved": self.points_solved,
+            "points_resumed": self.points_resumed,
+            "chunks": len(self.chunk_wall_times),
+            "loop_solve": totals.counter("loop_solve"),
+            "partial_inductance_solve": totals.counter(
+                "partial_inductance_solve"
+            ),
+            "field_solve_2d": totals.counter("field_solve_2d"),
+            "lp_pair_eval": totals.counter("lp_pair_eval"),
+            "lp_pair_total": totals.counter("lp_pair_total"),
+            "memo_hit_rate": round(totals.memo_hit_rate, 6),
+            "dedup_factor": round(totals.dedup_factor, 4),
+        }
 
 
 @dataclass
@@ -102,6 +185,26 @@ class BuildStats:
     def points_resumed(self) -> int:
         return sum(j.points_resumed for j in self.jobs)
 
+    @property
+    def chunk_wall_times(self) -> List[float]:
+        """Every job's work-unit wall times, concatenated."""
+        return [t for j in self.jobs for t in j.chunk_wall_times]
+
+    @property
+    def worker_metrics(self) -> Optional[MetricsSnapshot]:
+        """Merged pool-worker metric deltas of the whole run (or None)."""
+        merged: Optional[MetricsSnapshot] = None
+        for job in self.jobs:
+            if job.worker_metrics is not None:
+                merged = (job.worker_metrics if merged is None
+                          else merged.merged(job.worker_metrics))
+        return merged
+
+    @property
+    def worker_spans(self) -> List[dict]:
+        """Span trees shipped back from pool workers, all jobs."""
+        return [sp for j in self.jobs for sp in j.worker_spans]
+
     def summary(self) -> str:
         """One-line human summary."""
         return (
@@ -110,6 +213,24 @@ class BuildStats:
             f"{self.points_resumed} resumed from checkpoint, "
             f"{self.wall_time:.2f} s"
         )
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """What one pool task ships back to the build parent.
+
+    Everything is plain picklable data: the solved ``(index, values)``
+    pairs, the chunk's wall time and worker pid, the worker-registry
+    metric *delta* accumulated while solving (serialized via
+    :meth:`~repro.telemetry.MetricsSnapshot.to_dict`), and the span
+    trees the chunk produced.
+    """
+
+    results: List[Tuple[int, List[float]]]
+    wall_time: float
+    pid: int
+    metrics: dict
+    spans: List[dict]
 
 
 def _solve_point_task(
@@ -123,7 +244,7 @@ def _solve_chunk_task(
     job: CharacterizationJob,
     indices: Sequence[int],
     points: Sequence[Tuple[float, ...]],
-) -> List[Tuple[int, Tuple[float, ...]]]:
+) -> ChunkResult:
     """Solve a chunk of grid points in one worker task.
 
     Chunking amortizes the per-task pickle/dispatch overhead and --
@@ -131,9 +252,35 @@ def _solve_chunk_task(
     process so the kernel's partial-inductance memo cache can reuse
     shared filament-pair geometry across them
     (:meth:`CharacterizationJob.solve_points`).
+
+    The chunk is wrapped in a ``library.chunk`` span, and the worker
+    registry's metric delta over the chunk travels back with the
+    results -- the parent merges it into the build totals without ever
+    polluting its own registry.
     """
-    values = job.solve_points(points)
-    return list(zip(indices, values))
+    registry = get_registry()
+    tracer = get_tracer()
+    # A forked worker inherits the parent's completed roots and -- when
+    # the fork happened inside an open span -- its open-span stack.
+    # Drop both so this chunk's trace is exactly this chunk's work.
+    tracer.clear_stack()
+    tracer.reset()
+    start = registry.snapshot()
+    t0 = time.perf_counter()
+    with tracer.span("library.chunk", job=job.kind, points=len(indices)):
+        values = job.solve_points(points)
+    wall = time.perf_counter() - t0
+    delta = registry.snapshot().minus(start)
+    return ChunkResult(
+        results=[
+            (int(i), [float(v) for v in vals])
+            for i, vals in zip(indices, values)
+        ],
+        wall_time=wall,
+        pid=os.getpid(),
+        metrics=delta.to_dict(),
+        spans=[sp.to_dict() for sp in tracer.drain()],
+    )
 
 
 def _chunk_indices(remaining: Sequence[int], n_chunks: int) -> List[List[int]]:
@@ -249,6 +396,8 @@ class BuildRunner:
             points_total=job.num_points(),
             table_keys=dict(keys),
         )
+        registry = get_registry()
+        start_snapshot = registry.snapshot()
         t0 = time.perf_counter()
         if all(key in self.library for key in keys.values()):
             job_stats.skipped = True
@@ -265,35 +414,70 @@ class BuildRunner:
         job_stats.points_resumed = len(done)
         remaining = [i for i in range(len(points)) if i not in done]
 
-        if remaining:
-            checkpoint.parent.mkdir(parents=True, exist_ok=True)
-            with open(checkpoint, "a", encoding="utf-8") as log:
-                def record(index: int, values: Tuple[float, ...]) -> None:
-                    values = [float(v) for v in values]
-                    done[index] = values
-                    log.write(json.dumps({"i": index, "v": values}) + "\n")
-                    log.flush()
-                    os.fsync(log.fileno())
-                    job_stats.points_solved += 1
-                    if self.progress is not None:
-                        self.progress(JobProgress(
-                            job=job,
-                            done=len(done),
-                            total=len(points),
-                            resumed=job_stats.points_resumed,
-                            elapsed=time.perf_counter() - t0,
-                        ))
+        with span("library.job", job=job.kind, points=len(points),
+                  resumed=job_stats.points_resumed):
+            if remaining:
+                checkpoint.parent.mkdir(parents=True, exist_ok=True)
+                with open(checkpoint, "a", encoding="utf-8") as log:
+                    def record(index: int, values: Tuple[float, ...]) -> None:
+                        values = [float(v) for v in values]
+                        done[index] = values
+                        log.write(json.dumps({"i": index, "v": values}) + "\n")
+                        log.flush()
+                        os.fsync(log.fileno())
+                        job_stats.points_solved += 1
+                        if self.progress is not None:
+                            job_stats.metrics = registry.snapshot().minus(
+                                start_snapshot
+                            )
+                            self.progress(JobProgress(
+                                job=job,
+                                done=len(done),
+                                total=len(points),
+                                resumed=job_stats.points_resumed,
+                                elapsed=time.perf_counter() - t0,
+                                memo_hit_rate=(
+                                    job_stats.combined_metrics().memo_hit_rate
+                                ),
+                            ))
 
-                if self.parallel:
-                    self._run_parallel(job, points, remaining, record)
-                else:
-                    for index in remaining:
-                        record(index, job.solve_point(points[index]))
+                    if self.parallel:
+                        self._run_parallel(job, points, remaining, record,
+                                           job_stats)
+                    else:
+                        self._run_serial(job, points, remaining, record,
+                                         job_stats)
 
-        self._finalize_job(job, keys, [done[i] for i in range(len(points))],
-                           checkpoint)
+            job_stats.metrics = registry.snapshot().minus(start_snapshot)
+            # Fix wall time before finalization so the manifest summary
+            # records the real build duration (finalization is cheap;
+            # the final update below only adds its tail).
+            job_stats.wall_time = time.perf_counter() - t0
+            self._finalize_job(
+                job, keys, [done[i] for i in range(len(points))],
+                checkpoint, job_stats,
+            )
         job_stats.wall_time = time.perf_counter() - t0
         return job_stats
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        job: CharacterizationJob,
+        points: Sequence[Tuple[float, ...]],
+        remaining: Sequence[int],
+        record: Callable[[int, Tuple[float, ...]], None],
+        job_stats: JobStats,
+    ) -> None:
+        """In-process deterministic loop; each point is a work unit."""
+        registry = get_registry()
+        for index in remaining:
+            t0 = time.perf_counter()
+            values = job.solve_point(points[index])
+            wall = time.perf_counter() - t0
+            job_stats.chunk_wall_times.append(wall)
+            registry.observe(BUILD_CHUNK_SECONDS, wall)
+            record(index, values)
 
     # ------------------------------------------------------------------
     def _run_parallel(
@@ -302,6 +486,7 @@ class BuildRunner:
         points: Sequence[Tuple[float, ...]],
         remaining: Sequence[int],
         record: Callable[[int, Tuple[float, ...]], None],
+        job_stats: JobStats,
     ) -> None:
         """Fan chunked point solves over a process pool, recording as they land.
 
@@ -311,6 +496,13 @@ class BuildRunner:
         kernel memo cache turns their shared filament-pair geometry into
         cache hits.  Checkpointing still happens per *point* as each
         chunk's results are recorded.
+
+        Each :class:`ChunkResult` also carries the worker's metric delta
+        and span tree for the chunk; they are folded into *job_stats*
+        (not the parent registry -- per-process counter semantics stay
+        intact) and the chunk wall time lands in both
+        ``job_stats.chunk_wall_times`` and the parent's
+        ``build_chunk_seconds`` histogram.
         """
         if self.chunk_size is not None:
             n_chunks = -(-len(remaining) // self.chunk_size)  # ceil div
@@ -320,9 +512,9 @@ class BuildRunner:
         try:
             executor = ProcessPoolExecutor(max_workers=self.workers)
         except (OSError, ValueError):  # pragma: no cover - constrained envs
-            for index in remaining:
-                record(index, job.solve_point(points[index]))
+            self._run_serial(job, points, remaining, record, job_stats)
             return
+        registry = get_registry()
         with executor:
             pending = {
                 executor.submit(
@@ -336,7 +528,17 @@ class BuildRunner:
                     finished, pending = wait(pending,
                                              return_when=FIRST_COMPLETED)
                     for future in finished:
-                        for index, values in future.result():
+                        chunk_result = future.result()
+                        job_stats.chunk_wall_times.append(
+                            chunk_result.wall_time
+                        )
+                        registry.observe(BUILD_CHUNK_SECONDS,
+                                         chunk_result.wall_time)
+                        job_stats.add_worker_snapshot(
+                            MetricsSnapshot.from_dict(chunk_result.metrics)
+                        )
+                        job_stats.worker_spans.extend(chunk_result.spans)
+                        for index, values in chunk_result.results:
                             record(index, values)
             except BaseException:
                 for future in pending:
@@ -350,7 +552,11 @@ class BuildRunner:
         keys: Dict[str, str],
         values_by_point: List[List[float]],
         checkpoint: Path,
+        job_stats: Optional[JobStats] = None,
     ) -> None:
+        metadata: Dict[str, object] = {"kind": job.kind}
+        if job_stats is not None:
+            metadata["telemetry"] = job_stats.telemetry_summary()
         tables = job.assemble(values_by_point)
         for table in tables:
             self.library.put(
@@ -360,7 +566,7 @@ class BuildRunner:
                 family=job.family,
                 frequency=job.frequency,
                 job_id=job.job_id,
-                metadata={"kind": job.kind},
+                metadata=dict(metadata),
             )
         try:
             checkpoint.unlink()

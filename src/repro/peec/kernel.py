@@ -39,7 +39,7 @@ The cold cost of table characterization is concentrated in two places:
    points of a table build share congruent sub-blocks (identical ground
    strips, shield traces, self terms) and hit the cache instead of
    re-integrating.  Hit/miss counters live in
-   :mod:`repro.instrumentation`.
+   :mod:`repro.telemetry`.
 """
 
 from __future__ import annotations
@@ -53,11 +53,13 @@ import numpy as np
 
 from repro.errors import GeometryError, SolverError
 from repro.geometry.primitives import RectBar
-from repro.instrumentation import (
+from repro.telemetry import (
     LP_MEMO_HIT,
     LP_MEMO_MISS,
     LP_PAIR_EVAL,
-    count_solver_call,
+    LP_PAIR_TOTAL,
+    get_registry,
+    span,
 )
 from repro.peec.hoer_love import (
     _bar_to_x_frame,
@@ -89,8 +91,8 @@ class LpMemoCache:
 
     Statistics (``hits`` / ``misses`` / ``evictions``) accumulate per
     instance; the global instance additionally ticks the
-    ``lp_memo_hit`` / ``lp_memo_miss`` counters in
-    :mod:`repro.instrumentation`.
+    ``lp_memo_hit`` / ``lp_memo_miss`` counters in the
+    :mod:`repro.telemetry` registry.
     """
 
     #: ~9 floats of key + 1 float of value per entry; the default bounds
@@ -164,10 +166,11 @@ class LpMemoCache:
                     found[i] = value
             self.hits += len(found)
             self.misses += len(missing)
+        registry = get_registry()
         if found:
-            count_solver_call(LP_MEMO_HIT, len(found))
+            registry.inc(LP_MEMO_HIT, len(found))
         if missing:
-            count_solver_call(LP_MEMO_MISS, len(missing))
+            registry.inc(LP_MEMO_MISS, len(missing))
         return found, missing
 
     def store(self, keys: Sequence[bytes], values: Sequence[float]) -> None:
@@ -256,6 +259,7 @@ def _assemble_block_dedup(
     """Dense Lp block for one same-axis filament group via signature dedup."""
     n = frames.shape[0]
     iu, ju, signatures = _pair_signatures(frames)
+    get_registry().inc(LP_PAIR_TOTAL, signatures.shape[0])
     unique, inverse = np.unique(signatures, axis=0, return_inverse=True)
     inverse = inverse.reshape(-1)  # numpy >= 2.0 returns the input shape
     values = np.empty(unique.shape[0])
@@ -266,12 +270,12 @@ def _assemble_block_dedup(
             values[i] = value
         if missing:
             fresh = _evaluate_signatures(unique[missing])
-            count_solver_call(LP_PAIR_EVAL, len(missing))
+            get_registry().inc(LP_PAIR_EVAL, len(missing))
             values[missing] = fresh
             memo.store([keys[i] for i in missing], fresh)
     else:
         values[:] = _evaluate_signatures(unique)
-        count_solver_call(LP_PAIR_EVAL, unique.shape[0])
+        get_registry().inc(LP_PAIR_EVAL, unique.shape[0])
     block = np.empty((n, n))
     flat = values[inverse]
     block[iu, ju] = flat
@@ -282,7 +286,9 @@ def _assemble_block_dedup(
 def _assemble_block_naive(frames: np.ndarray) -> np.ndarray:
     """Dense Lp block via one full n x n Hoer-Love broadcast (baseline)."""
     x0, length, y0, width, z0, thickness = frames.T
-    count_solver_call(LP_PAIR_EVAL, frames.shape[0] * frames.shape[0])
+    registry = get_registry()
+    registry.inc(LP_PAIR_TOTAL, frames.shape[0] * frames.shape[0])
+    registry.inc(LP_PAIR_EVAL, frames.shape[0] * frames.shape[0])
     return mutual_inductance_batch(
         x0[:, None], length[:, None], y0[:, None],
         width[:, None], z0[:, None], thickness[:, None],
@@ -331,13 +337,14 @@ def assemble_partial_inductance_matrix(
     else:
         cache = memo
     lp = np.zeros((n, n))
-    for indices in _group_by_axis(bars).values():
-        frames = np.array([_bar_to_x_frame(bars[i]) for i in indices])
-        if method == "dedup":
-            block = _assemble_block_dedup(frames, cache)
-        else:
-            block = _assemble_block_naive(frames)
-        lp[np.ix_(indices, indices)] = block
+    with span("peec.assemble", filaments=n, method=method):
+        for indices in _group_by_axis(bars).values():
+            frames = np.array([_bar_to_x_frame(bars[i]) for i in indices])
+            if method == "dedup":
+                block = _assemble_block_dedup(frames, cache)
+            else:
+                block = _assemble_block_naive(frames)
+            lp[np.ix_(indices, indices)] = block
     return lp
 
 
@@ -407,7 +414,8 @@ class ImpedanceFactorization:
         root_inv = 1.0 / np.sqrt(r)
         symmetric = root_inv[:, None] * (0.5 * (lp + lp.T)) * root_inv[None, :]
         try:
-            tau, vectors = np.linalg.eigh(symmetric)
+            with span("peec.factorize", n=int(r.shape[0])):
+                tau, vectors = np.linalg.eigh(symmetric)
         except np.linalg.LinAlgError as exc:  # pragma: no cover - eigh on
             # symmetric input converges in practice
             raise SolverError(f"impedance factorization failed: {exc}") from exc

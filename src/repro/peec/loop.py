@@ -21,7 +21,7 @@ import numpy as np
 from repro.constants import RHO_CU
 from repro.errors import GeometryError, SolverError
 from repro.geometry.trace import Trace, TraceBlock
-from repro.instrumentation import LOOP_SOLVE, count_solver_call
+from repro.telemetry import LOOP_SOLVE, get_registry, span
 from repro.peec.ground_plane import GroundPlane
 from repro.peec.network import FilamentNetwork
 
@@ -208,10 +208,11 @@ class LoopProblem:
         """
         if frequency <= 0.0:
             raise SolverError("frequency must be positive")
-        count_solver_call(LOOP_SOLVE)
-        solution = self._network.solve(
-            frequency, {NODE_IN: 1.0 + 0.0j}, factored=factored
-        )
+        get_registry().inc(LOOP_SOLVE)
+        with span("peec.loop_solve", frequency=frequency):
+            solution = self._network.solve(
+                frequency, {NODE_IN: 1.0 + 0.0j}, factored=factored
+            )
         return self._loop_solution(frequency, solution)
 
     def _loop_solution(self, frequency: float, solution) -> LoopSolution:
@@ -241,14 +242,17 @@ class LoopProblem:
             raise SolverError("sweep needs at least one frequency")
         if any(f <= 0.0 for f in freqs):
             raise SolverError("frequencies must be positive")
-        count_solver_call(LOOP_SOLVE, len(freqs))
-        return [
-            self._loop_solution(
-                f,
-                self._network.solve(f, {NODE_IN: 1.0 + 0.0j}, factored=factored),
-            )
-            for f in freqs
-        ]
+        get_registry().inc(LOOP_SOLVE, len(freqs))
+        with span("peec.loop_sweep", points=len(freqs)):
+            return [
+                self._loop_solution(
+                    f,
+                    self._network.solve(
+                        f, {NODE_IN: 1.0 + 0.0j}, factored=factored
+                    ),
+                )
+                for f in freqs
+            ]
 
     def loop_rl(self, frequency: float) -> Tuple[float, float]:
         """Convenience: (loop resistance [ohm], loop inductance [H])."""

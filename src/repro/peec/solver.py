@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.constants import RHO_CU
 from repro.errors import GeometryError, SolverError
-from repro.instrumentation import PARTIAL_SOLVE, count_solver_call
+from repro.telemetry import PARTIAL_SOLVE, get_registry, span
 from repro.geometry.primitives import RectBar
 from repro.peec.kernel import (
     ImpedanceFactorization,
@@ -201,8 +201,9 @@ class PartialInductanceSolver:
         """
         if frequency <= 0.0:
             raise SolverError("frequency must be positive for an R/L split")
-        count_solver_call(PARTIAL_SOLVE)
-        z = self.conductor_impedance_matrix(frequency)
+        get_registry().inc(PARTIAL_SOLVE)
+        with span("peec.partial_solve", frequency=frequency):
+            z = self.conductor_impedance_matrix(frequency)
         omega = 2.0 * np.pi * frequency
         return z.real, z.imag / omega
 
@@ -220,13 +221,14 @@ class PartialInductanceSolver:
             raise SolverError("sweep needs at least one frequency")
         if np.any(freqs <= 0.0):
             raise SolverError("frequencies must be positive for an R/L split")
-        count_solver_call(PARTIAL_SOLVE, int(freqs.size))
+        get_registry().inc(PARTIAL_SOLVE, int(freqs.size))
         n_cond = len(self.conductors)
         resistance = np.empty((freqs.size, n_cond, n_cond))
         inductance = np.empty_like(resistance)
-        for k, frequency in enumerate(freqs):
-            z = self.conductor_impedance_matrix(float(frequency))
-            omega = 2.0 * np.pi * frequency
-            resistance[k] = z.real
-            inductance[k] = z.imag / omega
+        with span("peec.partial_sweep", points=int(freqs.size)):
+            for k, frequency in enumerate(freqs):
+                z = self.conductor_impedance_matrix(float(frequency))
+                omega = 2.0 * np.pi * frequency
+                resistance[k] = z.real
+                inductance[k] = z.imag / omega
         return resistance, inductance

@@ -23,7 +23,7 @@ from scipy.sparse.linalg import spsolve
 
 from repro.constants import EPS_0, EPS_R_SIO2
 from repro.errors import GeometryError, SolverError
-from repro.instrumentation import FIELD_SOLVE_2D, count_solver_call
+from repro.telemetry import FIELD_SOLVE_2D, get_registry, span
 from repro.geometry.trace import TraceBlock
 
 
@@ -272,10 +272,11 @@ class FieldSolver2D:
         """
         n = len(self.cs.conductors)
         matrix = np.zeros((n, n))
-        count_solver_call(FIELD_SOLVE_2D)
-        for i in range(n):
-            potential = self.solve_potential(i)
-            for j in range(n):
-                matrix[i, j] = self._conductor_charge(potential, j)
+        get_registry().inc(FIELD_SOLVE_2D)
+        with span("rc.field_solve_2d", conductors=n):
+            for i in range(n):
+                potential = self.solve_potential(i)
+                for j in range(n):
+                    matrix[i, j] = self._conductor_charge(potential, j)
         # Enforce the symmetry the continuous problem guarantees.
         return 0.5 * (matrix + matrix.T)

@@ -16,6 +16,7 @@ Three builders mirror the paper's characterization flows:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -31,6 +32,12 @@ from repro.peec.mesh import skin_mesh_counts
 from repro.peec.solver import Conductor, PartialInductanceSolver
 from repro.rc.fieldsolver2d import CrossSection2D, FieldSolver2D
 from repro.tables.lookup import ExtractionTable
+from repro.telemetry import TABLE_BUILD_POINT, get_registry, span
+
+
+def _observe_point(t0: float) -> None:
+    """Record one grid-point solve duration in the build histogram."""
+    get_registry().observe(TABLE_BUILD_POINT, time.perf_counter() - t0)
 
 
 def _validated_axis(name: str, values: Sequence[float]) -> np.ndarray:
@@ -117,10 +124,14 @@ class PartialInductanceTableBuilder:
         """Self Lp table over (width, length) [H]."""
         width_axis = _validated_axis("width", widths)
         length_axis = _validated_axis("length", lengths)
-        values = np.array([
-            [self._self_value(w, l) for l in length_axis]
-            for w in width_axis
-        ])
+        with span(
+            "tables.build_partial_self",
+            points=int(width_axis.size * length_axis.size),
+        ):
+            values = np.array([
+                [self._self_value(w, l) for l in length_axis]
+                for w in width_axis
+            ])
         return ExtractionTable(
             name=name,
             quantity="self_inductance",
@@ -147,16 +158,18 @@ class PartialInductanceTableBuilder:
         w2_axis = _validated_axis("width2", widths2)
         s_axis = _validated_axis("spacing", spacings)
         l_axis = _validated_axis("length", lengths)
-        values = np.array([
-            [
+        n_points = int(w1_axis.size * w2_axis.size * s_axis.size * l_axis.size)
+        with span("tables.build_partial_mutual", points=n_points):
+            values = np.array([
                 [
-                    [self._mutual_value(w1, w2, s, l) for l in l_axis]
-                    for s in s_axis
+                    [
+                        [self._mutual_value(w1, w2, s, l) for l in l_axis]
+                        for s in s_axis
+                    ]
+                    for w2 in w2_axis
                 ]
-                for w2 in w2_axis
-            ]
-            for w1 in w1_axis
-        ])
+                for w1 in w1_axis
+            ])
         return ExtractionTable(
             name=name,
             quantity="mutual_inductance",
@@ -209,12 +222,15 @@ class LoopInductanceTableBuilder:
         length_axis = _validated_axis("length", lengths)
         l_values = np.empty((width_axis.size, length_axis.size))
         r_values = np.empty_like(l_values)
-        for i, width in enumerate(width_axis):
-            for j, length in enumerate(length_axis):
-                problem = self.problem_factory(float(width), float(length))
-                resistance, inductance = problem.loop_rl(self.frequency)
-                l_values[i, j] = inductance
-                r_values[i, j] = resistance
+        with span("tables.build_loop", points=int(l_values.size)):
+            for i, width in enumerate(width_axis):
+                for j, length in enumerate(length_axis):
+                    t0 = time.perf_counter()
+                    problem = self.problem_factory(float(width), float(length))
+                    resistance, inductance = problem.loop_rl(self.frequency)
+                    _observe_point(t0)
+                    l_values[i, j] = inductance
+                    r_values[i, j] = resistance
         metadata = {"frequency": self.frequency, "model": "loop"}
         l_table = ExtractionTable(
             name=f"{name_prefix}_inductance",
@@ -275,18 +291,21 @@ class MutualLoopTableBuilder:
         sep_axis = _validated_axis("separation", separations)
         length_axis = _validated_axis("length", lengths)
         values = np.empty((sep_axis.size, length_axis.size))
-        for i, separation in enumerate(sep_axis):
-            for j, length in enumerate(length_axis):
-                problem = self.pair_problem_factory(float(separation),
-                                                    float(length))
-                solution = problem.solve(self.frequency)
-                try:
-                    values[i, j] = solution.mutual_loop_inductances["VICTIM"]
-                except KeyError:
-                    raise TableError(
-                        "pair problem must contain an open trace named "
-                        "'VICTIM'"
-                    ) from None
+        with span("tables.build_mutual_loop", points=int(values.size)):
+            for i, separation in enumerate(sep_axis):
+                for j, length in enumerate(length_axis):
+                    t0 = time.perf_counter()
+                    problem = self.pair_problem_factory(float(separation),
+                                                        float(length))
+                    solution = problem.solve(self.frequency)
+                    _observe_point(t0)
+                    try:
+                        values[i, j] = solution.mutual_loop_inductances["VICTIM"]
+                    except KeyError:
+                        raise TableError(
+                            "pair problem must contain an open trace named "
+                            "'VICTIM'"
+                        ) from None
         return ExtractionTable(
             name=name,
             quantity="mutual_loop_inductance",
@@ -362,9 +381,14 @@ class ThreeTraceCapacitanceBuilder:
         spacing_axis = _validated_axis("spacing", spacings)
         ground = np.empty((width_axis.size, spacing_axis.size))
         coupling = np.empty_like(ground)
-        for i, w in enumerate(width_axis):
-            for j, s in enumerate(spacing_axis):
-                ground[i, j], coupling[i, j] = self._solve_point(float(w), float(s))
+        with span("tables.build_three_trace", points=int(ground.size)):
+            for i, w in enumerate(width_axis):
+                for j, s in enumerate(spacing_axis):
+                    t0 = time.perf_counter()
+                    ground[i, j], coupling[i, j] = self._solve_point(
+                        float(w), float(s)
+                    )
+                    _observe_point(t0)
         metadata = {
             "height_below": self.height_below,
             "thickness": self.thickness,
@@ -423,6 +447,14 @@ class CapacitanceTableBuilder:
         matrix = solver.capacitance_matrix()
         return float(matrix[names.index("SIG"), names.index("SIG")])
 
+    def _timed_total_cap(self, width: float, spacing: float) -> float:
+        """One grid-point solve, observed into the build histogram."""
+        t0 = time.perf_counter()
+        try:
+            return self._total_cap_per_length(width, spacing)
+        finally:
+            _observe_point(t0)
+
     def build_total_cap_table(
         self,
         widths: Sequence[float],
@@ -432,10 +464,14 @@ class CapacitanceTableBuilder:
         """Total signal capacitance per unit length over (width, spacing)."""
         width_axis = _validated_axis("width", widths)
         spacing_axis = _validated_axis("spacing", spacings)
-        values = np.array([
-            [self._total_cap_per_length(w, s) for s in spacing_axis]
-            for w in width_axis
-        ])
+        with span(
+            "tables.build_total_cap",
+            points=int(width_axis.size * spacing_axis.size),
+        ):
+            values = np.array([
+                [self._timed_total_cap(w, s) for s in spacing_axis]
+                for w in width_axis
+            ])
         return ExtractionTable(
             name=name,
             quantity="capacitance_per_length",

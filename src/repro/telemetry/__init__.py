@@ -1,0 +1,86 @@
+"""Zero-dependency observability for the extraction pipeline.
+
+``repro.telemetry`` supersedes and absorbs :mod:`repro.instrumentation`
+(which remains as a thin compatibility shim).  Four pieces:
+
+* :mod:`~repro.telemetry.registry` -- a process-wide metrics registry
+  (counters, gauges, fixed-bucket histograms) with atomic snapshots and
+  the snapshot algebra (``minus`` / ``merged``) that powers
+  cross-process aggregation.
+* :mod:`~repro.telemetry.spans` -- hierarchical tracing spans
+  (``with span("htree.extract", ...)``) recording wall time, counter
+  deltas and tags into an in-memory trace tree, dumpable as JSONL.
+* :mod:`~repro.telemetry.export` -- deterministic Prometheus-text and
+  JSON exporters for snapshots.
+* :mod:`~repro.telemetry.report` -- structured :class:`RunReport`
+  artifacts (``--telemetry out.json`` on the CLI, rendered back by
+  ``repro report``), captured by :func:`telemetry_session`.
+
+Typical use::
+
+    from repro.telemetry import get_registry, metrics_meter, span
+
+    with metrics_meter() as meter:
+        with span("htree.extract", segments=n):
+            extractor.build_netlist(htree)
+    assert meter.delta.counter("loop_solve") == 0      # warm path
+    print(meter.delta.memo_hit_rate)                   # race-free
+"""
+
+from repro.telemetry.registry import (
+    BUILD_CHUNK_SECONDS,
+    DEFAULT_TIME_BUCKETS,
+    FIELD_SOLVE_2D,
+    LOOKUP_LATENCY,
+    LOOP_SOLVE,
+    LP_MEMO_HIT,
+    LP_MEMO_MISS,
+    LP_PAIR_EVAL,
+    LP_PAIR_TOTAL,
+    PARTIAL_SOLVE,
+    TABLE_BUILD_POINT,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    metrics_meter,
+)
+from repro.telemetry.spans import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_spans_enabled,
+    span,
+    spans_disabled,
+    spans_enabled,
+    spans_to_jsonl,
+)
+from repro.telemetry.export import prometheus_text, snapshot_json
+from repro.telemetry.report import (
+    REPORT_SCHEMA_VERSION,
+    RunReport,
+    TelemetrySession,
+    load_report,
+    render_report,
+    telemetry_session,
+)
+
+__all__ = [
+    # metric names
+    "LOOP_SOLVE", "PARTIAL_SOLVE", "FIELD_SOLVE_2D",
+    "LP_PAIR_EVAL", "LP_PAIR_TOTAL", "LP_MEMO_HIT", "LP_MEMO_MISS",
+    "LOOKUP_LATENCY", "TABLE_BUILD_POINT", "BUILD_CHUNK_SECONDS",
+    "DEFAULT_TIME_BUCKETS",
+    # registry
+    "MetricsRegistry", "MetricsSnapshot", "HistogramSnapshot",
+    "get_registry", "metrics_meter",
+    # spans
+    "Span", "Tracer", "get_tracer", "span",
+    "spans_enabled", "set_spans_enabled", "spans_disabled",
+    "spans_to_jsonl",
+    # exporters
+    "prometheus_text", "snapshot_json",
+    # reports
+    "REPORT_SCHEMA_VERSION", "RunReport", "TelemetrySession",
+    "telemetry_session", "render_report", "load_report",
+]

@@ -1,0 +1,71 @@
+"""Exporters: metrics snapshots as Prometheus text or canonical JSON.
+
+Both formats are deterministic (sorted metric names, fixed float
+formatting), so golden-file tests can compare exported text exactly and
+diffs between two runs are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.telemetry.registry import MetricsSnapshot
+
+__all__ = ["prometheus_text", "snapshot_json"]
+
+
+def _fmt(value: float) -> str:
+    """Stable short float formatting (``0.001``, ``1e-06``, ``42``)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _sanitize(name: str) -> str:
+    """Make *name* a legal Prometheus metric name."""
+    cleaned = "".join(
+        ch if (ch.isascii() and (ch.isalnum() or ch in "_:")) else "_"
+        for ch in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def prometheus_text(snapshot: MetricsSnapshot, prefix: str = "repro_") -> str:
+    """Render *snapshot* in the Prometheus text exposition format.
+
+    Counters become ``<prefix><name>``; histograms expand to the
+    standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``.  Metric families are emitted in sorted-name order with a
+    ``# TYPE`` header each.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.counters):
+        metric = _sanitize(prefix + name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot.counters[name]}")
+    for name in sorted(snapshot.gauges):
+        metric = _sanitize(prefix + name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        hist = snapshot.histograms[name]
+        metric = _sanitize(prefix + name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {_fmt(hist.sum)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_json(snapshot: MetricsSnapshot, indent: int = 1) -> str:
+    """Canonical JSON text of *snapshot* (sorted keys, stable layout)."""
+    return json.dumps(snapshot.to_dict(), indent=indent, sort_keys=True)

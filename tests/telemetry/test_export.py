@@ -1,0 +1,89 @@
+"""Exporter golden files: Prometheus text and canonical JSON."""
+
+import json
+
+from repro.telemetry import (
+    HistogramSnapshot,
+    MetricsSnapshot,
+    prometheus_text,
+    snapshot_json,
+)
+
+
+def _sample_snapshot() -> MetricsSnapshot:
+    return MetricsSnapshot(
+        counters={"loop_solve": 4, "lp_pair_eval": 762},
+        gauges={"memo_cache_entries": 1200.0},
+        histograms={
+            "lookup_latency_seconds": HistogramSnapshot(
+                buckets=(1e-06, 0.001, 1.0),
+                counts=(2, 1, 0, 1),
+                sum=2.5015,
+                count=4,
+            ),
+        },
+    )
+
+
+PROMETHEUS_GOLDEN = """\
+# TYPE repro_loop_solve counter
+repro_loop_solve 4
+# TYPE repro_lp_pair_eval counter
+repro_lp_pair_eval 762
+# TYPE repro_memo_cache_entries gauge
+repro_memo_cache_entries 1200
+# TYPE repro_lookup_latency_seconds histogram
+repro_lookup_latency_seconds_bucket{le="1e-06"} 2
+repro_lookup_latency_seconds_bucket{le="0.001"} 3
+repro_lookup_latency_seconds_bucket{le="1"} 3
+repro_lookup_latency_seconds_bucket{le="+Inf"} 4
+repro_lookup_latency_seconds_sum 2.5015
+repro_lookup_latency_seconds_count 4
+"""
+
+
+class TestPrometheus:
+    def test_golden_text(self):
+        assert prometheus_text(_sample_snapshot()) == PROMETHEUS_GOLDEN
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert prometheus_text(MetricsSnapshot()) == ""
+
+    def test_deterministic(self):
+        snap = _sample_snapshot()
+        assert prometheus_text(snap) == prometheus_text(snap)
+
+    def test_names_are_sanitized(self):
+        snap = MetricsSnapshot(counters={"weird name!": 1, "2fast": 2})
+        text = prometheus_text(snap, prefix="")
+        assert "weird_name_ 1" in text
+        assert "_2fast 2" in text
+
+
+JSON_GOLDEN = {
+    "counters": {"loop_solve": 4, "lp_pair_eval": 762},
+    "gauges": {"memo_cache_entries": 1200.0},
+    "histograms": {
+        "lookup_latency_seconds": {
+            "buckets": [1e-06, 0.001, 1.0],
+            "counts": [2, 1, 0, 1],
+            "sum": 2.5015,
+            "count": 4,
+        },
+    },
+}
+
+
+class TestJson:
+    def test_golden_json(self):
+        assert json.loads(snapshot_json(_sample_snapshot())) == JSON_GOLDEN
+
+    def test_sorted_keys_layout_stable(self):
+        a = MetricsSnapshot(counters={"b": 1, "a": 2})
+        b = MetricsSnapshot(counters={"a": 2, "b": 1})
+        assert snapshot_json(a) == snapshot_json(b)
+
+    def test_roundtrip(self):
+        snap = _sample_snapshot()
+        restored = MetricsSnapshot.from_dict(json.loads(snapshot_json(snap)))
+        assert restored == snap

@@ -1,0 +1,214 @@
+"""MetricsRegistry: counters, gauges, histograms, snapshot algebra."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DEFAULT_TIME_BUCKETS,
+    LP_MEMO_HIT,
+    LP_MEMO_MISS,
+    LP_PAIR_EVAL,
+    LP_PAIR_TOTAL,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    metrics_meter,
+)
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.inc("b", 2)
+        assert reg.counter_value("a") == 5
+        assert reg.counter_value("b") == 2
+        assert reg.counter_value() == 7
+        assert reg.counter_value("never") == 0
+
+    def test_counters_snapshot_is_copy(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        snap = reg.counters_snapshot()
+        snap["a"] = 99
+        assert reg.counter_value("a") == 1
+
+    def test_reset_zeroes_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 3)
+        reg.set_gauge("g", 1.5)
+        reg.observe("h", 0.5)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap.counters == {}
+        assert snap.gauges == {}
+        assert snap.histograms == {}
+
+
+class TestKindConflicts:
+    def test_counter_name_cannot_become_gauge(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(TelemetryError):
+            reg.set_gauge("x", 1.0)
+
+    def test_gauge_name_cannot_become_histogram(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("y", 2.0)
+        with pytest.raises(TelemetryError):
+            reg.observe("y", 0.1)
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 0.1, buckets=(1.0, 2.0))
+        with pytest.raises(TelemetryError):
+            reg.observe("h", 0.1, buckets=(1.0, 3.0))
+
+    def test_bad_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            reg.observe("h", 0.1, buckets=())
+        with pytest.raises(TelemetryError):
+            reg.observe("h2", 0.1, buckets=(2.0, 1.0))
+
+
+class TestHistogramBuckets:
+    def test_bucket_edges_are_le_inclusive(self):
+        """A value equal to a bound lands in that bound's bucket."""
+        reg = MetricsRegistry()
+        bounds = (1.0, 10.0, 100.0)
+        for value in (0.5, 1.0, 1.0001, 10.0, 100.0, 100.0001):
+            reg.observe("h", value, buckets=bounds)
+        hist = reg.snapshot().histogram("h")
+        # <=1: {0.5, 1.0}; <=10: {1.0001, 10.0}; <=100: {100.0}; +Inf: {100.0001}
+        assert hist.counts == (2, 2, 1, 1)
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(0.5 + 1.0 + 1.0001 + 10.0 + 100.0
+                                         + 100.0001)
+
+    def test_default_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 3e-4)
+        hist = reg.snapshot().histogram("h")
+        assert hist.buckets == DEFAULT_TIME_BUCKETS
+        assert hist.counts[DEFAULT_TIME_BUCKETS.index(1e-3)] == 1
+
+    def test_mean_and_quantile(self):
+        reg = MetricsRegistry()
+        for v in (0.5, 0.5, 5.0, 50.0):
+            reg.observe("h", v, buckets=(1.0, 10.0, 100.0))
+        hist = reg.snapshot().histogram("h")
+        assert hist.mean == pytest.approx(14.0)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 100.0
+        empty = HistogramSnapshot(buckets=(1.0,), counts=(0, 0), sum=0.0,
+                                  count=0)
+        assert empty.quantile(0.5) == 0.0
+        with pytest.raises(TelemetryError):
+            hist.quantile(1.5)
+
+
+class TestSnapshotAlgebra:
+    def test_minus_gives_deltas(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 5)
+        reg.observe("h", 0.5, buckets=(1.0,))
+        before = reg.snapshot()
+        reg.inc("a", 2)
+        reg.inc("b", 1)
+        reg.observe("h", 2.0, buckets=(1.0,))
+        delta = reg.snapshot().minus(before)
+        assert delta.counters == {"a": 2, "b": 1}
+        assert delta.histogram("h").count == 1
+        assert delta.histogram("h").counts == (0, 1)
+
+    def test_merged_sums_across_processes(self):
+        a = MetricsSnapshot(
+            counters={"x": 1},
+            histograms={"h": HistogramSnapshot((1.0,), (1, 0), 0.5, 1)},
+        )
+        b = MetricsSnapshot(
+            counters={"x": 2, "y": 7},
+            histograms={"h": HistogramSnapshot((1.0,), (0, 1), 2.0, 1)},
+        )
+        merged = a.merged(b)
+        assert merged.counters == {"x": 3, "y": 7}
+        assert merged.histogram("h").counts == (1, 1)
+        assert merged.histogram("h").sum == pytest.approx(2.5)
+
+    def test_mismatched_histogram_buckets_refuse_algebra(self):
+        h1 = HistogramSnapshot((1.0,), (1, 0), 0.5, 1)
+        h2 = HistogramSnapshot((2.0,), (1, 0), 0.5, 1)
+        with pytest.raises(TelemetryError):
+            h1.minus(h2)
+        with pytest.raises(TelemetryError):
+            h1.merged(h2)
+
+    def test_roundtrip_dict_and_pickle(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 3)
+        reg.set_gauge("g", 2.5)
+        reg.observe("h", 0.01)
+        snap = reg.snapshot()
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+class TestDerivedRates:
+    def test_memo_hit_rate_from_single_snapshot(self):
+        reg = MetricsRegistry()
+        assert reg.snapshot().memo_hit_rate == 0.0
+        reg.inc(LP_MEMO_HIT, 3)
+        reg.inc(LP_MEMO_MISS, 1)
+        assert reg.snapshot().memo_hit_rate == pytest.approx(0.75)
+
+    def test_dedup_factor(self):
+        reg = MetricsRegistry()
+        assert reg.snapshot().dedup_factor == 1.0
+        reg.inc(LP_PAIR_TOTAL, 100)
+        reg.inc(LP_PAIR_EVAL, 25)
+        assert reg.snapshot().dedup_factor == pytest.approx(4.0)
+
+    def test_concurrent_increments_are_not_lost(self):
+        reg = MetricsRegistry()
+
+        def hammer():
+            for _ in range(2000):
+                reg.inc(LP_MEMO_HIT)
+                reg.inc(LP_MEMO_MISS)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap.counter(LP_MEMO_HIT) == 8000
+        assert snap.counter(LP_MEMO_MISS) == 8000
+        assert snap.memo_hit_rate == pytest.approx(0.5)
+
+
+class TestMeter:
+    def test_meter_measures_only_inside_block(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 10)
+        with metrics_meter(reg) as meter:
+            reg.inc("a", 2)
+            reg.observe("h", 0.2, buckets=(1.0,))
+        reg.inc("a", 100)
+        assert meter.counts == {"a": 2}
+        assert meter.total == 2
+        assert meter.delta.histogram("h").count == 1
+
+    def test_meters_nest(self):
+        reg = MetricsRegistry()
+        with metrics_meter(reg) as outer:
+            reg.inc("a")
+            with metrics_meter(reg) as inner:
+                reg.inc("a")
+        assert inner.counts == {"a": 1}
+        assert outer.counts == {"a": 2}
