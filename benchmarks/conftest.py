@@ -9,7 +9,33 @@ wins, by roughly what factor, where the crossovers fall.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+
+def record_bench(path: Union[str, Path], update: dict) -> dict:
+    """Read-merge-write one ``BENCH_*.json`` record with provenance.
+
+    Every write refreshes the record's ``meta`` block (schema version,
+    git sha, ISO timestamp, host, python version) via
+    :func:`repro.quality.regress.run_metadata`, so committed benchmark
+    numbers are comparable artifacts for ``repro bench diff`` rather
+    than loose floats.
+    """
+    from repro.quality.regress import run_metadata
+
+    path = Path(path)
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.update(update)
+    data["meta"] = run_metadata()
+    path.write_text(json.dumps(data, indent=1) + "\n")
+    return data
 
 
 def report(title: str, rows: Sequence[Sequence[str]],

@@ -22,13 +22,12 @@ there is little to deduplicate) the dedup machinery must not cost more
 than 20% over naive -- the fast path is never a slow path.
 """
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
-from conftest import report
+from conftest import record_bench, report
 
 from repro import instrumentation
 from repro.clocktree.configs import CoplanarWaveguideConfig
@@ -70,15 +69,8 @@ def _telemetry_artifact():
 
 
 def _record(update: dict) -> dict:
-    data = {}
-    if RESULTS_PATH.exists():
-        try:
-            data = json.loads(RESULTS_PATH.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data.update(update)
-    RESULTS_PATH.write_text(json.dumps(data, indent=1) + "\n")
-    return data
+    """Merge *update* into BENCH_kernel.json, stamping run provenance."""
+    return record_bench(RESULTS_PATH, update)
 
 
 def _best_of(fn, repeats: int) -> float:

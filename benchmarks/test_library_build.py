@@ -16,12 +16,11 @@ The measured numbers are recorded into ``BENCH_library.json`` at the
 repo root so the README's warm-vs-cold table stays reproducible.
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
-from conftest import report
+from conftest import record_bench, report
 
 from repro import instrumentation
 from repro.clocktree.configs import CoplanarWaveguideConfig
@@ -53,15 +52,8 @@ def _jobs():
 
 
 def _record(update: dict) -> dict:
-    data = {}
-    if RESULTS_PATH.exists():
-        try:
-            data = json.loads(RESULTS_PATH.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data.update(update)
-    RESULTS_PATH.write_text(json.dumps(data, indent=1) + "\n")
-    return data
+    """Merge *update* into BENCH_library.json, stamping run provenance."""
+    return record_bench(RESULTS_PATH, update)
 
 
 def test_serial_vs_parallel_build(tmp_path):

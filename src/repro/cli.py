@@ -219,6 +219,14 @@ def _library_config(args: argparse.Namespace):
 def _cmd_library_build(args: argparse.Namespace) -> int:
     from repro.library import BuildRunner, standard_clocktree_jobs
 
+    auditor = None
+    if args.audit:
+        from repro.quality import TableAuditor
+
+        auditor = TableAuditor(
+            samples=args.audit_samples, error_budget=args.audit_budget,
+        )
+
     config = _library_config(args)
     jobs = standard_clocktree_jobs(
         config,
@@ -243,6 +251,7 @@ def _cmd_library_build(args: argparse.Namespace) -> int:
         workers=args.workers,
         parallel=not args.serial,
         progress=progress if not args.quiet else None,
+        auditor=auditor,
     )
     stats = runner.build(jobs)
     if not args.quiet:
@@ -259,6 +268,8 @@ def _cmd_library_build(args: argparse.Namespace) -> int:
             parallel=runner.parallel,
             build_summary=stats.summary(),
         )
+        if stats.health:
+            session.add_table_health(stats.health.values())
     print(f"library {args.root}: {stats.summary()}")
     for job_stats in stats.jobs:
         state = "warm (skipped)" if job_stats.skipped else (
@@ -268,7 +279,57 @@ def _cmd_library_build(args: argparse.Namespace) -> int:
         )
         print(f"  {job_stats.kind:>12}  {job_stats.job_id[:12]}  "
               f"{state}  {job_stats.wall_time:.2f} s")
+    if stats.health:
+        from repro.quality import render_health
+
+        print(render_health(list(stats.health.values())), end="")
     return 0
+
+
+def _cmd_library_audit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.library import TableLibrary
+    from repro.quality import audit_library, render_health
+
+    lib = TableLibrary(args.root, create=False)
+    reports, problems = audit_library(lib, budget=args.budget)
+    print(render_health(reports, title=f"library {args.root} health"),
+          end="")
+    if args.output:
+        from repro.ioutil import atomic_write_text
+
+        payload = {
+            "library": str(args.root),
+            "reports": [r.to_dict() for r in reports],
+            "problems": list(problems),
+        }
+        atomic_write_text(args.output, _json.dumps(payload, indent=1))
+        print(f"health artifact -> {args.output}")
+    for problem in problems:
+        print(f"  PROBLEM {problem}")
+    session = getattr(args, "_telemetry_session", None)
+    if session is not None:
+        session.add_table_health(reports)
+        session.add_meta(library_root=str(args.root),
+                         problems=len(problems))
+    return 1 if problems else 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.quality import diff_benches, load_bench
+
+    records = [load_bench(path) for path in args.files]
+    if len(records) < 2:
+        print("bench diff needs at least two records "
+              "(baseline... candidate)")
+        return 2
+    diff = diff_benches(
+        records[:-1], records[-1],
+        threshold=args.threshold, mad_k=args.mad_k,
+    )
+    print(diff.render(), end="")
+    return 0 if diff.passed else 1
 
 
 def _cmd_library_list(args: argparse.Namespace) -> int:
@@ -376,6 +437,14 @@ def _add_library_parser(sub) -> None:
     p_build.add_argument("--serial", action="store_true",
                          help="disable the process pool")
     p_build.add_argument("--quiet", action="store_true")
+    p_build.add_argument("--audit", action="store_true",
+                         help="spot-check every freshly built table "
+                              "against direct re-solves and embed the "
+                              "health report into the manifest")
+    p_build.add_argument("--audit-samples", type=int, default=8,
+                         help="off-grid sample points per job")
+    p_build.add_argument("--audit-budget", type=float, default=0.05,
+                         help="p95 relative-error budget (fraction)")
     _add_telemetry_arg(p_build)
     p_build.set_defaults(func=_cmd_library_build)
 
@@ -394,6 +463,18 @@ def _add_library_parser(sub) -> None:
         "verify", help="integrity-check every blob against the manifest")
     p_verify.add_argument("--root", required=True)
     p_verify.set_defaults(func=_cmd_library_verify)
+
+    p_audit = lib_sub.add_parser(
+        "audit",
+        help="check the table-health reports embedded in the manifest")
+    p_audit.add_argument("--root", required=True)
+    p_audit.add_argument("--budget", type=float, default=None,
+                         help="override the recorded p95 error budget "
+                              "(fraction)")
+    p_audit.add_argument("--output", default=None, metavar="FILE",
+                         help="also write the health reports as JSON")
+    _add_telemetry_arg(p_audit)
+    p_audit.set_defaults(func=_cmd_library_audit)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -475,6 +556,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.set_defaults(func=_cmd_characterize)
 
     _add_library_parser(sub)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark records: regression diff")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bdiff = bench_sub.add_parser(
+        "diff",
+        help="compare a candidate bench record against baseline history; "
+             "exits nonzero on regressions")
+    p_bdiff.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="bench/telemetry JSON records: one or more baselines "
+             "followed by the candidate (last)")
+    p_bdiff.add_argument("--threshold", type=float, default=0.25,
+                         help="relative regression gate per metric "
+                              "(default 0.25)")
+    p_bdiff.add_argument("--mad-k", type=float, default=3.0,
+                         help="MAD multiplier widening the gate on noisy "
+                              "baselines")
+    p_bdiff.set_defaults(func=_cmd_bench_diff)
 
     p_report = sub.add_parser(
         "report", help="render a --telemetry run report (span tree + metrics)")

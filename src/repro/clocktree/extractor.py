@@ -30,7 +30,7 @@ from repro.clocktree.htree import HTree, HTreeSegment
 from repro.errors import CircuitError, GeometryError
 from repro.rc.capacitance import block_capacitance_matrix
 from repro.rc.resistance import ac_resistance
-from repro.tables.lookup import ExtractionTable
+from repro.tables.lookup import ExtractionTable, timed_lookup
 from repro.telemetry import span
 
 
@@ -141,6 +141,29 @@ class ClocktreeRLCExtractor:
             self.capacitance_table = lib.get_one(
                 quantity="capacitance_per_length", **criteria)
 
+    def coverage(self) -> list:
+        """Coverage-map entries for this extractor's attached tables.
+
+        Returns the per-table lookup-domain coverage dicts accumulated
+        by the process-wide tracker (:mod:`repro.quality.coverage`) for
+        whichever tables are attached -- empty until the first lookup.
+        Extrapolation hot-spots in these entries carry the offending
+        geometry, so out-of-domain queries are diagnosable after the
+        fact.
+        """
+        from repro.quality.coverage import get_coverage_tracker
+
+        tracker = get_coverage_tracker()
+        entries = []
+        for table in (self.inductance_table, self.resistance_table,
+                      self.capacitance_table):
+            if table is None:
+                continue
+            cov = tracker.get(table.name)
+            if cov is not None:
+                entries.append(cov.to_dict())
+        return entries
+
     # ------------------------------------------------------------------
     # per-segment extraction
     # ------------------------------------------------------------------
@@ -153,12 +176,12 @@ class ClocktreeRLCExtractor:
 
     def _segment_inductance(self, width: float, length: float) -> float:
         if self.inductance_table is not None:
-            return self.inductance_table.lookup(width=width, length=length)
+            return timed_lookup(self.inductance_table, width=width, length=length)
         return self._loop_rl_direct(width, length)[1]
 
     def _segment_resistance(self, width: float, length: float) -> float:
         if self.resistance_table is not None:
-            return self.resistance_table.lookup(width=width, length=length)
+            return timed_lookup(self.resistance_table, width=width, length=length)
         if self.inductance_table is None:
             # the direct loop solve already produced the loop resistance
             return self._loop_rl_direct(width, length)[0]
@@ -180,7 +203,9 @@ class ClocktreeRLCExtractor:
             spacing = getattr(self.config, "spacing", None)
             if spacing is None:
                 spacing = getattr(self.config, "neighbour_spacing", None) or width
-            per_length = self.capacitance_table.lookup(width=width, spacing=spacing)
+            per_length = timed_lookup(
+                self.capacitance_table, width=width, spacing=spacing
+            )
             return per_length * length
         block = self.config.trace_block(length, signal_width=width)
         matrix = block_capacitance_matrix(block, self.config.capacitance_model())

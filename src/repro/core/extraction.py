@@ -26,8 +26,8 @@ from repro.tables.builder import (
     CapacitanceTableBuilder,
     LoopInductanceTableBuilder,
 )
-from repro.tables.lookup import ExtractionTable
-from repro.telemetry import LOOKUP_LATENCY, get_registry, span
+from repro.tables.lookup import ExtractionTable, timed_lookup
+from repro.telemetry import span
 
 
 @dataclass(frozen=True)
@@ -147,14 +147,12 @@ class TableBasedExtractor:
     def _timed_lookup(self, table: ExtractionTable, **coords: float) -> float:
         """Table lookup that feeds the ``lookup_latency_seconds`` histogram.
 
-        Histograms never touch the solver-call counters, so the
-        warm-path "zero solver calls" assertions stay meaningful.
+        Delegates to the shared hot-path helper
+        (:func:`repro.tables.lookup.timed_lookup`); histograms never
+        touch the solver-call counters, so the warm-path "zero solver
+        calls" assertions stay meaningful.
         """
-        t0 = time.perf_counter()
-        try:
-            return table.lookup(**coords)
-        finally:
-            get_registry().observe(LOOKUP_LATENCY, time.perf_counter() - t0)
+        return timed_lookup(table, **coords)
 
     def loop_inductance(self, width: float, length: float) -> float:
         """Loop inductance of a segment by table lookup [H]."""
@@ -197,6 +195,49 @@ class TableBasedExtractor:
             table_time=t1 - t0,
             direct_time=t2 - t1,
         )
+
+    def audit(self, auditor=None) -> dict:
+        """Residual spot-check of the loop tables (opt-in: runs solvers).
+
+        Draws the auditor's deterministic off-grid sample from the
+        inductance table's domain, re-solves each point **once** with
+        the PEEC loop solver (one ``loop_rl`` yields both R and L), and
+        grades the inductance and resistance splines against the direct
+        values.  Returns ``{table name -> TableHealthReport}``.
+
+        Never called on the plain extraction path -- every direct solve
+        here ticks the ``audit_direct_solve`` counter, which the
+        zero-solve tests assert stays at zero for warm lookups.
+        """
+        from repro.quality.audit import TableAuditor
+
+        auditor = auditor if auditor is not None else TableAuditor()
+        points = auditor.sample_points(
+            self.inductance_table.axes, self.inductance_table.name
+        )
+        solved: dict = {}
+
+        def _solve(point):
+            if point not in solved:
+                width, length = point
+                problem = self.config.loop_problem(width, length)
+                solved[point] = problem.loop_rl(self.frequency)
+            return solved[point]
+
+        reports = {
+            self.inductance_table.name: auditor.audit(
+                self.inductance_table,
+                lambda p: _solve(p)[1],
+                points=points,
+            )
+        }
+        if self.resistance_table is not None:
+            reports[self.resistance_table.name] = auditor.audit(
+                self.resistance_table,
+                lambda p: _solve(p)[0],
+                points=points,
+            )
+        return reports
 
     def as_clocktree_extractor(self, sections_per_segment: int = 4):
         """A :class:`~repro.clocktree.extractor.ClocktreeRLCExtractor`

@@ -42,3 +42,7 @@ class ConvergenceError(SolverError):
 
 class TelemetryError(ReproError):
     """A telemetry metric, span or report is used inconsistently."""
+
+
+class QualityError(ReproError):
+    """A quality artifact (health report, bench record) is malformed."""

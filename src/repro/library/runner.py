@@ -123,6 +123,9 @@ class JobStats:
     worker_metrics: Optional[MetricsSnapshot] = None
     #: Span trees drained from pool workers (serialized dicts).
     worker_spans: List[dict] = field(default_factory=list)
+    #: Table-health reports from an audited build, keyed by table name
+    #: (serialized :class:`~repro.quality.audit.TableHealthReport`).
+    health: Dict[str, dict] = field(default_factory=dict)
 
     def add_worker_snapshot(self, snapshot: MetricsSnapshot) -> None:
         """Fold one worker chunk's metric delta into this job's totals."""
@@ -204,6 +207,14 @@ class BuildStats:
     def worker_spans(self) -> List[dict]:
         """Span trees shipped back from pool workers, all jobs."""
         return [sp for j in self.jobs for sp in j.worker_spans]
+
+    @property
+    def health(self) -> Dict[str, dict]:
+        """All jobs' table-health reports, keyed by table name."""
+        merged: Dict[str, dict] = {}
+        for job in self.jobs:
+            merged.update(job.health)
+        return merged
 
     def summary(self) -> str:
         """One-line human summary."""
@@ -345,6 +356,15 @@ class BuildRunner:
         Optional callback receiving a :class:`JobProgress` after every
         completed point.  Raising from the callback aborts the build;
         everything already solved is safely checkpointed first.
+    auditor:
+        Optional :class:`~repro.quality.audit.TableAuditor`.  When
+        given, every *freshly built* job is spot-checked right after
+        assembly -- a seeded off-grid sample is re-solved directly and
+        the resulting :class:`~repro.quality.audit.TableHealthReport`
+        is embedded as ``metadata["health"]`` in each table's manifest
+        entry (and surfaced on :attr:`JobStats.health`).  Warm-skipped
+        jobs keep the health report of the build that made them.
+        Auditing runs field solves, so it is strictly opt-in.
     """
 
     #: Target number of chunks handed to each worker over a build; more
@@ -359,6 +379,7 @@ class BuildRunner:
         parallel: bool = True,
         progress: Optional[ProgressFn] = None,
         chunk_size: Optional[int] = None,
+        auditor=None,
     ):
         if workers is not None and workers < 1:
             raise TableError("workers must be >= 1")
@@ -367,6 +388,7 @@ class BuildRunner:
         self.library = open_library(library, create=True)
         self.workers = workers
         self.chunk_size = chunk_size
+        self.auditor = auditor
         # Resolve the worker count up front: requesting a pool of one
         # process buys no concurrency but still pays fork + pickle per
         # task, so an effective single worker degrades to the serial
@@ -558,7 +580,19 @@ class BuildRunner:
         if job_stats is not None:
             metadata["telemetry"] = job_stats.telemetry_summary()
         tables = job.assemble(values_by_point)
+        health: Dict[str, dict] = {}
+        if self.auditor is not None:
+            # Audit after the metrics snapshot above was taken, so the
+            # manifest telemetry summary records the *build* cost only;
+            # the audit's own direct solves tick audit_direct_solve.
+            reports = self.auditor.audit_job(job, tables)
+            health = {name: r.to_dict() for name, r in reports.items()}
+            if job_stats is not None:
+                job_stats.health.update(health)
         for table in tables:
+            table_metadata = dict(metadata)
+            if table.name in health:
+                table_metadata["health"] = health[table.name]
             self.library.put(
                 table,
                 key=keys[table.name],
@@ -566,7 +600,7 @@ class BuildRunner:
                 family=job.family,
                 frequency=job.frequency,
                 job_id=job.job_id,
-                metadata=dict(metadata),
+                metadata=table_metadata,
             )
         try:
             checkpoint.unlink()
@@ -580,8 +614,9 @@ def build_library(
     workers: Optional[int] = None,
     parallel: bool = True,
     progress: Optional[ProgressFn] = None,
+    auditor=None,
 ) -> BuildStats:
     """Convenience wrapper: run *jobs* into *library* and return stats."""
     runner = BuildRunner(library, workers=workers, parallel=parallel,
-                         progress=progress)
+                         progress=progress, auditor=auditor)
     return runner.build(jobs)

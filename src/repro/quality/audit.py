@@ -1,0 +1,337 @@
+"""Residual spot-check auditing: does the spline still track the solver?
+
+The paper's economics rest on one numerical claim: a table lookup loses
+almost nothing against a fresh field solve (Table I: 3.57 % / 1.55 %).
+:class:`TableAuditor` checks that claim *on the tables actually built*:
+it draws a deterministic (seeded) sample of off-grid points inside the
+characterized domain, re-solves them with the real solvers, compares
+against the spline lookups, and freezes the outcome into a
+schema-versioned :class:`TableHealthReport` -- max / median / p95
+relative error plus a pass/fail verdict against a configurable error
+budget (default 5 %, per the paper).  Build runners embed the report
+into library manifests so ``repro library audit`` can re-check a kit
+long after the solvers that built it are gone.
+
+Auditing is strictly **opt-in**: nothing here runs on a plain
+extraction path, and every direct re-solve ticks the
+``audit_direct_solve`` counter so the warm-path zero-solve tests can
+prove that.
+
+Tables are duck-typed (anything with ``name``, ``quantity``, ``axes``
+and positional ``lookup``); :mod:`repro.tables` is deliberately *not*
+imported, because the tables layer imports :mod:`repro.quality` for its
+lookup instrumentation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QualityError
+from repro.telemetry.registry import AUDIT_SOLVE, get_registry
+from repro.telemetry.spans import span
+
+__all__ = [
+    "HEALTH_SCHEMA_VERSION",
+    "DEFAULT_ERROR_BUDGET",
+    "TableHealthReport",
+    "TableAuditor",
+    "audit_library",
+    "render_health",
+]
+
+#: Bump when the health-report JSON layout changes incompatibly.
+HEALTH_SCHEMA_VERSION = 1
+
+#: Default p95 relative-error budget: the paper's "a few percent".
+DEFAULT_ERROR_BUDGET = 0.05
+
+
+@dataclass
+class TableHealthReport:
+    """Frozen outcome of one table's residual spot-check."""
+
+    table_name: str
+    quantity: str = ""
+    n_samples: int = 0
+    seed: int = 0
+    error_budget: float = DEFAULT_ERROR_BUDGET
+    max_rel_error: float = 0.0
+    median_rel_error: float = 0.0
+    p95_rel_error: float = 0.0
+    passed: bool = True
+    created_at: float = 0.0
+    git_sha: str = ""
+    schema_version: int = HEALTH_SCHEMA_VERSION
+    #: Per-sample records: point, lookup, direct, rel_error.
+    samples: List[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "table_name": self.table_name,
+            "quantity": self.quantity,
+            "n_samples": self.n_samples,
+            "seed": self.seed,
+            "error_budget": self.error_budget,
+            "max_rel_error": self.max_rel_error,
+            "median_rel_error": self.median_rel_error,
+            "p95_rel_error": self.p95_rel_error,
+            "passed": self.passed,
+            "created_at": self.created_at,
+            "git_sha": self.git_sha,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TableHealthReport":
+        version = data.get("schema_version")
+        if version != HEALTH_SCHEMA_VERSION:
+            raise QualityError(
+                f"health report schema {version!r} != supported "
+                f"{HEALTH_SCHEMA_VERSION}"
+            )
+        try:
+            return cls(
+                table_name=str(data["table_name"]),
+                quantity=str(data.get("quantity", "")),
+                n_samples=int(data.get("n_samples", 0)),
+                seed=int(data.get("seed", 0)),
+                error_budget=float(
+                    data.get("error_budget", DEFAULT_ERROR_BUDGET)),
+                max_rel_error=float(data.get("max_rel_error", 0.0)),
+                median_rel_error=float(data.get("median_rel_error", 0.0)),
+                p95_rel_error=float(data.get("p95_rel_error", 0.0)),
+                passed=bool(data.get("passed", False)),
+                created_at=float(data.get("created_at", 0.0)),
+                git_sha=str(data.get("git_sha", "")),
+                samples=list(data.get("samples", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QualityError(f"malformed health report: {exc}") from None
+
+    def check(self, budget: Optional[float] = None) -> bool:
+        """Pass/fail against *budget* (default: the recorded budget)."""
+        budget = self.error_budget if budget is None else float(budget)
+        return self.p95_rel_error <= budget
+
+    def render(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"{self.table_name} [{self.quantity}]  "
+            f"n={self.n_samples}  "
+            f"max {self.max_rel_error:.2%}  "
+            f"median {self.median_rel_error:.2%}  "
+            f"p95 {self.p95_rel_error:.2%}  "
+            f"budget {self.error_budget:.0%}  {verdict}"
+        )
+
+
+def _stable_rng(seed: int, key: str) -> np.random.Generator:
+    """A deterministic generator from (seed, key) -- never ``hash()``,
+    which is process-salted."""
+    digest = hashlib.sha256(f"{seed}:{key}".encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+class TableAuditor:
+    """Re-solve a seeded off-grid sample and grade the spline against it.
+
+    Parameters
+    ----------
+    samples:
+        Off-grid points to re-solve per table (the expensive knob).
+    seed:
+        Sampling seed; the actual point set also depends on the audited
+        table/job key, so distinct tables get distinct samples while
+        reruns stay reproducible.
+    error_budget:
+        p95 relative-error budget for the pass/fail verdict.
+    margin:
+        Fractional inset from each axis end when sampling, keeping the
+        sample strictly in-range (extrapolation is the coverage map's
+        job, not the auditor's).
+    """
+
+    def __init__(
+        self,
+        samples: int = 8,
+        seed: int = 20260806,
+        error_budget: float = DEFAULT_ERROR_BUDGET,
+        margin: float = 0.02,
+    ):
+        if samples < 1:
+            raise QualityError("auditor needs at least one sample")
+        if not 0.0 <= margin < 0.5:
+            raise QualityError("margin must be in [0, 0.5)")
+        if error_budget <= 0.0:
+            raise QualityError("error budget must be positive")
+        self.samples = int(samples)
+        self.seed = int(seed)
+        self.error_budget = float(error_budget)
+        self.margin = float(margin)
+
+    # ------------------------------------------------------------------
+    def sample_points(
+        self, axes: Sequence[Sequence[float]], key: str
+    ) -> List[Tuple[float, ...]]:
+        """Deterministic in-range off-grid sample for one table/job."""
+        rng = _stable_rng(self.seed, key)
+        points: List[Tuple[float, ...]] = []
+        for _ in range(self.samples):
+            coords = []
+            for axis in axes:
+                lo, hi = float(axis[0]), float(axis[-1])
+                if hi <= lo:
+                    coords.append(lo)
+                    continue
+                inset = self.margin * (hi - lo)
+                coords.append(float(rng.uniform(lo + inset, hi - inset)))
+            points.append(tuple(coords))
+        return points
+
+    # ------------------------------------------------------------------
+    def audit(
+        self,
+        table,
+        solve_fn: Callable[[Tuple[float, ...]], float],
+        points: Optional[Sequence[Tuple[float, ...]]] = None,
+    ) -> TableHealthReport:
+        """Grade one table against direct re-solves of a sample.
+
+        *solve_fn* receives one sample point (tuple in axis order) and
+        returns the field-solver truth; *points* overrides the sample
+        (used when several tables share one solve, e.g. L and R from a
+        single loop problem).
+        """
+        if points is None:
+            points = self.sample_points(table.axes, table.name)
+        registry = get_registry()
+        with span("quality.audit", table=table.name, samples=len(points)):
+            records = []
+            for point in points:
+                registry.inc(AUDIT_SOLVE)
+                direct = float(solve_fn(tuple(point)))
+                lookup = float(table.lookup(*point))
+                records.append((tuple(point), lookup, direct))
+        return self._grade(table, records)
+
+    def audit_job(self, job, tables: Sequence) -> Dict[str, TableHealthReport]:
+        """Audit every output table of a characterization job at once.
+
+        One :meth:`~repro.library.jobs.CharacterizationJob.solve_point`
+        call yields every output column (a loop job returns (L, R)), so
+        an n-sample audit of a two-table job costs n solves, not 2n.
+        Returns ``{table name -> report}``.
+        """
+        outputs = {o.name: i for i, o in enumerate(job.outputs())}
+        points = self.sample_points(job.axes(), job.job_id)
+        registry = get_registry()
+        with span("library.audit", job=job.kind, samples=len(points)):
+            solved = []
+            for point in points:
+                registry.inc(AUDIT_SOLVE)
+                solved.append(tuple(float(v) for v in job.solve_point(point)))
+            reports: Dict[str, TableHealthReport] = {}
+            for table in tables:
+                column = outputs.get(table.name)
+                if column is None:
+                    continue
+                records = [
+                    (point, float(table.lookup(*point)), values[column])
+                    for point, values in zip(points, solved)
+                ]
+                reports[table.name] = self._grade(table, records)
+        return reports
+
+    # ------------------------------------------------------------------
+    def _grade(
+        self,
+        table,
+        records: Sequence[Tuple[Tuple[float, ...], float, float]],
+    ) -> TableHealthReport:
+        from repro.quality.regress import git_sha
+
+        errors = []
+        samples = []
+        for point, lookup, direct in records:
+            scale = max(abs(direct), abs(lookup))
+            rel = abs(lookup - direct) / scale if scale > 0.0 else 0.0
+            errors.append(rel)
+            samples.append({
+                "point": [float(q) for q in point],
+                "lookup": lookup,
+                "direct": direct,
+                "rel_error": round(rel, 8),
+            })
+        errs = np.asarray(errors, dtype=float)
+        p95 = float(np.percentile(errs, 95.0)) if errs.size else 0.0
+        report = TableHealthReport(
+            table_name=str(table.name),
+            quantity=str(getattr(table, "quantity", "")),
+            n_samples=len(samples),
+            seed=self.seed,
+            error_budget=self.error_budget,
+            max_rel_error=float(errs.max()) if errs.size else 0.0,
+            median_rel_error=float(np.median(errs)) if errs.size else 0.0,
+            p95_rel_error=p95,
+            passed=p95 <= self.error_budget,
+            created_at=time.time(),
+            git_sha=git_sha(),
+            samples=samples,
+        )
+        return report
+
+
+# ----------------------------------------------------------------------
+# stored-library auditing (`repro library audit`)
+# ----------------------------------------------------------------------
+def audit_library(
+    library, budget: Optional[float] = None,
+) -> Tuple[List[TableHealthReport], List[str]]:
+    """Check the health reports embedded in a library's manifest.
+
+    Libraries built with an auditor carry one ``metadata["health"]``
+    report per table; this re-checks each against *budget* (default:
+    the budget recorded at build time) and flags tables that were never
+    audited.  Returns ``(reports, problems)`` -- an empty problem list
+    means the kit is healthy.
+    """
+    reports: List[TableHealthReport] = []
+    problems: List[str] = []
+    for entry in library.entries():
+        raw = (entry.metadata or {}).get("health")
+        if raw is None:
+            problems.append(
+                f"{entry.key[:12]}: {entry.name} has no health report "
+                "(built without --audit)"
+            )
+            continue
+        try:
+            report = TableHealthReport.from_dict(raw)
+        except QualityError as exc:
+            problems.append(f"{entry.key[:12]}: {entry.name}: {exc}")
+            continue
+        reports.append(report)
+        if not report.check(budget):
+            effective = report.error_budget if budget is None else budget
+            problems.append(
+                f"{entry.key[:12]}: {entry.name} p95 error "
+                f"{report.p95_rel_error:.2%} exceeds budget {effective:.2%}"
+            )
+    return reports, problems
+
+
+def render_health(reports: Sequence, title: str = "table health") -> str:
+    """Render health reports (objects or dicts) as an aligned block."""
+    lines = [f"{title} ({len(reports)} table(s))"]
+    for report in reports:
+        if isinstance(report, dict):
+            report = TableHealthReport.from_dict(report)
+        lines.append("  " + report.render())
+    return "\n".join(lines) + "\n"

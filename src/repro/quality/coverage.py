@@ -1,0 +1,344 @@
+"""Lookup-domain coverage: where do extraction queries actually land?
+
+The paper's accuracy claim (Table I: a few percent against field-solver
+truth) only holds *inside* the characterized grid; the bicubic spline
+happily answers outside it with the edge polynomial, and that answer
+degrades silently the further out the query drifts -- exactly the
+failure mode the superconductor-inductance measurement literature
+documents near geometry-range edges.  This module makes the domain
+question observable:
+
+* :func:`classify_axis` / :func:`classify_point` classify every query
+  per axis as ``interior`` / ``edge`` (the outermost spline cell, where
+  the cubic has one-sided support) / ``low`` / ``high`` (extrapolated),
+  in exact agreement with ``in_range`` on boundary points: a query *on*
+  ``axis[0]`` or ``axis[-1]`` is in range (an edge cell), never
+  extrapolated.
+* Every instrumented lookup ticks the ``table_lookup`` /
+  ``table_lookup_edge`` / ``table_lookup_extrapolated`` counters, the
+  latter with per-axis tags (``table_lookup_extrapolated.width.high``).
+* A process-wide :class:`CoverageTracker` accumulates per-table
+  :class:`TableCoverage` maps -- axis-bucketed hit histograms plus a
+  bounded set of extrapolation hot-spots recording the offending
+  geometry -- which :func:`render_coverage` turns into the coverage-map
+  section of run reports.
+
+Only :mod:`repro.telemetry.registry` is imported here (never
+:mod:`repro.tables`): the tables layer imports *this* module to
+instrument its lookups, so the dependency must point one way.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.registry import (
+    TABLE_LOOKUP,
+    TABLE_LOOKUP_EDGE,
+    TABLE_LOOKUP_EXTRAPOLATED,
+    get_registry,
+)
+
+__all__ = [
+    "AXIS_INTERIOR",
+    "AXIS_EDGE",
+    "AXIS_LOW",
+    "AXIS_HIGH",
+    "classify_axis",
+    "classify_point",
+    "record_lookup",
+    "AxisCoverage",
+    "TableCoverage",
+    "CoverageTracker",
+    "get_coverage_tracker",
+    "render_coverage",
+]
+
+#: Per-axis classifications.
+AXIS_INTERIOR = "interior"
+AXIS_EDGE = "edge"
+AXIS_LOW = "low"
+AXIS_HIGH = "high"
+
+#: Overall point classifications.
+POINT_INTERIOR = "interior"
+POINT_EDGE = "edge"
+POINT_EXTRAPOLATED = "extrapolated"
+
+
+def classify_axis(axis: Sequence[float], q: float) -> str:
+    """Classify coordinate *q* against one strictly increasing *axis*.
+
+    ``low`` / ``high`` mean extrapolation (strictly outside the knots);
+    ``edge`` means the outermost spline cell -- including exact boundary
+    points, so the classifier agrees with ``in_range`` everywhere:
+    ``q == axis[0]`` and ``q == axis[-1]`` are in range, classified
+    ``edge``.  Axes with at most two knots are all edge.
+    """
+    lo, hi = float(axis[0]), float(axis[-1])
+    if q < lo:
+        return AXIS_LOW
+    if q > hi:
+        return AXIS_HIGH
+    if len(axis) <= 2:
+        return AXIS_EDGE
+    if q <= float(axis[1]) or q >= float(axis[-2]):
+        return AXIS_EDGE
+    return AXIS_INTERIOR
+
+
+def classify_point(
+    axes: Sequence[Sequence[float]], point: Sequence[float]
+) -> Tuple[str, Tuple[str, ...]]:
+    """Overall + per-axis classification of a lookup point.
+
+    Overall is ``extrapolated`` when *any* axis extrapolates, else
+    ``edge`` when any axis lands in an edge cell, else ``interior``.
+    """
+    per_axis = tuple(
+        classify_axis(axis, float(q)) for axis, q in zip(axes, point)
+    )
+    if any(c in (AXIS_LOW, AXIS_HIGH) for c in per_axis):
+        return POINT_EXTRAPOLATED, per_axis
+    if any(c == AXIS_EDGE for c in per_axis):
+        return POINT_EDGE, per_axis
+    return POINT_INTERIOR, per_axis
+
+
+# ----------------------------------------------------------------------
+# per-table accumulators
+# ----------------------------------------------------------------------
+class AxisCoverage:
+    """Hit histogram over one axis: per-cell counts plus out-of-range tails."""
+
+    __slots__ = ("name", "knots", "below", "above", "cells")
+
+    def __init__(self, name: str, knots: Sequence[float]):
+        self.name = name
+        self.knots = tuple(float(k) for k in knots)
+        self.below = 0
+        self.above = 0
+        # One bucket per spline cell; a single-knot axis gets one bucket.
+        self.cells = [0] * max(1, len(self.knots) - 1)
+
+    def record(self, q: float) -> None:
+        if q < self.knots[0]:
+            self.below += 1
+        elif q > self.knots[-1]:
+            self.above += 1
+        else:
+            index = bisect_right(self.knots, q) - 1
+            self.cells[min(max(index, 0), len(self.cells) - 1)] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "knots": list(self.knots),
+            "below": self.below,
+            "cells": list(self.cells),
+            "above": self.above,
+        }
+
+
+class TableCoverage:
+    """Coverage accumulator for one named table."""
+
+    #: Distinct extrapolated geometries retained per table; further
+    #: distinct points only bump :attr:`hot_spot_overflow`.
+    MAX_HOT_SPOTS = 16
+
+    def __init__(self, table: str, axis_names: Sequence[str],
+                 axes: Sequence[Sequence[float]]):
+        self.table = table
+        self.axis_names = tuple(str(n) for n in axis_names)
+        self.lookups = 0
+        self.interior = 0
+        self.edge = 0
+        self.extrapolated = 0
+        self.axes = [
+            AxisCoverage(name, axis)
+            for name, axis in zip(self.axis_names, axes)
+        ]
+        #: Offending geometry of extrapolated lookups: "width=3e-05
+        #: length=0.002" -> hit count.
+        self.hot_spots: Dict[str, int] = {}
+        self.hot_spot_overflow = 0
+
+    def record(self, point: Sequence[float], overall: str) -> None:
+        self.lookups += 1
+        if overall == POINT_EXTRAPOLATED:
+            self.extrapolated += 1
+            key = " ".join(
+                f"{name}={float(q):.6g}"
+                for name, q in zip(self.axis_names, point)
+            )
+            if key in self.hot_spots:
+                self.hot_spots[key] += 1
+            elif len(self.hot_spots) < self.MAX_HOT_SPOTS:
+                self.hot_spots[key] = 1
+            else:
+                self.hot_spot_overflow += 1
+        elif overall == POINT_EDGE:
+            self.edge += 1
+        else:
+            self.interior += 1
+        for axis, q in zip(self.axes, point):
+            axis.record(float(q))
+
+    @property
+    def extrapolation_fraction(self) -> float:
+        return self.extrapolated / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "table": self.table,
+            "axis_names": list(self.axis_names),
+            "lookups": self.lookups,
+            "interior": self.interior,
+            "edge": self.edge,
+            "extrapolated": self.extrapolated,
+            "extrapolation_fraction": round(self.extrapolation_fraction, 6),
+            "axes": [axis.to_dict() for axis in self.axes],
+            "hot_spots": dict(
+                sorted(self.hot_spots.items(),
+                       key=lambda kv: (-kv[1], kv[0]))
+            ),
+            "hot_spot_overflow": self.hot_spot_overflow,
+        }
+
+
+class CoverageTracker:
+    """Process-wide, thread-safe registry of per-table coverage maps."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tables: Dict[str, TableCoverage] = {}
+
+    def record(
+        self,
+        table: str,
+        axis_names: Sequence[str],
+        axes: Sequence[Sequence[float]],
+        point: Sequence[float],
+        overall: str,
+    ) -> None:
+        with self._lock:
+            coverage = self._tables.get(table)
+            if coverage is None:
+                coverage = self._tables[table] = TableCoverage(
+                    table, axis_names, axes
+                )
+            coverage.record(point, overall)
+
+    def get(self, table: str) -> Optional[TableCoverage]:
+        with self._lock:
+            return self._tables.get(table)
+
+    def lookup_counts(self) -> Dict[str, int]:
+        """Per-table lookup totals (for session deltas)."""
+        with self._lock:
+            return {name: c.lookups for name, c in self._tables.items()}
+
+    def report(self) -> List[dict]:
+        """Every table's coverage map as plain dicts, sorted by name."""
+        with self._lock:
+            return [
+                self._tables[name].to_dict()
+                for name in sorted(self._tables)
+            ]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._tables.clear()
+
+
+_GLOBAL_TRACKER = CoverageTracker()
+
+
+def get_coverage_tracker() -> CoverageTracker:
+    """The process-wide :class:`CoverageTracker`."""
+    return _GLOBAL_TRACKER
+
+
+# ----------------------------------------------------------------------
+# the instrumentation entry point (called by the tables layer)
+# ----------------------------------------------------------------------
+def record_lookup(
+    axes: Sequence[Sequence[float]],
+    point: Sequence[float],
+    name: Optional[str] = None,
+    axis_names: Optional[Sequence[str]] = None,
+) -> Tuple[str, Tuple[str, ...]]:
+    """Classify one lookup, tick the counters, feed the tracker.
+
+    Counters always tick; the per-table coverage accumulator only
+    records when the lookup belongs to a *named* table (anonymous
+    interpolators stay out of the coverage map).  Returns the
+    classification so the caller can decide whether to warn.
+    """
+    overall, per_axis = classify_point(axes, point)
+    registry = get_registry()
+    registry.inc(TABLE_LOOKUP)
+    if overall == POINT_EXTRAPOLATED:
+        registry.inc(TABLE_LOOKUP_EXTRAPOLATED)
+        names = axis_names or [f"axis{i}" for i in range(len(per_axis))]
+        for axis_name, cls in zip(names, per_axis):
+            if cls in (AXIS_LOW, AXIS_HIGH):
+                registry.inc(
+                    f"{TABLE_LOOKUP_EXTRAPOLATED}.{axis_name}.{cls}"
+                )
+    elif overall == POINT_EDGE:
+        registry.inc(TABLE_LOOKUP_EDGE)
+    if name is not None:
+        names = axis_names or [f"axis{i}" for i in range(len(per_axis))]
+        get_coverage_tracker().record(name, names, axes, point, overall)
+    return overall, per_axis
+
+
+# ----------------------------------------------------------------------
+# rendering (the coverage-map section of `repro report`)
+# ----------------------------------------------------------------------
+def _render_axis_line(axis: dict) -> str:
+    knots = axis.get("knots", [])
+    cells = " ".join(str(c) for c in axis.get("cells", []))
+    span = (f"[{knots[0]:.4g} .. {knots[-1]:.4g}]" if knots else "[]")
+    return (
+        f"    axis {axis.get('name', '?'):<10} {span:<24} "
+        f"<{axis.get('below', 0)} | {cells} | {axis.get('above', 0)}>"
+    )
+
+
+def render_coverage(entries: Sequence[dict]) -> str:
+    """Human-readable coverage map from :meth:`TableCoverage.to_dict` rows.
+
+    Axis lines read ``<below | cell hits ... | above>``: nonzero tails
+    are extrapolation hot-spots.
+    """
+    lines: List[str] = [f"lookup-domain coverage ({len(entries)} table(s))"]
+    for entry in entries:
+        lookups = entry.get("lookups", 0)
+        extrapolated = entry.get("extrapolated", 0)
+        fraction = entry.get("extrapolation_fraction", 0.0)
+        flag = "  << EXTRAPOLATION" if extrapolated else ""
+        lines.append(
+            f"  {entry.get('table', '?')}: {lookups} lookup(s)  "
+            f"interior {entry.get('interior', 0)}  "
+            f"edge {entry.get('edge', 0)}  "
+            f"extrapolated {extrapolated} ({fraction:.1%}){flag}"
+        )
+        for axis in entry.get("axes", []):
+            lines.append(_render_axis_line(axis))
+        hot_spots = entry.get("hot_spots", {})
+        if hot_spots:
+            lines.append("    extrapolation hot spots (offending geometry):")
+            for key, count in hot_spots.items():
+                lines.append(f"      {key}  x{count}")
+            overflow = entry.get("hot_spot_overflow", 0)
+            if overflow:
+                lines.append(
+                    f"      ... {overflow} more extrapolated lookup(s) "
+                    "at unlisted points"
+                )
+    return "\n".join(lines) + "\n"

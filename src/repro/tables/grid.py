@@ -10,11 +10,12 @@ three knots automatically fall back to linear interpolation.
 from __future__ import annotations
 
 import warnings
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ExtrapolationWarning, TableError
+from repro.quality.coverage import POINT_EXTRAPOLATED, classify_point, record_lookup
 from repro.tables.spline import CubicSpline1D
 
 
@@ -40,7 +41,18 @@ class TensorSplineInterpolator:
     warn_on_extrapolation:
         Emit :class:`~repro.errors.ExtrapolationWarning` when a query
         leaves the characterized grid (the spline still answers, using
-        the edge polynomial).
+        the edge polynomial).  The warning message is deliberately
+        *stable* (no per-point coordinates), so the stdlib ``warnings``
+        dedup shows it to a human once; the per-event record lives in
+        the ``table_lookup_extrapolated`` telemetry counters and the
+        coverage map, which see every occurrence.
+    name:
+        Optional table identity; when given, every lookup also feeds
+        the process-wide coverage tracker
+        (:mod:`repro.quality.coverage`) under this name.
+    axis_names:
+        Optional per-dimension names used for the per-axis extrapolation
+        counters and the coverage map (default: ``axis0``, ``axis1``...).
     """
 
     def __init__(
@@ -48,6 +60,8 @@ class TensorSplineInterpolator:
         axes: Sequence[Sequence[float]],
         values,
         warn_on_extrapolation: bool = True,
+        name: Optional[str] = None,
+        axis_names: Optional[Sequence[str]] = None,
     ):
         self.axes: List[np.ndarray] = [np.asarray(a, dtype=float) for a in axes]
         self.values = np.asarray(values, dtype=float)
@@ -64,6 +78,14 @@ class TensorSplineInterpolator:
             if axis.size > 1 and not np.all(np.diff(axis) > 0.0):
                 raise TableError(f"axis {i} must be strictly increasing")
         self.warn_on_extrapolation = warn_on_extrapolation
+        self.name = name
+        if axis_names is not None and len(axis_names) != len(self.axes):
+            raise TableError("axis_names and axes must have the same length")
+        self.axis_names: Tuple[str, ...] = tuple(
+            str(n) for n in axis_names
+        ) if axis_names is not None else tuple(
+            f"axis{i}" for i in range(len(self.axes))
+        )
 
     @property
     def ndim(self) -> int:
@@ -76,6 +98,17 @@ class TensorSplineInterpolator:
             axis[0] <= q <= axis[-1] for axis, q in zip(self.axes, point)
         )
 
+    def classify(self, point: Sequence[float]) -> Tuple[str, Tuple[str, ...]]:
+        """(overall, per-axis) domain classification of a query point.
+
+        Overall is ``interior`` / ``edge`` / ``extrapolated``; per-axis
+        entries are ``interior`` / ``edge`` / ``low`` / ``high``.  The
+        classifier agrees exactly with :meth:`in_range` on boundary
+        points: a query *on* the first or last knot is in range (edge),
+        never extrapolated.
+        """
+        return classify_point(self.axes, point)
+
     def __call__(self, *point: float) -> float:
         """Evaluate the interpolant at *point* (one coordinate per axis)."""
         if len(point) == 1 and isinstance(point[0], (tuple, list, np.ndarray)):
@@ -84,10 +117,19 @@ class TensorSplineInterpolator:
             raise TableError(
                 f"expected {self.ndim} coordinates, got {len(point)}"
             )
-        if self.warn_on_extrapolation and not self.in_range(point):
+        overall, _ = record_lookup(
+            self.axes, point, name=self.name, axis_names=self.axis_names
+        )
+        if overall == POINT_EXTRAPOLATED and self.warn_on_extrapolation:
+            # Stable message (no coordinates): stdlib warnings dedup
+            # keeps the human channel to one line per table while the
+            # telemetry counters and coverage hot-spots record every
+            # event with the offending geometry.
             warnings.warn(
-                f"query {tuple(point)} outside characterized grid; "
-                "extrapolating with the edge spline",
+                f"lookup outside the characterized grid of "
+                f"{self.name or 'table'}; extrapolating with the edge "
+                "spline (see table_lookup_extrapolated counters / "
+                "coverage map for every occurrence)",
                 ExtrapolationWarning,
                 stacklevel=2,
             )

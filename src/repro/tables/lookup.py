@@ -10,15 +10,17 @@ can ship with a design kit.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import TableError
 from repro.ioutil import atomic_write_text
 from repro.tables.grid import TensorSplineInterpolator
+from repro.telemetry.registry import LOOKUP_LATENCY, get_registry
 
 
 @dataclass
@@ -56,33 +58,56 @@ class ExtractionTable:
         self.values = np.asarray(self.values, dtype=float)
         if len(self.axis_names) != len(self.axes):
             raise TableError("axis_names and axes must have the same length")
-        self._interp = TensorSplineInterpolator(self.axes, self.values)
+        self._interp = TensorSplineInterpolator(
+            self.axes, self.values, name=self.name,
+            axis_names=self.axis_names,
+        )
 
     @property
     def ndim(self) -> int:
         """Number of table dimensions."""
         return len(self.axes)
 
-    def lookup(self, *point: float, **named: float) -> float:
-        """Interpolate the table at a geometry point.
-
-        Accepts positional coordinates in axis order, or keyword
-        coordinates by axis name (but not a mix).
-        """
+    def _resolve_point(
+        self, point: Tuple[float, ...], named: Dict[str, float]
+    ) -> Tuple[float, ...]:
         if named:
             if point:
                 raise TableError("pass coordinates positionally or by name, not both")
+            named = dict(named)
             try:
                 point = tuple(named.pop(name) for name in self.axis_names)
             except KeyError as exc:
                 raise TableError(f"missing coordinate for axis {exc}") from None
             if named:
                 raise TableError(f"unknown axes {sorted(named)}")
-        return self._interp(*point)
+        return point
 
-    def in_range(self, *point: float) -> bool:
+    def lookup(self, *point: float, **named: float) -> float:
+        """Interpolate the table at a geometry point.
+
+        Accepts positional coordinates in axis order, or keyword
+        coordinates by axis name (but not a mix).  Every lookup
+        classifies against the characterized domain (interior /
+        edge-cell / extrapolated), ticking the ``table_lookup*``
+        counters and this table's coverage map
+        (:mod:`repro.quality.coverage`).
+        """
+        return self._interp(*self._resolve_point(point, named))
+
+    def in_range(self, *point: float, **named: float) -> bool:
         """True when the query point lies inside the characterized grid."""
-        return self._interp.in_range(point)
+        return self._interp.in_range(self._resolve_point(point, named))
+
+    def classify(self, *point: float, **named: float) -> str:
+        """Domain classification of a query point without evaluating it.
+
+        ``interior`` / ``edge`` (outermost spline cell) /
+        ``extrapolated``; agrees exactly with :meth:`in_range` on
+        boundary points.
+        """
+        overall, _ = self._interp.classify(self._resolve_point(point, named))
+        return overall
 
     def to_dict(self) -> dict:
         """JSON-serializable representation."""
@@ -124,3 +149,17 @@ class ExtractionTable:
     def load(cls, path: Union[str, Path]) -> "ExtractionTable":
         """Read a table from a JSON file."""
         return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def timed_lookup(table: ExtractionTable, **coords: float) -> float:
+    """Table lookup that feeds the ``lookup_latency_seconds`` histogram.
+
+    The shared hot-path helper used by every extractor: histograms never
+    touch the solver-call counters, so the warm-path "zero solver calls"
+    assertions stay meaningful.
+    """
+    t0 = time.perf_counter()
+    try:
+        return table.lookup(**coords)
+    finally:
+        get_registry().observe(LOOKUP_LATENCY, time.perf_counter() - t0)

@@ -28,6 +28,7 @@ Typical use::
 """
 
 from repro.telemetry.registry import (
+    AUDIT_SOLVE,
     BUILD_CHUNK_SECONDS,
     DEFAULT_TIME_BUCKETS,
     FIELD_SOLVE_2D,
@@ -39,6 +40,9 @@ from repro.telemetry.registry import (
     LP_PAIR_TOTAL,
     PARTIAL_SOLVE,
     TABLE_BUILD_POINT,
+    TABLE_LOOKUP,
+    TABLE_LOOKUP_EDGE,
+    TABLE_LOOKUP_EXTRAPOLATED,
     HistogramSnapshot,
     MetricsRegistry,
     MetricsSnapshot,
@@ -70,6 +74,8 @@ __all__ = [
     "LOOP_SOLVE", "PARTIAL_SOLVE", "FIELD_SOLVE_2D",
     "LP_PAIR_EVAL", "LP_PAIR_TOTAL", "LP_MEMO_HIT", "LP_MEMO_MISS",
     "LOOKUP_LATENCY", "TABLE_BUILD_POINT", "BUILD_CHUNK_SECONDS",
+    "TABLE_LOOKUP", "TABLE_LOOKUP_EDGE", "TABLE_LOOKUP_EXTRAPOLATED",
+    "AUDIT_SOLVE",
     "DEFAULT_TIME_BUCKETS",
     # registry
     "MetricsRegistry", "MetricsSnapshot", "HistogramSnapshot",

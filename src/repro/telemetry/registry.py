@@ -45,6 +45,10 @@ __all__ = [
     "LP_PAIR_TOTAL",
     "LP_MEMO_HIT",
     "LP_MEMO_MISS",
+    "TABLE_LOOKUP",
+    "TABLE_LOOKUP_EDGE",
+    "TABLE_LOOKUP_EXTRAPOLATED",
+    "AUDIT_SOLVE",
     "LOOKUP_LATENCY",
     "TABLE_BUILD_POINT",
     "BUILD_CHUNK_SECONDS",
@@ -72,6 +76,18 @@ LP_PAIR_EVAL = "lp_pair_eval"
 LP_PAIR_TOTAL = "lp_pair_total"
 LP_MEMO_HIT = "lp_memo_hit"
 LP_MEMO_MISS = "lp_memo_miss"
+
+#: Lookup-domain coverage counters (ticked by every table lookup; see
+#: :mod:`repro.quality.coverage`).  Every query classifies as interior,
+#: edge-cell or extrapolated; extrapolated lookups additionally tick a
+#: per-axis tagged counter ``table_lookup_extrapolated.<axis>.<side>``.
+TABLE_LOOKUP = "table_lookup"
+TABLE_LOOKUP_EDGE = "table_lookup_edge"
+TABLE_LOOKUP_EXTRAPOLATED = "table_lookup_extrapolated"
+
+#: Direct re-solves performed by the table auditor -- never ticked on a
+#: plain extraction path (auditing is strictly opt-in).
+AUDIT_SOLVE = "audit_direct_solve"
 
 #: Latency histograms of the hot paths.
 LOOKUP_LATENCY = "lookup_latency_seconds"

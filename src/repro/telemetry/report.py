@@ -40,7 +40,12 @@ __all__ = [
 ]
 
 #: Bump when the report JSON layout changes incompatibly.
-REPORT_SCHEMA_VERSION = 1
+#: v2 (PR 4) added the ``coverage`` and ``table_health`` sections; v1
+#: reports still load (they migrate to empty sections).
+REPORT_SCHEMA_VERSION = 2
+
+#: Older schema versions :meth:`RunReport.from_dict` accepts and migrates.
+_COMPATIBLE_SCHEMA_VERSIONS = (1, REPORT_SCHEMA_VERSION)
 
 
 @dataclass
@@ -58,6 +63,13 @@ class RunReport:
     spans: List[dict] = field(default_factory=list)
     #: Free-form extras (build stats, argv, library root, ...).
     meta: Dict[str, object] = field(default_factory=dict)
+    #: Per-table lookup-domain coverage maps touched during the session
+    #: (see :meth:`repro.quality.coverage.TableCoverage.to_dict`); empty
+    #: for sessions that never hit a named table and for v1 reports.
+    coverage: List[dict] = field(default_factory=list)
+    #: Table-health reports attached by audited builds (see
+    #: :meth:`repro.quality.audit.TableHealthReport.to_dict`).
+    table_health: List[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def totals(self) -> MetricsSnapshot:
@@ -80,6 +92,8 @@ class RunReport:
             "metrics": self.metrics.to_dict(),
             "spans": self.spans,
             "meta": self.meta,
+            "coverage": self.coverage,
+            "table_health": self.table_health,
         }
         if self.worker_metrics is not None:
             data["worker_metrics"] = self.worker_metrics.to_dict()
@@ -87,8 +101,9 @@ class RunReport:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":
+        """Rebuild a report; v1 records migrate (empty quality sections)."""
         version = data.get("schema_version")
-        if version != REPORT_SCHEMA_VERSION:
+        if version not in _COMPATIBLE_SCHEMA_VERSIONS:
             raise TelemetryError(
                 f"report schema {version!r} != supported {REPORT_SCHEMA_VERSION}"
             )
@@ -103,6 +118,9 @@ class RunReport:
             ),
             spans=list(data.get("spans", [])),
             meta=dict(data.get("meta", {})),
+            # v1 reports predate the quality sections: both default empty.
+            coverage=list(data.get("coverage", [])),
+            table_health=list(data.get("table_health", [])),
         )
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -136,6 +154,7 @@ class TelemetrySession:
         self.meta: Dict[str, object] = {}
         self.worker_metrics: Optional[MetricsSnapshot] = None
         self.worker_spans: List[dict] = []
+        self.table_health: List[dict] = []
         #: The finished report; available after the ``with`` block exits.
         self.report: Optional[RunReport] = None
 
@@ -159,6 +178,18 @@ class TelemetrySession:
         """
         self.worker_spans.extend(spans)
 
+    def add_table_health(self, reports) -> None:
+        """Attach table-health reports (dicts or objects) to the report.
+
+        Audited builds (``repro library build --audit``) call this so
+        ``repro report`` can render the health verdicts next to the
+        build's span tree and counters.
+        """
+        for report in reports:
+            if hasattr(report, "to_dict"):
+                report = report.to_dict()
+            self.table_health.append(dict(report))
+
 
 @contextmanager
 def telemetry_session(command: str) -> Iterator[TelemetrySession]:
@@ -170,10 +201,15 @@ def telemetry_session(command: str) -> Iterator[TelemetrySession]:
     trees.  Metric deltas are measured against the session start, so a
     warm process can run several sessions without cross-talk.
     """
+    # Lazy import: the quality layer instruments repro.tables, which
+    # telemetry must not import at module scope.
+    from repro.quality.coverage import get_coverage_tracker
+
     registry = get_registry()
     tracer = get_tracer()
     session = TelemetrySession(command)
     start_snapshot = registry.snapshot()
+    coverage_start = get_coverage_tracker().lookup_counts()
     previous_enabled = tracer.enabled
     tracer.enabled = True
     started_at = time.time()
@@ -184,6 +220,13 @@ def telemetry_session(command: str) -> Iterator[TelemetrySession]:
     finally:
         duration = time.perf_counter() - t0
         tracer.enabled = previous_enabled
+        # Only tables whose lookup count moved during the session make
+        # the report: a warm process can run several sessions without
+        # re-reporting stale coverage.
+        coverage = [
+            entry for entry in get_coverage_tracker().report()
+            if entry["lookups"] != coverage_start.get(entry["table"], 0)
+        ]
         session.report = RunReport(
             command=command,
             started_at=started_at,
@@ -193,6 +236,8 @@ def telemetry_session(command: str) -> Iterator[TelemetrySession]:
             spans=([sp.to_dict() for sp in tracer.drain()]
                    + list(session.worker_spans)),
             meta=dict(session.meta),
+            coverage=coverage,
+            table_health=list(session.table_health),
         )
 
 
@@ -278,4 +323,18 @@ def render_report(report: RunReport, max_spans: int = 200) -> str:
                 f"mean={hist.mean:.3e} s  p50<={hist.quantile(0.5):.0e} "
                 f"p95<={hist.quantile(0.95):.0e}"
             )
+
+    # Quality sections (PR 4): render only when the report carries them,
+    # so pre-v2 reports fall through untouched.  Lazy imports keep the
+    # telemetry layer free of a hard quality dependency.
+    if report.coverage:
+        from repro.quality.coverage import render_coverage
+
+        lines.append("")
+        lines.append(render_coverage(report.coverage).rstrip("\n"))
+    if report.table_health:
+        from repro.quality.audit import render_health
+
+        lines.append("")
+        lines.append(render_health(report.table_health).rstrip("\n"))
     return "\n".join(lines) + "\n"

@@ -1,0 +1,162 @@
+"""PR 4 acceptance: audited warm H-tree demo + coverage of bad queries.
+
+The issue's acceptance criteria, asserted end to end:
+
+* an audited build of the warm-library H-tree demo produces a
+  :class:`TableHealthReport` whose p95 relative interpolation error on
+  in-range samples is within the paper's 5% budget;
+* a deliberately out-of-range lookup surfaces in the coverage map with
+  a nonzero ``table_lookup_extrapolated`` counter and the offending
+  geometry recorded;
+* auditing is opt-in -- a plain warm extraction performs zero field
+  solves *and* zero audit solves.
+"""
+
+import warnings
+
+import pytest
+
+from repro.clocktree.extractor import ClocktreeRLCExtractor
+from repro.constants import um
+from repro.core.frequency import significant_frequency
+from repro.errors import ExtrapolationWarning
+from repro.experiments.htree_skew import default_htree
+from repro.library import BuildRunner, standard_clocktree_jobs
+from repro.quality import TableAuditor, audit_library, get_coverage_tracker
+from repro.quality.audit import TableHealthReport
+from repro.telemetry import (
+    AUDIT_SOLVE,
+    FIELD_SOLVE_2D,
+    LOOP_SOLVE,
+    PARTIAL_SOLVE,
+    TABLE_LOOKUP_EXTRAPOLATED,
+    get_registry,
+    metrics_meter,
+    render_report,
+    telemetry_session,
+)
+
+
+@pytest.fixture(scope="module")
+def audited_warm_library(tmp_path_factory):
+    """Audited characterization of the default H-tree's structure family.
+
+    The loop grid is dense enough for cubic splines on both axes (3
+    widths x 4 lengths), which is what the paper's "few percent" claim
+    assumes; the 2x2 capacitance grid keeps the 2-D solves cheap (its
+    accuracy is not under test here).
+    """
+    root = tmp_path_factory.mktemp("audited-kit")
+    htree = default_htree()
+    frequency = significant_frequency(htree.buffer.rise_time)
+    jobs = standard_clocktree_jobs(
+        htree.config, frequency=frequency,
+        widths=[um(6), um(10), um(14)],
+        lengths=[um(400), um(1300), um(2600), um(5200)],
+    )
+    runner = BuildRunner(root, parallel=False,
+                         auditor=TableAuditor(samples=6))
+    stats = runner.build(jobs)
+    return root, htree, frequency, stats
+
+
+class TestAuditedBuild:
+    def test_inductance_health_within_paper_budget(self, audited_warm_library):
+        _, _, _, stats = audited_warm_library
+        report = TableHealthReport.from_dict(stats.health["loop_inductance"])
+        assert report.n_samples == 6
+        assert report.p95_rel_error <= 0.05, report.render()
+        assert report.passed
+
+    def test_stored_library_audit_is_clean(self, audited_warm_library):
+        from repro.library import TableLibrary
+
+        root = audited_warm_library[0]
+        reports, problems = audit_library(TableLibrary(root, create=False))
+        assert problems == []
+        assert {r.table_name for r in reports} == {
+            "loop_inductance", "loop_resistance"}
+
+    def test_warm_rebuild_keeps_health(self, audited_warm_library):
+        from repro.library import TableLibrary
+
+        root, htree, frequency, _ = audited_warm_library
+        jobs = standard_clocktree_jobs(
+            htree.config, frequency=frequency,
+            widths=[um(6), um(10), um(14)],
+            lengths=[um(400), um(1300), um(2600), um(5200)],
+        )
+        # no auditor this time: the warm skip must not erase the
+        # embedded health reports
+        with metrics_meter(get_registry()) as meter:
+            stats = BuildRunner(root, parallel=False).build(jobs)
+        assert stats.jobs_skipped == len(jobs)
+        assert meter.counts.get(AUDIT_SOLVE, 0) == 0
+        _, problems = audit_library(TableLibrary(root, create=False))
+        assert problems == []
+
+
+class TestWarmPathStaysOptIn:
+    def test_zero_solves_including_audit(self, audited_warm_library):
+        root, htree, frequency, _ = audited_warm_library
+        extractor = ClocktreeRLCExtractor(
+            htree.config, frequency=frequency, library=root)
+        assert extractor.inductance_table is not None
+        with metrics_meter(get_registry()) as meter:
+            for segment in htree.segments:
+                assert extractor.segment_rlc_for(segment).inductance > 0.0
+        for counter in (LOOP_SOLVE, PARTIAL_SOLVE, FIELD_SOLVE_2D,
+                        AUDIT_SOLVE):
+            assert meter.counts.get(counter, 0) == 0, (
+                f"warm extraction ran {counter}: {meter.counts}"
+            )
+
+
+class TestCoverageOfBadQueries:
+    def test_out_of_range_lookup_is_surfaced(self, audited_warm_library):
+        root, htree, frequency, _ = audited_warm_library
+        extractor = ClocktreeRLCExtractor(
+            htree.config, frequency=frequency, library=root)
+        with metrics_meter(get_registry()) as meter:
+            with pytest.warns(ExtrapolationWarning):
+                # 3 um is below the characterized 6..14 um widths (an
+                # out-of-range query that keeps R physically positive)
+                extractor.segment_rlc(um(2000), signal_width=um(3))
+        assert meter.counts.get(TABLE_LOOKUP_EXTRAPOLATED, 0) >= 1
+        assert meter.counts.get(
+            f"{TABLE_LOOKUP_EXTRAPOLATED}.width.low", 0) >= 1
+
+        coverage = extractor.coverage()
+        by_table = {entry["table"]: entry for entry in coverage}
+        entry = by_table["loop_inductance"]
+        assert entry["extrapolated"] >= 1
+        assert any("width=3e-06" in key for key in entry["hot_spots"])
+
+    def test_session_report_renders_coverage_and_health(
+            self, audited_warm_library):
+        root, htree, frequency, stats = audited_warm_library
+        extractor = ClocktreeRLCExtractor(
+            htree.config, frequency=frequency, library=root)
+        with telemetry_session("repro skew") as session:
+            extractor.segment_rlc(um(2000))
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", ExtrapolationWarning)
+                extractor.segment_rlc(um(2000), signal_width=um(3))
+            session.add_table_health(stats.health.values())
+        report = session.report
+        assert any(e["extrapolated"] for e in report.coverage)
+        text = render_report(report)
+        assert "lookup-domain coverage" in text
+        assert "<< EXTRAPOLATION" in text
+        assert "table health" in text and "loop_inductance" in text
+
+    def test_hot_spot_records_offending_geometry(self, audited_warm_library):
+        root, htree, frequency, _ = audited_warm_library
+        extractor = ClocktreeRLCExtractor(
+            htree.config, frequency=frequency, library=root)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ExtrapolationWarning)
+            extractor.segment_rlc(um(2000), signal_width=um(3))
+        coverage = get_coverage_tracker().get("loop_inductance")
+        assert coverage is not None
+        assert coverage.hot_spots

@@ -1,0 +1,158 @@
+"""Residual spot-check auditing: sampling, grading, manifest round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.audit import (
+    DEFAULT_ERROR_BUDGET,
+    HEALTH_SCHEMA_VERSION,
+    TableAuditor,
+    TableHealthReport,
+    render_health,
+)
+from repro.tables.lookup import ExtractionTable
+from repro.telemetry import AUDIT_SOLVE, metrics_meter
+
+
+def _table(name="audit_table", f=lambda x, y: 3.0 * x + 2.0 * y):
+    xs = np.linspace(0.0, 4.0, 5)
+    ys = np.linspace(0.0, 2.0, 5)
+    values = np.array([[f(x, y) for y in ys] for x in xs])
+    return ExtractionTable(
+        name=name, quantity="q", axis_names=("x", "y"),
+        axes=[xs, ys], values=values,
+    )
+
+
+class TestValidation:
+    def test_bad_samples(self):
+        with pytest.raises(QualityError):
+            TableAuditor(samples=0)
+
+    def test_bad_margin(self):
+        with pytest.raises(QualityError):
+            TableAuditor(margin=0.6)
+
+    def test_bad_budget(self):
+        with pytest.raises(QualityError):
+            TableAuditor(error_budget=0.0)
+
+
+class TestSampling:
+    def test_deterministic_per_key(self):
+        auditor = TableAuditor(samples=6, seed=7)
+        axes = [np.linspace(0, 1, 4), np.linspace(5, 9, 4)]
+        assert auditor.sample_points(axes, "k") == \
+            TableAuditor(samples=6, seed=7).sample_points(axes, "k")
+
+    def test_distinct_keys_distinct_samples(self):
+        auditor = TableAuditor(samples=6)
+        axes = [np.linspace(0, 1, 4)]
+        assert auditor.sample_points(axes, "a") != \
+            auditor.sample_points(axes, "b")
+
+    def test_samples_stay_strictly_in_range(self):
+        auditor = TableAuditor(samples=50, margin=0.02)
+        axes = [np.linspace(-3, 3, 5), np.linspace(10, 20, 5)]
+        for point in auditor.sample_points(axes, "k"):
+            for axis, q in zip(axes, point):
+                assert axis[0] < q < axis[-1]
+
+
+class TestAudit:
+    def test_good_spline_passes(self):
+        table = _table()
+        auditor = TableAuditor(samples=6)
+        report = auditor.audit(table, lambda p: 3.0 * p[0] + 2.0 * p[1])
+        assert report.passed
+        assert report.p95_rel_error <= 1e-9
+        assert report.n_samples == 6
+        assert len(report.samples) == 6
+
+    def test_bad_spline_fails(self):
+        table = _table()
+        auditor = TableAuditor(samples=6)
+        # "truth" is 2x the table: 33% relative error everywhere
+        report = auditor.audit(
+            table, lambda p: 2.0 * (3.0 * p[0] + 2.0 * p[1]) + 1.0
+        )
+        assert not report.passed
+        assert report.p95_rel_error > DEFAULT_ERROR_BUDGET
+
+    def test_every_direct_solve_ticks_the_audit_counter(self):
+        table = _table()
+        auditor = TableAuditor(samples=5)
+        with metrics_meter() as meter:
+            auditor.audit(table, lambda p: 3.0 * p[0] + 2.0 * p[1])
+        assert meter.delta.counter(AUDIT_SOLVE) == 5
+
+    def test_explicit_points_override_the_sample(self):
+        table = _table()
+        auditor = TableAuditor(samples=9)
+        report = auditor.audit(
+            table, lambda p: 3.0 * p[0] + 2.0 * p[1],
+            points=[(1.0, 1.0), (2.0, 0.5)],
+        )
+        assert report.n_samples == 2
+
+
+class TestHealthReportSerialization:
+    def test_roundtrip(self):
+        table = _table()
+        report = TableAuditor(samples=3).audit(
+            table, lambda p: 3.0 * p[0] + 2.0 * p[1])
+        clone = TableHealthReport.from_dict(report.to_dict())
+        assert clone == report
+        assert clone.schema_version == HEALTH_SCHEMA_VERSION
+
+    def test_unknown_schema_rejected(self):
+        data = TableHealthReport(table_name="t").to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(QualityError):
+            TableHealthReport.from_dict(data)
+
+    def test_check_with_budget_override(self):
+        report = TableHealthReport(table_name="t", p95_rel_error=0.03,
+                                   error_budget=0.05, passed=True)
+        assert report.check()
+        assert not report.check(budget=0.01)
+
+    def test_render(self):
+        report = TableHealthReport(
+            table_name="t", quantity="q", n_samples=4,
+            p95_rel_error=0.021, passed=True,
+        )
+        text = render_health([report, report.to_dict()])
+        assert text.count("PASS") == 2
+        assert "2.10%" in text
+
+
+class TestAuditJob:
+    @pytest.fixture(scope="class")
+    def job(self):
+        from repro.clocktree.configs import CoplanarWaveguideConfig
+        from repro.constants import GHz, um
+        from repro.library import LoopTableJob
+
+        config = CoplanarWaveguideConfig(
+            signal_width=um(10), ground_width=um(5), spacing=um(1),
+            thickness=um(2), height_below=um(2),
+        )
+        return LoopTableJob(
+            config=config, frequency=GHz(6.4),
+            widths=(um(6), um(10), um(14)),
+            lengths=(um(400), um(1300), um(2600), um(5200)),
+        )
+
+    def test_one_solve_per_point_covers_both_tables(self, job):
+        tables = job.assemble(
+            [list(job.solve_point(p)) for p in job.points()])
+        auditor = TableAuditor(samples=3)
+        with metrics_meter() as meter:
+            reports = auditor.audit_job(job, tables)
+        # 3 sample solves grade BOTH the L and R tables (shared loop_rl)
+        assert meter.delta.counter(AUDIT_SOLVE) == 3
+        assert set(reports) == {t.name for t in tables}
+        for report in reports.values():
+            assert report.n_samples == 3

@@ -1,0 +1,166 @@
+"""Lookup-domain coverage: classification, counters, coverage maps."""
+
+import numpy as np
+import pytest
+
+from repro.quality.coverage import (
+    AXIS_EDGE,
+    AXIS_HIGH,
+    AXIS_INTERIOR,
+    AXIS_LOW,
+    CoverageTracker,
+    TableCoverage,
+    classify_axis,
+    classify_point,
+    get_coverage_tracker,
+    record_lookup,
+    render_coverage,
+)
+from repro.telemetry import (
+    TABLE_LOOKUP,
+    TABLE_LOOKUP_EDGE,
+    TABLE_LOOKUP_EXTRAPOLATED,
+    metrics_meter,
+)
+
+AXIS = [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestClassifyAxis:
+    def test_interior(self):
+        assert classify_axis(AXIS, 2.5) == AXIS_INTERIOR
+
+    def test_edge_cells(self):
+        # Outermost spline cells: one-sided cubic support.
+        assert classify_axis(AXIS, 0.5) == AXIS_EDGE
+        assert classify_axis(AXIS, 3.5) == AXIS_EDGE
+
+    def test_boundary_points_are_edge_not_extrapolated(self):
+        assert classify_axis(AXIS, 0.0) == AXIS_EDGE
+        assert classify_axis(AXIS, 4.0) == AXIS_EDGE
+
+    def test_out_of_range(self):
+        assert classify_axis(AXIS, -0.1) == AXIS_LOW
+        assert classify_axis(AXIS, 4.1) == AXIS_HIGH
+
+    def test_two_knot_axis_is_all_edge(self):
+        assert classify_axis([0.0, 1.0], 0.5) == AXIS_EDGE
+
+    def test_inner_knots_are_edge(self):
+        # q == axis[1] / axis[-2] still has one-sided support on a side.
+        assert classify_axis(AXIS, 1.0) == AXIS_EDGE
+        assert classify_axis(AXIS, 3.0) == AXIS_EDGE
+
+
+class TestClassifyPoint:
+    def test_any_extrapolated_axis_dominates(self):
+        overall, per_axis = classify_point([AXIS, AXIS], (2.5, 9.0))
+        assert overall == "extrapolated"
+        assert per_axis == (AXIS_INTERIOR, AXIS_HIGH)
+
+    def test_edge_beats_interior(self):
+        overall, _ = classify_point([AXIS, AXIS], (2.5, 0.5))
+        assert overall == "edge"
+
+    def test_all_interior(self):
+        overall, _ = classify_point([AXIS, AXIS], (2.5, 1.5))
+        assert overall == "interior"
+
+
+class TestRecordLookup:
+    def test_counters_tick_with_per_axis_tags(self):
+        with metrics_meter() as meter:
+            record_lookup([AXIS, AXIS], (2.5, 1.5),
+                          axis_names=("width", "length"))
+            record_lookup([AXIS, AXIS], (0.5, 1.5),
+                          axis_names=("width", "length"))
+            record_lookup([AXIS, AXIS], (-1.0, 9.0),
+                          axis_names=("width", "length"))
+        delta = meter.delta
+        assert delta.counter(TABLE_LOOKUP) == 3
+        assert delta.counter(TABLE_LOOKUP_EDGE) == 1
+        assert delta.counter(TABLE_LOOKUP_EXTRAPOLATED) == 1
+        assert delta.counter(f"{TABLE_LOOKUP_EXTRAPOLATED}.width.low") == 1
+        assert delta.counter(f"{TABLE_LOOKUP_EXTRAPOLATED}.length.high") == 1
+
+    def test_anonymous_lookup_stays_out_of_the_map(self):
+        tracker = get_coverage_tracker()
+        before = tracker.lookup_counts()
+        record_lookup([AXIS], (2.5,))
+        assert tracker.lookup_counts() == before
+
+    def test_named_lookup_feeds_the_tracker(self):
+        tracker = get_coverage_tracker()
+        name = "cov_test_named_table"
+        record_lookup([AXIS], (2.5,), name=name, axis_names=("width",))
+        record_lookup([AXIS], (9.0,), name=name, axis_names=("width",))
+        coverage = tracker.get(name)
+        assert coverage is not None
+        assert coverage.lookups >= 2
+        assert coverage.extrapolated >= 1
+        assert any("width=9" in key for key in coverage.hot_spots)
+
+
+class TestTableCoverage:
+    def test_axis_histogram_and_tails(self):
+        cov = TableCoverage("t", ("x",), [AXIS])
+        for q in (0.5, 0.5, 2.5, -1.0, 99.0):
+            cov.record((q,), classify_point([AXIS], (q,))[0])
+        axis = cov.to_dict()["axes"][0]
+        assert axis["below"] == 1 and axis["above"] == 1
+        assert axis["cells"][0] == 2 and axis["cells"][2] == 1
+        assert cov.extrapolation_fraction == pytest.approx(2 / 5)
+
+    def test_hot_spot_bound(self):
+        cov = TableCoverage("t", ("x",), [AXIS])
+        for k in range(TableCoverage.MAX_HOT_SPOTS + 5):
+            cov.record((10.0 + k,), "extrapolated")
+        assert len(cov.hot_spots) == TableCoverage.MAX_HOT_SPOTS
+        assert cov.hot_spot_overflow == 5
+        assert cov.extrapolated == TableCoverage.MAX_HOT_SPOTS + 5
+
+
+class TestTrackerAndRender:
+    def test_tracker_isolated_instance(self):
+        tracker = CoverageTracker()
+        tracker.record("a", ("x",), [AXIS], (2.5,), "interior")
+        tracker.record("a", ("x",), [AXIS], (9.0,), "extrapolated")
+        tracker.record("b", ("x",), [AXIS], (0.5,), "edge")
+        assert tracker.lookup_counts() == {"a": 2, "b": 1}
+        report = tracker.report()
+        assert [e["table"] for e in report] == ["a", "b"]
+        tracker.reset()
+        assert tracker.report() == []
+
+    def test_render_flags_extrapolation_with_geometry(self):
+        tracker = CoverageTracker()
+        tracker.record("lmap", ("width",), [AXIS], (9.0,), "extrapolated")
+        text = render_coverage(tracker.report())
+        assert "lookup-domain coverage (1 table(s))" in text
+        assert "<< EXTRAPOLATION" in text
+        assert "width=9" in text  # the offending geometry survives
+
+    def test_render_roundtrips_through_json_dicts(self):
+        import json
+
+        tracker = CoverageTracker()
+        tracker.record("t", ("x",), [AXIS], (2.5,), "interior")
+        entries = json.loads(json.dumps(tracker.report()))
+        assert "t: 1 lookup(s)" in render_coverage(entries)
+
+
+class TestInstrumentedTable:
+    def test_extraction_table_lookup_classifies(self):
+        from repro.tables.lookup import ExtractionTable
+
+        table = ExtractionTable(
+            name="cov_itable", quantity="q", axis_names=("width",),
+            axes=[np.array(AXIS)], values=np.array(AXIS) ** 2,
+        )
+        assert table.classify(2.5) == "interior"
+        assert table.classify(width=0.5) == "edge"
+        assert table.classify(9.0) == "extrapolated"
+        # in_range agrees exactly with the classifier on boundaries
+        for q in AXIS[:1] + AXIS[-1:]:
+            assert table.in_range(q)
+            assert table.classify(q) == "edge"

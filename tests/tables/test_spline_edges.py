@@ -1,0 +1,131 @@
+"""Edge behaviour of the spline stack (PR 4 satellite).
+
+Two properties matter for trusting the coverage classifier:
+
+* the edge-cubic extrapolation error grows *monotonically* as the query
+  moves away from the grid -- there is no sweet spot outside the
+  characterized range, so every extrapolated lookup deserves its
+  counter tick;
+* ``in_range``, the edge-cell classifier, and ``lookup`` agree exactly
+  on boundary points: a query *at* ``axis[0]``/``axis[-1]`` is in range,
+  classifies as ``edge``, and never warns.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExtrapolationWarning
+from repro.quality.coverage import AXIS_EDGE, AXIS_HIGH, AXIS_LOW
+from repro.tables.grid import TensorSplineInterpolator
+from repro.tables.lookup import ExtractionTable
+from repro.tables.spline import CubicSpline1D
+
+
+def _curved_table():
+    """A gently curved 1-D table (the shape of an L(length) sweep)."""
+    xs = np.linspace(1.0, 5.0, 9)
+    return ExtractionTable(
+        name="edge_test_table", quantity="q", axis_names=("width",),
+        axes=[xs], values=np.log(xs) + 0.1 * xs,
+    ), xs
+
+
+class TestMonotoneExtrapolationError:
+    """|spline - truth| is nondecreasing with distance off-grid."""
+
+    @pytest.mark.parametrize("side", ["high", "low"])
+    def test_1d_error_grows_with_distance(self, side):
+        xs = np.linspace(0.0, 2.0, 9)
+        truth = np.exp  # smooth, curved, cheap
+        spline = CubicSpline1D(xs, truth(xs))
+        if side == "high":
+            queries = xs[-1] + np.linspace(0.1, 1.5, 8)
+        else:
+            queries = xs[0] - np.linspace(0.1, 1.5, 8)
+        errors = [abs(spline(q) - truth(q)) for q in queries]
+        assert errors == sorted(errors), (
+            f"extrapolation error is not monotone off-grid: {errors}"
+        )
+        # and the farthest point is meaningfully worse than the nearest
+        assert errors[-1] > 2.0 * errors[0]
+
+    def test_tensor_interpolator_matches_1d_edge_cubic(self):
+        # The N-D interpolator extrapolates with the same edge cubic as
+        # the 1-D spline: no hidden clamping.
+        xs = np.linspace(0.0, 2.0, 5)
+        values = xs ** 3
+        interp = TensorSplineInterpolator(
+            [xs], values, warn_on_extrapolation=False)
+        spline = CubicSpline1D(xs, values)
+        for q in (-0.5, 2.5, 3.5):
+            assert interp(q) == pytest.approx(spline(q), rel=1e-12)
+
+    def test_error_is_zero_inside_and_small_at_edge(self):
+        xs = np.linspace(0.0, 2.0, 9)
+        spline = CubicSpline1D(xs, np.exp(xs))
+        inside = abs(spline(1.0) - np.exp(1.0))
+        at_edge = abs(spline(2.0) - np.exp(2.0))
+        outside = abs(spline(3.0) - np.exp(3.0))
+        assert at_edge <= 1e-12  # knot exactness
+        assert inside < outside
+
+
+class TestBoundaryAgreement:
+    """in_range, classify and lookup agree exactly at the boundaries."""
+
+    def test_boundary_points_in_range_edge_and_silent(self):
+        table, xs = _curved_table()
+        for q in (xs[0], xs[-1]):
+            assert table.in_range(q)
+            assert table.classify(q) == "edge"
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                table.lookup(q)  # must not warn
+
+    def test_just_outside_disagrees_on_all_three(self):
+        table, xs = _curved_table()
+        eps = 1e-9
+        for q, expected in ((xs[0] - eps, AXIS_LOW),
+                            (xs[-1] + eps, AXIS_HIGH)):
+            assert not table.in_range(q)
+            assert table.classify(q) == "extrapolated"
+            with pytest.warns(ExtrapolationWarning):
+                table.lookup(q)
+            # the per-axis classification names the violated side
+            from repro.quality.coverage import classify_point
+            _, per_axis = classify_point(table.axes, (q,))
+            assert per_axis == (expected,)
+
+    def test_interpolator_classify_agrees_with_in_range(self):
+        _, xs = _curved_table()
+        interp = TensorSplineInterpolator(
+            [xs], np.log(xs), warn_on_extrapolation=False)
+        for q in np.concatenate([xs, xs[:-1] + np.diff(xs) / 2,
+                                 [xs[0] - 1.0, xs[-1] + 1.0]]):
+            overall, _ = interp.classify((q,))
+            assert interp.in_range((q,)) == (overall != "extrapolated")
+
+    def test_inner_knot_edges_are_in_range(self):
+        table, xs = _curved_table()
+        # q == axis[1] / axis[-2]: one-sided cubic support -> edge, but
+        # emphatically in range and warning-free.
+        for q in (xs[1], xs[-2]):
+            assert table.in_range(q)
+            assert table.classify(q) == AXIS_EDGE
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                table.lookup(q)
+
+
+@given(st.floats(-2.0, 8.0))
+@settings(max_examples=60)
+def test_classify_in_range_consistency_property(q):
+    """For any finite query, extrapolated <=> not in_range."""
+    xs = np.linspace(1.0, 5.0, 5)
+    interp = TensorSplineInterpolator(
+        [xs], xs ** 2, warn_on_extrapolation=False)
+    extrapolated = interp.classify((q,))[0] == "extrapolated"
+    assert extrapolated == (not interp.in_range((q,)))

@@ -134,6 +134,66 @@ class TestPersistence:
         assert record["depth"] == 0
 
 
+class TestSchemaMigration:
+    """Pre-PR-4 (v1) reports must keep loading and rendering cleanly."""
+
+    def _v1_payload(self) -> dict:
+        data = RunReport(
+            command="repro fig1",
+            started_at=1700000000.0,
+            duration=0.5,
+            metrics=MetricsSnapshot(counters={"loop_solve": 2}),
+            spans=[{"name": "root", "duration": 0.4, "status": "ok"}],
+        ).to_dict()
+        # rewind to the v1 shape: no coverage / table_health sections
+        data["schema_version"] = 1
+        del data["coverage"]
+        del data["table_health"]
+        return data
+
+    def test_v1_report_loads_with_empty_quality_sections(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self._v1_payload()))
+        report = load_report(path)
+        assert report.coverage == []
+        assert report.table_health == []
+        assert report.metrics.counter("loop_solve") == 2
+
+    def test_v1_report_renders_without_quality_sections(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self._v1_payload()))
+        text = render_report(load_report(path))
+        assert "repro fig1" in text
+        assert "lookup-domain coverage" not in text
+        assert "table health" not in text
+
+    def test_saved_reports_are_v2(self, tmp_path):
+        path = tmp_path / "v2.json"
+        RunReport(command="x").save(path)
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 2
+        assert data["coverage"] == []
+        assert data["table_health"] == []
+
+    def test_v2_quality_sections_roundtrip(self, tmp_path):
+        report = RunReport(
+            command="x",
+            coverage=[{"table": "loop_inductance", "lookups": 3,
+                       "interior": 2, "edge": 0, "extrapolated": 1,
+                       "extrapolation_fraction": 1 / 3,
+                       "axis_names": ["width"], "axes": [],
+                       "hot_spots": {"width=3e-05": 1},
+                       "hot_spot_overflow": 0}],
+            table_health=[{"schema_version": 1,
+                           "table_name": "loop_inductance"}],
+        )
+        path = tmp_path / "r.json"
+        report.save(path)
+        loaded = load_report(path)
+        assert loaded.coverage == report.coverage
+        assert loaded.table_health == report.table_health
+
+
 class TestRendering:
     def test_render_contains_spans_and_metrics(self):
         report = RunReport(
