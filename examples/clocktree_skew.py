@@ -7,17 +7,27 @@ loop-inductance tables, extracts the full cascaded RLC netlist through
 table lookups, and simulates the RC-only and RLC versions to compare
 sink arrivals -- the paper's Sec. V application.
 
+The whole run executes inside a telemetry session: it writes a schema-v3
+run report (including the per-netlist ``simulation`` section -- transient
+diagnostics plus netlist health) and a Chrome trace-event timeline you
+can open in chrome://tracing or https://ui.perfetto.dev.
+
 Run:  python examples/clocktree_skew.py
 """
+
+from pathlib import Path
 
 from repro import ClockBuffer, CoplanarWaveguideConfig, HTree, um
 from repro.clocktree.skew import compare_rc_vs_rlc
 from repro.constants import fF, ps, to_ps
 from repro.core.extraction import TableBasedExtractor
 from repro.core.frequency import significant_frequency
+from repro.telemetry import telemetry_session, write_chrome_trace
+
+OUT_DIR = Path("skew_telemetry")
 
 
-def main() -> None:
+def run_study() -> None:
     config = CoplanarWaveguideConfig(
         signal_width=um(10), ground_width=um(5), spacing=um(1),
         thickness=um(2), height_below=um(2),
@@ -66,6 +76,30 @@ def main() -> None:
     print(f"skew error from omitting L: "
           f"{comparison.skew_discrepancy * 100:.1f} % "
           "(the paper: 'can be more than 10%')")
+
+    # Simulation observability: did the runs earn trust?
+    print()
+    for label, sections in comparison.simulation_reports().items():
+        health = sections["netlist_health"]
+        diag = sections["diagnostics"]
+        state = "clean" if not health["findings"] else "FINDINGS"
+        print(f"{label}: netlist {state}, LTE p95={diag['lte_p95']:.2e}, "
+              f"energy residual={diag['energy_residual']:.2e}, "
+              f"dt {'ok' if diag['dt_adequate'] else 'UNDERSAMPLED'}")
+    return comparison
+
+
+def main() -> None:
+    with telemetry_session("examples/clocktree_skew") as session:
+        comparison = run_study()
+        session.add_simulation(comparison.simulation_reports())
+    report = session.report
+    OUT_DIR.mkdir(exist_ok=True)
+    report_path = report.save(OUT_DIR / "skew_report.json")
+    trace_path = write_chrome_trace(report, OUT_DIR / "skew_trace.json")
+    print()
+    print(f"run report   -> {report_path}  (render: repro report {report_path})")
+    print(f"chrome trace -> {trace_path}  (open in ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

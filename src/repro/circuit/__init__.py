@@ -9,6 +9,13 @@ Waveform post-processing (delay, overshoot, skew) lives in
 
 from repro.circuit.ac import ACResult, ac_analysis
 from repro.circuit.dc import operating_point
+from repro.circuit.diagnostics import TransientDiagnostics
+from repro.circuit.lint import (
+    LintFinding,
+    NetlistHealthReport,
+    lint_circuit,
+    lint_spice,
+)
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import DCSource, PulseSource, PWLSource, SineSource
 from repro.circuit.spice_export import to_spice, write_spice
@@ -31,6 +38,11 @@ __all__ = [
     "ACResult",
     "transient_analysis",
     "TransientResult",
+    "TransientDiagnostics",
+    "LintFinding",
+    "NetlistHealthReport",
+    "lint_circuit",
+    "lint_spice",
     "Waveform",
     "skew",
 ]

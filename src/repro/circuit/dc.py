@@ -8,6 +8,8 @@ import numpy as np
 
 from repro.circuit.netlist import AssembledCircuit, Circuit
 from repro.errors import SolverError
+from repro.telemetry.registry import SINGULAR_SYSTEM, get_registry
+from repro.telemetry.spans import span
 
 #: Tiny conductance added from every node to ground so capacitor-isolated
 #: nodes have a defined DC voltage (SPICE's gmin).
@@ -26,14 +28,16 @@ def operating_point(
     including ground.
     """
     assembled = circuit.assemble() if isinstance(circuit, Circuit) else circuit
-    g = assembled.stamps.g_matrix.copy()
-    n = assembled.num_nodes
-    g[:n, :n] += np.eye(n) * gmin
-    b = assembled.stamps.source_vector(time)
-    try:
-        x = np.linalg.solve(g, b)
-    except np.linalg.LinAlgError as exc:
-        raise SolverError(f"singular DC system: {exc}") from exc
+    with span("circuit.dc", size=assembled.size, time=time):
+        g = assembled.stamps.g_matrix.copy()
+        n = assembled.num_nodes
+        g[:n, :n] += np.eye(n) * gmin
+        b = assembled.stamps.source_vector(time)
+        try:
+            x = np.linalg.solve(g, b)
+        except np.linalg.LinAlgError as exc:
+            get_registry().inc(SINGULAR_SYSTEM)
+            raise SolverError(f"singular DC system: {exc}") from exc
     voltages = {"0": 0.0}
     for node, idx in assembled.node_index.items():
         if idx >= 0:

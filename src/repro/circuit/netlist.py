@@ -181,7 +181,13 @@ class Circuit:
     # assembly
     # ------------------------------------------------------------------
     def assemble(self) -> "AssembledCircuit":
-        """Stamp all elements and return the MNA system."""
+        """Stamp all elements and return the MNA system.
+
+        Runs under a ``circuit.assemble`` span tagged with the element,
+        node and branch counts plus the resulting MNA size (PR 5).
+        """
+        from repro.telemetry.spans import span
+
         if not self.elements:
             raise CircuitError("circuit has no elements")
         nodes = self.nodes
@@ -196,11 +202,20 @@ class Circuit:
         for i, node in enumerate(nodes):
             node_index[node] = i
         branch_names = [e.name for e in self.branch_elements]
-        stamps = Stamps(node_index, branch_names)
-        for element in self.elements:
-            element.stamp(stamps)
-        for mutual in self.mutuals:
-            mutual.stamp(stamps)
+        with span(
+            "circuit.assemble",
+            elements=len(self.elements),
+            mutuals=len(self.mutuals),
+            nodes=len(nodes),
+            branches=len(branch_names),
+        ) as sp:
+            stamps = Stamps(node_index, branch_names)
+            for element in self.elements:
+                element.stamp(stamps)
+            for mutual in self.mutuals:
+                mutual.stamp(stamps)
+            if sp is not None:
+                sp.tags["size"] = stamps.size
         return AssembledCircuit(self, node_index, branch_names, stamps)
 
 

@@ -8,19 +8,50 @@ The MNA system ``G x + C x' = b(t)`` is integrated on a fixed step:
   a suspected numerical oscillation is physical).
 
 The step matrix is factorized once and reused for every step.
+
+Observability (PR 5): every run executes under a ``circuit.transient``
+span (matrix size, step count, factorization time) and -- unless
+``diagnostics=False`` -- attaches a
+:class:`~repro.circuit.diagnostics.TransientDiagnostics` to the result:
+step-doubling LTE estimate, energy-balance residual, dt adequacy vs the
+significant frequency, and start-up provenance.  When ``t_stop / dt``
+is not an integer the step is *snapped* (``dt = t_stop / ceil(...)``)
+with a warning and a ``circuit_dt_snapped`` counter tick so the time
+grid is guaranteed to land exactly on ``t_stop``.
 """
 
 from __future__ import annotations
 
+import time as _time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve
 
+from repro.circuit.diagnostics import (
+    TransientDiagnostics,
+    dt_adequacy,
+    energy_balance,
+    estimate_local_truncation_error,
+)
 from repro.circuit.netlist import AssembledCircuit, Circuit
 from repro.circuit.waveform import Waveform
 from repro.errors import CircuitError, SolverError
+from repro.telemetry.registry import (
+    DC_START_FALLBACK,
+    FACTOR_SECONDS,
+    SINGULAR_SYSTEM,
+    TRANSIENT_DT_SNAPPED,
+    TRANSIENT_STEPS,
+    get_registry,
+)
+from repro.telemetry.spans import span
+
+#: Relative tolerance under which ``t_stop / dt`` counts as an integer
+#: (floating-point noise, not a mis-sized grid).
+_STEP_SNAP_RTOL = 1e-9
 
 
 @dataclass
@@ -30,6 +61,8 @@ class TransientResult:
     time: np.ndarray
     node_voltages: Dict[str, np.ndarray]
     branch_currents: Dict[str, np.ndarray]
+    #: Per-run self-diagnosis (None when ``diagnostics=False``).
+    diagnostics: Optional[TransientDiagnostics] = None
 
     def voltage(self, node: str) -> Waveform:
         """Voltage waveform at *node*."""
@@ -46,12 +79,31 @@ class TransientResult:
             raise CircuitError(f"element {element!r} has no branch current") from None
 
 
+def _snap_steps(t_stop: float, dt: float) -> Tuple[int, float, bool]:
+    """Step count and effective dt whose grid ends exactly on t_stop."""
+    exact = t_stop / dt
+    rounded = round(exact)
+    if rounded >= 1 and abs(exact - rounded) <= _STEP_SNAP_RTOL * rounded:
+        return int(rounded), t_stop / rounded, False
+    n_steps = int(np.ceil(exact))
+    snapped = t_stop / n_steps
+    get_registry().inc(TRANSIENT_DT_SNAPPED)
+    warnings.warn(
+        f"t_stop/dt is not an integer; dt snapped {dt:.6e} -> "
+        f"{snapped:.6e} s ({n_steps} steps) so time[-1] == t_stop",
+        stacklevel=3,
+    )
+    return n_steps, snapped, True
+
+
 def transient_analysis(
     circuit: Union[Circuit, AssembledCircuit],
     t_stop: float,
     dt: float,
     method: str = "trapezoidal",
     initial: str = "dc",
+    diagnostics: bool = True,
+    lte_probes: int = 16,
 ) -> TransientResult:
     """Integrate the circuit from 0 to *t_stop* with fixed step *dt*.
 
@@ -63,6 +115,13 @@ def transient_analysis(
         ``"dc"`` starts from the operating point with sources at t = 0
         (the usual SPICE behaviour); ``"zero"`` starts from explicit
         initial conditions (or all-zero state).
+    diagnostics:
+        Attach a :class:`TransientDiagnostics` (LTE estimate, energy
+        residual, dt adequacy) to the result.  Costs one extra
+        half-step factorization plus ``2 * lte_probes`` solves and a
+        vectorized energy pass; disable for tight inner loops.
+    lte_probes:
+        Steps probed by the step-doubling LTE estimate.
     """
     if t_stop <= 0.0 or dt <= 0.0:
         raise CircuitError("t_stop and dt must be positive")
@@ -76,74 +135,147 @@ def transient_analysis(
     assembled = circuit.assemble() if isinstance(circuit, Circuit) else circuit
     g = assembled.stamps.g_matrix
     c = assembled.stamps.c_matrix
+    registry = get_registry()
 
-    n_steps = int(round(t_stop / dt))
-    time = np.arange(n_steps + 1) * dt
+    requested_dt = dt
+    n_steps, dt, dt_snapped = _snap_steps(t_stop, dt)
+    # linspace pins the final sample to t_stop exactly (arange drifts).
+    time = np.linspace(0.0, t_stop, n_steps + 1)
 
-    x = np.empty((n_steps + 1, assembled.size))
-    if initial == "dc":
-        x[0] = _dc_start(assembled)
-    else:
-        x[0] = assembled.initial_state()
-
-    if method == "trapezoidal":
-        lhs = 2.0 * c / dt + g
-        rhs_matrix = 2.0 * c / dt - g
-    else:
-        lhs = c / dt + g
-        rhs_matrix = c / dt
-
-    try:
-        lu = lu_factor(lhs)
-    except (ValueError, np.linalg.LinAlgError) as exc:
-        raise SolverError(f"singular transient step matrix: {exc}") from exc
-
-    b_prev = assembled.stamps.source_vector(0.0)
-    for k in range(n_steps):
-        t_next = time[k + 1]
-        b_next = assembled.stamps.source_vector(t_next)
-        if method == "trapezoidal":
-            rhs = rhs_matrix @ x[k] + b_prev + b_next
+    with span(
+        "circuit.transient",
+        size=assembled.size,
+        steps=n_steps,
+        dt=dt,
+        method=method,
+    ) as sp:
+        registry.inc(TRANSIENT_STEPS, n_steps)
+        x = np.empty((n_steps + 1, assembled.size))
+        dc_fallback = False
+        if initial == "dc":
+            x[0], dc_fallback = _dc_start(assembled)
         else:
-            rhs = rhs_matrix @ x[k] + b_next
-        x[k + 1] = lu_solve(lu, rhs)
-        b_prev = b_next
+            x[0] = assembled.initial_state()
 
-    node_voltages = {"0": np.zeros(n_steps + 1)}
-    for node, idx in assembled.node_index.items():
-        if idx >= 0:
-            node_voltages[node] = x[:, idx]
-    branch_currents = {
-        name: x[:, assembled.num_nodes + i]
-        for i, name in enumerate(assembled.branch_names)
-    }
+        if method == "trapezoidal":
+            lhs = 2.0 * c / dt + g
+            rhs_matrix = 2.0 * c / dt - g
+        else:
+            lhs = c / dt + g
+            rhs_matrix = c / dt
+
+        t0 = _time.perf_counter()
+        try:
+            lu = lu_factor(lhs)
+        except (ValueError, np.linalg.LinAlgError) as exc:
+            registry.inc(SINGULAR_SYSTEM)
+            raise SolverError(f"singular transient step matrix: {exc}") from exc
+        factor_seconds = _time.perf_counter() - t0
+        registry.observe(FACTOR_SECONDS, factor_seconds)
+        if sp is not None:
+            sp.tags["factor_seconds"] = factor_seconds
+
+        b_prev = assembled.stamps.source_vector(0.0)
+        for k in range(n_steps):
+            t_next = time[k + 1]
+            b_next = assembled.stamps.source_vector(t_next)
+            if method == "trapezoidal":
+                rhs = rhs_matrix @ x[k] + b_prev + b_next
+            else:
+                rhs = rhs_matrix @ x[k] + b_next
+            x[k + 1] = lu_solve(lu, rhs)
+            b_prev = b_next
+
+        node_voltages = {"0": np.zeros(n_steps + 1)}
+        for node, idx in assembled.node_index.items():
+            if idx >= 0:
+                node_voltages[node] = x[:, idx]
+        branch_currents = {
+            name: x[:, assembled.num_nodes + i]
+            for i, name in enumerate(assembled.branch_names)
+        }
+
+        diag: Optional[TransientDiagnostics] = None
+        if diagnostics:
+            with span("circuit.diagnostics", probes=lte_probes):
+                diag = _run_diagnostics(
+                    assembled, x, time, dt, requested_dt, dt_snapped,
+                    method, factor_seconds, dc_fallback, lte_probes,
+                )
+
     return TransientResult(
         time=time,
         node_voltages=node_voltages,
         branch_currents=branch_currents,
+        diagnostics=diag,
     )
 
 
-def _dc_start(assembled: AssembledCircuit) -> np.ndarray:
-    """Operating-point start vector (node voltages; branch currents from DC).
+def _run_diagnostics(
+    assembled: AssembledCircuit,
+    x: np.ndarray,
+    time: np.ndarray,
+    dt: float,
+    requested_dt: float,
+    dt_snapped: bool,
+    method: str,
+    factor_seconds: float,
+    dc_fallback: bool,
+    lte_probes: int,
+) -> TransientDiagnostics:
+    lte = estimate_local_truncation_error(
+        assembled, x, time, dt, method, max_probes=lte_probes
+    )
+    energy = energy_balance(assembled.circuit, assembled, x, time)
+    adequacy = dt_adequacy(assembled.circuit, dt)
+    return TransientDiagnostics(
+        method=method,
+        dt=dt,
+        requested_dt=requested_dt,
+        dt_snapped=dt_snapped,
+        t_stop=float(time[-1]),
+        steps=len(time) - 1,
+        matrix_size=assembled.size,
+        num_nodes=assembled.num_nodes,
+        num_branches=len(assembled.branch_names),
+        factor_seconds=factor_seconds,
+        dc_start_fallback=dc_fallback,
+        lte_max=lte["max"],
+        lte_p95=lte["p95"],
+        lte_probes=lte["probes"],
+        energy_input=energy["input"],
+        energy_dissipated=energy["dissipated"],
+        energy_stored_delta=energy["stored_delta"],
+        energy_residual=energy["residual"],
+        significant_frequency=adequacy["frequency"],
+        steps_per_significant_period=adequacy["steps_per_period"],
+        dt_adequate=adequacy["adequate"],
+    )
+
+
+def _dc_start(assembled: AssembledCircuit) -> Tuple[np.ndarray, bool]:
+    """Operating-point start vector plus whether the fallback was taken.
 
     Inductor loops (an inductor directly across a voltage source, or two
     coupled inductors in a loop) make the DC system singular -- the loop
     current is genuinely undetermined at DC.  The minimum-norm
     least-squares solution (zero circulating current) is the physical
-    start for a transient, so it is used as the fallback.
+    start for a transient, so it is used as the fallback (ticking
+    ``circuit_dc_start_fallback``).
     """
     g = assembled.stamps.g_matrix.copy()
     n = assembled.num_nodes
     g[:n, :n] += np.eye(n) * 1e-12
     b = assembled.stamps.source_vector(0.0)
     try:
-        return np.linalg.solve(g, b)
+        return np.linalg.solve(g, b), False
     except np.linalg.LinAlgError:
+        get_registry().inc(DC_START_FALLBACK)
         solution, _, rank, _ = np.linalg.lstsq(g, b, rcond=None)
         residual = g @ solution - b
         if np.max(np.abs(residual)) > 1e-9 * max(1.0, np.max(np.abs(b))):
+            get_registry().inc(SINGULAR_SYSTEM)
             raise SolverError(
                 "inconsistent DC initialization (conflicting sources)"
             )
-        return solution
+        return solution, True

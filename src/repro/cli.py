@@ -29,7 +29,30 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
     print(f"  delay ratio = {result.delay_ratio:5.2f}          (paper: 1.70)")
     print(f"  overshoot  = {result.overshoot_rlc * 100.0:5.1f} %")
     print(f"  undershoot = {result.undershoot_rlc * 100.0:5.1f} %")
+    _emit_simulation(args, result.simulation_reports())
     return 0
+
+
+def _emit_simulation(args: argparse.Namespace, sections) -> None:
+    """Print simulation-health one-liners and feed the v3 report section."""
+    for label in sorted(sections):
+        section = sections[label]
+        diag = section.get("diagnostics")
+        health = section.get("netlist_health")
+        parts = []
+        if health is not None:
+            parts.append("netlist clean" if health["clean"] else
+                         f"netlist {health['num_errors']} error(s)")
+        if diag is not None:
+            parts.append(f"LTE p95 {diag['lte_p95']:.1e}")
+            parts.append(f"energy residual {diag['energy_residual']:.1e}")
+            if not diag.get("dt_adequate", True):
+                parts.append("dt UNDERSAMPLED")
+        if parts:
+            print(f"  [{label}] " + ", ".join(parts))
+    session = getattr(args, "_telemetry_session", None)
+    if session is not None:
+        session.add_simulation(sections)
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
@@ -90,6 +113,7 @@ def _cmd_skew(args: argparse.Namespace) -> int:
     print(f"  skew discrepancy  = {result.skew_discrepancy_percent:5.1f} % "
           "(paper: can exceed 10 %)")
     print(f"  delay discrepancy = {result.delay_discrepancy_percent:5.1f} %")
+    _emit_simulation(args, result.comparison.simulation_reports())
     return 0
 
 
@@ -392,10 +416,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.telemetry import load_report, render_report
 
     report = load_report(args.file)
+    if args.trace_json:
+        from repro.telemetry import write_chrome_trace
+
+        path = write_chrome_trace(report, args.trace_json)
+        print(f"chrome trace -> {path} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+        if not args.spans_jsonl:
+            return 0
     if args.spans_jsonl:
         print(report.spans_jsonl(), end="")
         return 0
     print(render_report(report, max_spans=args.max_spans), end="")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path as _Path
+
+    from repro.circuit.lint import lint_spice
+
+    path = _Path(args.netlist)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    report = lint_spice(text, name=path.name)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.render())
+    session = getattr(args, "_telemetry_session", None)
+    if session is not None:
+        session.add_simulation({path.name: {"netlist_health": report.to_dict()}})
+    if not report.clean:
+        return 1
+    if report.warnings and args.strict:
+        return 1
     return 0
 
 
@@ -584,7 +643,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--spans-jsonl", action="store_true",
                           help="dump the flattened span records as JSONL "
                                "instead of rendering")
+    p_report.add_argument("--trace-json", default=None, metavar="FILE",
+                          help="export the span tree as a Chrome "
+                               "trace-event (Perfetto) timeline to FILE")
     p_report.set_defaults(func=_cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint", help="netlist health lint for a SPICE deck; exits nonzero "
+                     "on errors")
+    p_lint.add_argument("netlist", help="SPICE deck (.sp) to check")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the health report as JSON")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="also fail (exit 1) on warnings")
+    _add_telemetry_arg(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+from repro.circuit.lint import NetlistHealthReport, lint_circuit
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import PulseSource
 from repro.clocktree.configs import CoplanarWaveguideConfig
@@ -59,6 +60,18 @@ class ClocktreeNetlist:
     root_node: str
     sink_nodes: Dict[str, str]
     includes_inductance: bool
+    #: Netlist health report (populated by :meth:`lint`, or eagerly by
+    #: :meth:`ClocktreeRLCExtractor.build_netlist` unless disabled).
+    health: Optional[NetlistHealthReport] = None
+
+    def lint(self, refresh: bool = False) -> NetlistHealthReport:
+        """Run (or return the cached) netlist health lint."""
+        if self.health is None or refresh:
+            kind = "rlc" if self.includes_inductance else "rc"
+            self.health = lint_circuit(
+                self.circuit, name=self.circuit.title or f"clocktree_{kind}"
+            )
+        return self.health
 
 
 class ClocktreeRLCExtractor:
@@ -248,6 +261,7 @@ class ClocktreeRLCExtractor:
         sections: Optional[int] = None,
         title: str = "",
         rc_scale: Tuple[float, float] = (1.0, 1.0),
+        lint: bool = True,
     ) -> ClocktreeNetlist:
         """Formulate the full cascaded RLC (or RC) netlist of an H-tree.
 
@@ -257,6 +271,11 @@ class ClocktreeRLCExtractor:
 
         *rc_scale* multiplies every wire resistance and capacitance (the
         paper's process-variation flow: statistical RC with nominal L).
+
+        Unless ``lint=False``, the formulated circuit is health-linted
+        (:mod:`repro.circuit.lint`) and the report attached to
+        :attr:`ClocktreeNetlist.health` -- extraction bugs surface here,
+        before a simulation silently produces a wrong skew.
         """
         sections = sections if sections is not None else self.sections_per_segment
         if sections < 1:
@@ -285,13 +304,16 @@ class ClocktreeRLCExtractor:
                     circuit, htree, segment, root_node, sections,
                     include_inductance, sink_nodes, rc_scale,
                 )
-        return ClocktreeNetlist(
+        netlist = ClocktreeNetlist(
             circuit=circuit,
             source_name="Vclk",
             root_node=root_node,
             sink_nodes=sink_nodes,
             includes_inductance=include_inductance,
         )
+        if lint:
+            netlist.lint()
+        return netlist
 
     def _drive_node(self, segment: HTreeSegment, root_node: str) -> str:
         if segment.parent is None:

@@ -10,9 +10,10 @@ the discrepancy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, Optional
 
 
+from repro.circuit.lint import NetlistHealthReport
 from repro.circuit.transient import TransientResult, transient_analysis
 from repro.circuit.waveform import Waveform, skew
 from repro.clocktree.extractor import ClocktreeNetlist, ClocktreeRLCExtractor
@@ -28,6 +29,18 @@ class SkewResult:
     source_crossing: float
     result: TransientResult
     sink_nodes: Dict[str, str] = field(default_factory=dict)
+    #: Health report of the simulated netlist (None when linting was
+    #: disabled on both the netlist build and the simulate call).
+    health: Optional[NetlistHealthReport] = None
+
+    def simulation_report(self) -> Dict[str, Any]:
+        """Serializable diagnostics + health summary for RunReport v3."""
+        report: Dict[str, Any] = {}
+        if self.result.diagnostics is not None:
+            report["diagnostics"] = self.result.diagnostics.to_dict()
+        if self.health is not None:
+            report["netlist_health"] = self.health.to_dict()
+        return report
 
     @property
     def skew(self) -> float:
@@ -57,15 +70,25 @@ def simulate_clocktree(
     t_stop: float,
     dt: float,
     threshold_fraction: float = 0.5,
+    lint: bool = True,
+    diagnostics: bool = True,
 ) -> SkewResult:
     """Transient-simulate a clocktree netlist and measure sink arrivals.
 
     Arrival is the first crossing of ``threshold_fraction * supply`` at
     each sink; the reference crossing is taken at the root driver node.
+
+    Unless disabled, the netlist health report (cached from the build,
+    or computed here) and the per-run :class:`TransientDiagnostics` ride
+    along on the :class:`SkewResult`, so every skew number is traceable
+    to the integration quality that produced it.
     """
     if not netlist.sink_nodes:
         raise CircuitError("netlist has no sinks")
-    result = transient_analysis(netlist.circuit, t_stop=t_stop, dt=dt)
+    health = netlist.lint() if (lint or netlist.health is not None) else None
+    result = transient_analysis(
+        netlist.circuit, t_stop=t_stop, dt=dt, diagnostics=diagnostics
+    )
     level = threshold_fraction * supply
     root_wave = result.voltage(netlist.root_node)
     source_crossing = root_wave.threshold_crossing(level)
@@ -86,6 +109,7 @@ def simulate_clocktree(
         source_crossing=source_crossing,
         result=result,
         sink_nodes=dict(netlist.sink_nodes),
+        health=health,
     )
 
 
@@ -118,6 +142,11 @@ class SkewComparison:
         for sink, rlc_delay in self.rlc.delays.items():
             errors[sink] = abs(rlc_delay - rc_delays[sink]) / rlc_delay
         return errors
+
+    def simulation_reports(self) -> Dict[str, Any]:
+        """Per-netlist diagnostics/health dicts for RunReport v3."""
+        return {"rc": self.rc.simulation_report(),
+                "rlc": self.rlc.simulation_report()}
 
 
 def compare_rc_vs_rlc(

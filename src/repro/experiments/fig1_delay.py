@@ -23,8 +23,10 @@ RC delay, with clear overshoot and undershoot.  Sweep
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
+from repro.circuit.diagnostics import TransientDiagnostics
+from repro.circuit.lint import NetlistHealthReport, lint_circuit
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import PulseSource
 from repro.circuit.transient import transient_analysis
@@ -49,11 +51,32 @@ class Fig1Result:
     sink_wave_rc: Waveform
     driver_wave_rlc: Waveform
     sink_wave_rlc: Waveform
+    #: Per-netlist transient diagnostics + health lint (PR 5).
+    diagnostics_rc: Optional[TransientDiagnostics] = None
+    diagnostics_rlc: Optional[TransientDiagnostics] = None
+    health_rc: Optional[NetlistHealthReport] = None
+    health_rlc: Optional[NetlistHealthReport] = None
 
     @property
     def delay_ratio(self) -> float:
         """RLC delay over RC delay (the paper's is 47.6 / 28.01 = 1.70)."""
         return self.delay_rlc / self.delay_rc
+
+    def simulation_reports(self) -> Dict[str, Any]:
+        """Per-netlist diagnostics/health dicts for RunReport v3."""
+        sections: Dict[str, Any] = {}
+        for label, diag, health in (
+            ("rc", self.diagnostics_rc, self.health_rc),
+            ("rlc", self.diagnostics_rlc, self.health_rlc),
+        ):
+            section: Dict[str, Any] = {}
+            if diag is not None:
+                section["diagnostics"] = diag.to_dict()
+            if health is not None:
+                section["netlist_health"] = health.to_dict()
+            if section:
+                sections[label] = section
+        return sections
 
 
 def _single_net_circuit(
@@ -130,13 +153,17 @@ def run_fig1(
     rlc = extractor.segment_rlc(length, signal_width=signal_width)
 
     waves = {}
+    diagnostics = {}
+    health = {}
     for include_l in (False, True):
         circuit = _single_net_circuit(
             rlc, drive_resistance, supply, rise_time,
             sink_capacitance, sections, include_l,
         )
         sink_node = f"n{sections}"
+        health[include_l] = lint_circuit(circuit)
         result = transient_analysis(circuit, t_stop=t_stop, dt=dt)
+        diagnostics[include_l] = result.diagnostics
         waves[include_l] = (result.voltage("drv"), result.voltage(sink_node))
 
     threshold = 0.5 * supply
@@ -161,4 +188,8 @@ def run_fig1(
         sink_wave_rc=sink_rc,
         driver_wave_rlc=waves[True][0],
         sink_wave_rlc=sink_rlc,
+        diagnostics_rc=diagnostics[False],
+        diagnostics_rlc=diagnostics[True],
+        health_rc=health[False],
+        health_rlc=health[True],
     )

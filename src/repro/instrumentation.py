@@ -34,6 +34,7 @@ from repro.telemetry.registry import (  # noqa: F401  (re-exported names)
     LP_PAIR_TOTAL,
     PARTIAL_SOLVE,
     get_registry,
+    is_solver_counter as _is_solver_counter,
 )
 
 __all__ = [
@@ -53,14 +54,10 @@ __all__ = [
 ]
 
 
-#: Counters that *observe* table lookups (PR 4's coverage layer) rather
-#: than record solver work.  A warm lookup legitimately ticks these, so
-#: the "zero solver calls" totals must not count them.
-_OBSERVATIONAL_PREFIXES = ("table_lookup",)
-
-
-def _is_solver_counter(name: str) -> bool:
-    return not name.startswith(_OBSERVATIONAL_PREFIXES)
+# The observational-counter filter (``table_lookup*``, ``circuit_*``,
+# ``netlist_lint*``) lives in :mod:`repro.telemetry.registry` as
+# :func:`~repro.telemetry.registry.is_solver_counter`, shared with
+# ``metrics_meter`` so both meters agree on what "solver work" means.
 
 
 def memo_hit_rate() -> float:

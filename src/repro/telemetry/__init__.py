@@ -12,6 +12,9 @@
   deltas and tags into an in-memory trace tree, dumpable as JSONL.
 * :mod:`~repro.telemetry.export` -- deterministic Prometheus-text and
   JSON exporters for snapshots.
+* :mod:`~repro.telemetry.trace_export` -- Chrome trace-event (Perfetto)
+  exporter turning span trees into loadable timelines
+  (``repro report out.json --trace-json trace.json``).
 * :mod:`~repro.telemetry.report` -- structured :class:`RunReport`
   artifacts (``--telemetry out.json`` on the CLI, rendered back by
   ``repro report``), captured by :func:`telemetry_session`.
@@ -60,6 +63,11 @@ from repro.telemetry.spans import (
     spans_to_jsonl,
 )
 from repro.telemetry.export import prometheus_text, snapshot_json
+from repro.telemetry.trace_export import (
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
 from repro.telemetry.report import (
     REPORT_SCHEMA_VERSION,
     RunReport,
@@ -86,6 +94,7 @@ __all__ = [
     "spans_to_jsonl",
     # exporters
     "prometheus_text", "snapshot_json",
+    "chrome_trace", "chrome_trace_events", "write_chrome_trace",
     # reports
     "REPORT_SCHEMA_VERSION", "RunReport", "TelemetrySession",
     "telemetry_session", "render_report", "load_report",

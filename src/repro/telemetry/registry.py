@@ -49,9 +49,18 @@ __all__ = [
     "TABLE_LOOKUP_EDGE",
     "TABLE_LOOKUP_EXTRAPOLATED",
     "AUDIT_SOLVE",
+    "TRANSIENT_STEPS",
+    "TRANSIENT_DT_SNAPPED",
+    "DC_START_FALLBACK",
+    "SINGULAR_SYSTEM",
+    "NETLIST_LINT",
+    "NETLIST_LINT_FINDING",
+    "OBSERVATIONAL_PREFIXES",
+    "is_solver_counter",
     "LOOKUP_LATENCY",
     "TABLE_BUILD_POINT",
     "BUILD_CHUNK_SECONDS",
+    "FACTOR_SECONDS",
     "DEFAULT_TIME_BUCKETS",
     "HistogramSnapshot",
     "MetricsSnapshot",
@@ -89,10 +98,37 @@ TABLE_LOOKUP_EXTRAPOLATED = "table_lookup_extrapolated"
 #: plain extraction path (auditing is strictly opt-in).
 AUDIT_SOLVE = "audit_direct_solve"
 
+#: Simulation-observability counters (PR 5; see
+#: :mod:`repro.circuit.diagnostics` and :mod:`repro.circuit.lint`).
+#: These are *observational* -- the instrumentation shim excludes the
+#: ``circuit_*`` / ``netlist_lint*`` families from the zero-solve
+#: totals, the same way it excludes ``table_lookup*``.
+TRANSIENT_STEPS = "circuit_transient_steps"
+TRANSIENT_DT_SNAPPED = "circuit_dt_snapped"
+DC_START_FALLBACK = "circuit_dc_start_fallback"
+SINGULAR_SYSTEM = "circuit_singular_system"
+NETLIST_LINT = "netlist_lint"
+NETLIST_LINT_FINDING = "netlist_lint_finding"
+
+#: Counter-name prefixes that *observe* rather than record solver work:
+#: the ``table_lookup*`` coverage family (PR 4) and the ``circuit_*`` /
+#: ``netlist_lint*`` simulation-observability families (PR 5).  Warm
+#: lookups, transient step counts and netlist lints legitimately tick
+#: these, so zero-solve totals must not count them.
+OBSERVATIONAL_PREFIXES: Tuple[str, ...] = (
+    "table_lookup", "circuit_", "netlist_lint",
+)
+
+
+def is_solver_counter(name: str) -> bool:
+    """True when counter *name* records solver work (not observation)."""
+    return not name.startswith(OBSERVATIONAL_PREFIXES)
+
 #: Latency histograms of the hot paths.
 LOOKUP_LATENCY = "lookup_latency_seconds"
 TABLE_BUILD_POINT = "table_build_point_seconds"
 BUILD_CHUNK_SECONDS = "build_chunk_seconds"
+FACTOR_SECONDS = "circuit_factor_seconds"
 
 #: Default histogram bucket upper bounds [s]: 1 us .. 1 min, log-spaced.
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
@@ -460,8 +496,17 @@ class metrics_meter:
 
     @property
     def total(self) -> int:
-        """Sum of counter deltas observed inside the block."""
-        return self.delta.total_counter_events
+        """Solver-work counter deltas observed inside the block.
+
+        Purely observational families (:data:`OBSERVATIONAL_PREFIXES`:
+        ``table_lookup*``, ``circuit_*``, ``netlist_lint*``) are
+        excluded, matching the instrumentation shim's zero-solve
+        semantics: a warm lookup or a netlist lint is not solver work.
+        """
+        return sum(
+            v for k, v in self.delta.counters.items()
+            if is_solver_counter(k)
+        )
 
 
 def iter_counter_items(snapshot: MetricsSnapshot) -> Iterator[Tuple[str, int]]:

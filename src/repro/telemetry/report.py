@@ -40,12 +40,14 @@ __all__ = [
 ]
 
 #: Bump when the report JSON layout changes incompatibly.
-#: v2 (PR 4) added the ``coverage`` and ``table_health`` sections; v1
-#: reports still load (they migrate to empty sections).
-REPORT_SCHEMA_VERSION = 2
+#: v2 (PR 4) added the ``coverage`` and ``table_health`` sections; v3
+#: (PR 5) added the ``simulation`` section (transient diagnostics +
+#: netlist-health summaries).  v1/v2 reports still load (they migrate
+#: to empty sections).
+REPORT_SCHEMA_VERSION = 3
 
 #: Older schema versions :meth:`RunReport.from_dict` accepts and migrates.
-_COMPATIBLE_SCHEMA_VERSIONS = (1, REPORT_SCHEMA_VERSION)
+_COMPATIBLE_SCHEMA_VERSIONS = (1, 2, REPORT_SCHEMA_VERSION)
 
 
 @dataclass
@@ -70,6 +72,11 @@ class RunReport:
     #: Table-health reports attached by audited builds (see
     #: :meth:`repro.quality.audit.TableHealthReport.to_dict`).
     table_health: List[dict] = field(default_factory=list)
+    #: Simulation-observability section (v3): per-netlist transient
+    #: diagnostics and netlist-health summaries keyed by a caller-chosen
+    #: label (``"rc"`` / ``"rlc"`` for the skew and fig1 experiments).
+    #: Empty for non-simulating runs and for migrated v1/v2 reports.
+    simulation: Dict[str, dict] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def totals(self) -> MetricsSnapshot:
@@ -94,6 +101,7 @@ class RunReport:
             "meta": self.meta,
             "coverage": self.coverage,
             "table_health": self.table_health,
+            "simulation": self.simulation,
         }
         if self.worker_metrics is not None:
             data["worker_metrics"] = self.worker_metrics.to_dict()
@@ -101,7 +109,7 @@ class RunReport:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":
-        """Rebuild a report; v1 records migrate (empty quality sections)."""
+        """Rebuild a report; v1/v2 records migrate (empty new sections)."""
         version = data.get("schema_version")
         if version not in _COMPATIBLE_SCHEMA_VERSIONS:
             raise TelemetryError(
@@ -118,9 +126,11 @@ class RunReport:
             ),
             spans=list(data.get("spans", [])),
             meta=dict(data.get("meta", {})),
-            # v1 reports predate the quality sections: both default empty.
+            # v1 reports predate the quality sections, v1/v2 the
+            # simulation section: all migrate to empty.
             coverage=list(data.get("coverage", [])),
             table_health=list(data.get("table_health", [])),
+            simulation=dict(data.get("simulation", {})),
         )
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -155,6 +165,7 @@ class TelemetrySession:
         self.worker_metrics: Optional[MetricsSnapshot] = None
         self.worker_spans: List[dict] = []
         self.table_health: List[dict] = []
+        self.simulation: Dict[str, dict] = {}
         #: The finished report; available after the ``with`` block exits.
         self.report: Optional[RunReport] = None
 
@@ -189,6 +200,21 @@ class TelemetrySession:
             if hasattr(report, "to_dict"):
                 report = report.to_dict()
             self.table_health.append(dict(report))
+
+    def add_simulation(self, sections: Dict[str, dict]) -> None:
+        """Attach simulation-observability sections (schema v3).
+
+        *sections* maps a netlist label (``"rc"``, ``"rlc"``, ...) to a
+        dict with optional ``diagnostics``
+        (:meth:`~repro.circuit.diagnostics.TransientDiagnostics.to_dict`)
+        and ``netlist_health``
+        (:meth:`~repro.circuit.lint.NetlistHealthReport.to_dict`)
+        entries -- exactly what
+        :meth:`repro.clocktree.skew.SkewComparison.simulation_reports`
+        returns.  Repeated calls merge by label.
+        """
+        for label, section in sections.items():
+            self.simulation[str(label)] = dict(section)
 
 
 @contextmanager
@@ -238,6 +264,7 @@ def telemetry_session(command: str) -> Iterator[TelemetrySession]:
             meta=dict(session.meta),
             coverage=coverage,
             table_health=list(session.table_health),
+            simulation=dict(session.simulation),
         )
 
 
@@ -337,4 +364,48 @@ def render_report(report: RunReport, max_spans: int = 200) -> str:
 
         lines.append("")
         lines.append(render_health(report.table_health).rstrip("\n"))
+    if report.simulation:
+        lines.append("")
+        lines.append(_render_simulation(report.simulation).rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def _render_simulation(simulation: Dict[str, dict]) -> str:
+    """Render the v3 ``simulation`` section (diagnostics + health)."""
+    lines = [f"simulation ({len(simulation)} netlist(s))"]
+    for label in sorted(simulation):
+        section = simulation[label]
+        diag = section.get("diagnostics")
+        if diag:
+            adequacy = "ok" if diag.get("dt_adequate", True) else "UNDERSAMPLED"
+            lines.append(
+                f"  {label}: {diag.get('method', '?')} "
+                f"steps={diag.get('steps', '?')} dt={diag.get('dt', 0.0):.3e} s "
+                f"({adequacy})"
+            )
+            lte = diag.get("lte_p95")
+            residual = diag.get("energy_residual")
+            detail = []
+            if lte is not None:
+                detail.append(f"LTE p95={lte:.3e}")
+            if residual is not None:
+                detail.append(f"energy residual={residual:.3e}")
+            if diag.get("dt_snapped"):
+                detail.append(
+                    f"dt snapped from {diag.get('requested_dt', 0.0):.3e} s"
+                )
+            if diag.get("dc_start_fallback"):
+                detail.append("dc-start fallback")
+            if detail:
+                lines.append("      " + "  ".join(detail))
+        health = section.get("netlist_health")
+        if health:
+            verdict = "clean" if health.get("clean") else (
+                f"{health.get('num_errors', '?')} error(s)"
+            )
+            warn = health.get("num_warnings", 0)
+            if warn:
+                verdict += f", {warn} warning(s)"
+            name = health.get("name") or label
+            lines.append(f"      netlist health [{name}]: {verdict}")
     return "\n".join(lines) + "\n"

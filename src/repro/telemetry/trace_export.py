@@ -1,0 +1,180 @@
+"""Chrome trace-event (Perfetto) export for span trees.
+
+Serializes the span trees captured by :class:`~repro.telemetry.spans.Tracer`
+(or embedded in a :class:`~repro.telemetry.report.RunReport`) into the
+Chrome trace-event JSON format, loadable by ``chrome://tracing`` and
+https://ui.perfetto.dev -- a full extract -> simulate experiment renders
+as one zoomable timeline instead of a text tree.
+
+Format notes (the subset emitted here):
+
+* one ``"ph": "X"`` *complete* event per span, with ``ts`` (start) and
+  ``dur`` in **microseconds** relative to the earliest root span,
+* span tags, counter deltas and error status ride along in ``args``,
+* each root span tree gets its own ``tid`` lane, so worker span trees
+  shipped into a parallel build's report render side by side instead of
+  stacking into one false hierarchy,
+* ``"ph": "M"`` metadata events name the process and the lanes.
+
+Clock hygiene: a span records its start as epoch seconds
+(``time.time``) but its duration on the monotonic clock
+(``time.perf_counter``).  The two can disagree by microseconds, which
+would make a child poke past its parent's right edge and break nesting
+in the viewer; child intervals are therefore clamped into their
+parent's interval, preserving the invariant Perfetto's flame view
+expects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.ioutil import atomic_write_text
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Microseconds per second (trace-event timestamps are in us).
+_US = 1e6
+
+
+def _span_event(
+    node: Dict[str, Any],
+    ts_us: float,
+    pid: int,
+    tid: int,
+) -> Dict[str, Any]:
+    args: Dict[str, Any] = {}
+    if node.get("tags"):
+        args.update({str(k): v for k, v in node["tags"].items()})
+    if node.get("metrics"):
+        args["counters"] = dict(node["metrics"])
+    status = node.get("status", "ok")
+    if status != "ok":
+        args["status"] = status
+        if node.get("error"):
+            args["error"] = node["error"]
+    event = {
+        "name": str(node.get("name", "?")),
+        "cat": str(node.get("name", "?")).split(".")[0],
+        "ph": "X",
+        "ts": round(ts_us, 3),
+        "dur": round(float(node.get("duration", 0.0)) * _US, 3),
+        "pid": pid,
+        "tid": tid,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def _emit_tree(
+    node: Dict[str, Any],
+    epoch_zero: float,
+    pid: int,
+    tid: int,
+    events: List[Dict[str, Any]],
+    parent_interval: Optional[tuple] = None,
+) -> None:
+    start_us = (float(node.get("started_at", epoch_zero)) - epoch_zero) * _US
+    dur_us = float(node.get("duration", 0.0)) * _US
+    if parent_interval is not None:
+        lo, hi = parent_interval
+        # Clamp into the parent so mixed-clock jitter cannot break the
+        # flame-graph nesting invariant (child within parent).
+        start_us = min(max(start_us, lo), hi)
+        dur_us = max(0.0, min(start_us + dur_us, hi) - start_us)
+    event = _span_event(node, start_us, pid, tid)
+    # Round start and end (not start and duration): round() is monotone,
+    # so child_end <= parent_end survives the rounding exactly and the
+    # viewer's nesting invariant cannot be broken by the last digit.
+    ts = round(start_us, 3)
+    event["ts"] = ts
+    event["dur"] = round(start_us + dur_us, 3) - ts
+    events.append(event)
+    interval = (start_us, start_us + dur_us)
+    for child in node.get("children", ()):
+        _emit_tree(child, epoch_zero, pid, tid, events, interval)
+
+
+def chrome_trace_events(
+    spans: List[Dict[str, Any]],
+    pid: int = 1,
+    process_name: str = "repro",
+) -> List[Dict[str, Any]]:
+    """Flatten span-tree dicts into a list of trace events.
+
+    Each root tree gets its own thread lane (``tid``); timestamps are
+    microseconds since the earliest root's start.
+    """
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": process_name},
+    }]
+    if not spans:
+        return events
+    epoch_zero = min(
+        float(root.get("started_at", 0.0)) for root in spans
+    )
+    for tid, root in enumerate(spans):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": f"trace {tid}: {root.get('name', '?')}"},
+        })
+        _emit_tree(root, epoch_zero, pid, tid, events)
+    return events
+
+
+def chrome_trace(
+    source,
+    process_name: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build the top-level trace JSON object.
+
+    *source* is either a list of span-tree dicts or anything with
+    ``.spans`` (a :class:`~repro.telemetry.report.RunReport`); the
+    report's command names the process and its metadata lands in
+    ``otherData`` so the context survives into the viewer.
+    """
+    other: Dict[str, Any] = {}
+    if hasattr(source, "spans"):
+        spans = source.spans
+        name = process_name or getattr(source, "command", "repro")
+        other = {
+            "command": getattr(source, "command", ""),
+            "duration_s": getattr(source, "duration", 0.0),
+        }
+    else:
+        spans = list(source)
+        name = process_name or "repro"
+    trace: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(spans, process_name=name),
+        "displayTimeUnit": "ms",
+    }
+    if other:
+        trace["otherData"] = other
+    return trace
+
+
+def write_chrome_trace(
+    source,
+    path: Union[str, Path],
+    process_name: Optional[str] = None,
+) -> Path:
+    """Atomically write a Chrome trace JSON file and return its path."""
+    path = Path(path)
+    atomic_write_text(
+        path, json.dumps(chrome_trace(source, process_name=process_name))
+    )
+    return path

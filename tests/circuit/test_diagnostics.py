@@ -1,0 +1,211 @@
+"""Transient diagnostics, dt snapping and circuit spans (PR 5)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    PulseSource,
+    SineSource,
+    operating_point,
+    transient_analysis,
+)
+from repro.circuit.diagnostics import TransientDiagnostics, dt_adequacy
+from repro.errors import CircuitError
+from repro.telemetry import get_tracer, metrics_meter, spans_disabled
+
+
+def _rlc_circuit(rise=50e-12):
+    c = Circuit("diag")
+    c.add_voltage_source("Vin", "in", "0", PulseSource(
+        v1=0.0, v2=1.0, delay=0.0, rise=rise, fall=rise,
+        width=2e-9, period=0.0,
+    ))
+    c.add_resistor("R1", "in", "mid", 50.0)
+    c.add_inductor("L1", "mid", "out", 1e-9)
+    c.add_capacitor("C1", "out", "0", 2e-13)
+    return c
+
+
+def _find_span(node, name):
+    if node["name"] == name:
+        return node
+    for child in node.get("children", ()):
+        found = _find_span(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+class TestStepSnapping:
+    def test_non_integer_ratio_snaps_and_lands_on_t_stop(self):
+        circuit = _rlc_circuit()
+        with metrics_meter() as meter:
+            with pytest.warns(UserWarning, match="dt snapped"):
+                result = transient_analysis(circuit, t_stop=1e-9, dt=0.3e-10)
+        assert result.time[-1] == 1e-9
+        assert meter.delta.counter("circuit_dt_snapped") == 1
+        diag = result.diagnostics
+        assert diag.dt_snapped
+        assert diag.requested_dt == 0.3e-10
+        assert diag.dt < diag.requested_dt
+        # grid is uniform with the snapped dt
+        assert np.allclose(np.diff(result.time), diag.dt)
+        assert any("snapped" in flag for flag in diag.flags())
+
+    def test_integer_ratio_does_not_snap(self):
+        circuit = _rlc_circuit()
+        import warnings
+
+        with metrics_meter() as meter:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                result = transient_analysis(circuit, t_stop=1e-9, dt=1e-12)
+        assert meter.delta.counter("circuit_dt_snapped") == 0
+        assert not result.diagnostics.dt_snapped
+        assert result.time[-1] == 1e-9
+        assert len(result.time) == 1001
+
+    def test_float_noise_ratio_counts_as_integer(self):
+        # 3e-9 / 1e-11 = 299.99999999999994 in floats: must not snap.
+        circuit = _rlc_circuit()
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = transient_analysis(circuit, t_stop=3e-9, dt=1e-11)
+        assert len(result.time) == 301
+        assert result.time[-1] == 3e-9
+
+
+class TestTransientDiagnostics:
+    def test_fields_and_serialization(self):
+        circuit = _rlc_circuit()
+        result = transient_analysis(circuit, t_stop=2e-9, dt=1e-12)
+        diag = result.diagnostics
+        assert isinstance(diag, TransientDiagnostics)
+        assert diag.method == "trapezoidal"
+        assert diag.steps == 2000
+        # 3 non-ground nodes + 2 branch currents (Vin, L1)
+        assert diag.matrix_size == 5
+        assert diag.num_nodes == 3
+        assert diag.num_branches == 2
+        assert diag.factor_seconds >= 0.0
+        data = diag.to_dict()
+        assert TransientDiagnostics.from_dict(data) == diag
+
+    def test_lte_estimate_finite_and_small_for_fine_dt(self):
+        circuit = _rlc_circuit()
+        result = transient_analysis(circuit, t_stop=2e-9, dt=0.5e-12)
+        diag = result.diagnostics
+        assert 0.0 <= diag.lte_p95 <= diag.lte_max
+        assert np.isfinite(diag.lte_max)
+        assert diag.lte_probes > 0
+        assert diag.lte_max < 1e-2
+
+    def test_energy_balance_residual_small(self):
+        circuit = _rlc_circuit()
+        result = transient_analysis(circuit, t_stop=3e-9, dt=1e-12)
+        diag = result.diagnostics
+        assert diag.energy_input > 0.0
+        assert diag.energy_dissipated > 0.0
+        # Tellegen: the residual measures integration error only.
+        assert diag.energy_residual < 1e-4
+
+    def test_dt_adequacy_flags_undersampling(self):
+        circuit = _rlc_circuit(rise=50e-12)  # f_s = 6.4 GHz
+        fine = transient_analysis(circuit, t_stop=2e-9, dt=1e-12)
+        assert fine.diagnostics.dt_adequate
+        coarse = transient_analysis(circuit, t_stop=2e-9, dt=5e-11)
+        assert not coarse.diagnostics.dt_adequate
+        assert coarse.diagnostics.steps_per_significant_period < 10.0
+        assert any("undersample" in f for f in coarse.diagnostics.flags())
+
+    def test_dt_adequacy_helper_without_timed_sources(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", 1.0)  # DC: no frequency
+        c.add_resistor("R1", "a", "0", 10.0)
+        info = dt_adequacy(c, 1e-12)
+        assert info["frequency"] is None
+        assert info["adequate"] is True
+
+    def test_dt_adequacy_from_sine_source(self):
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", SineSource(
+            offset=0.0, amplitude=1.0, frequency=1e9))
+        c.add_resistor("R1", "a", "0", 10.0)
+        info = dt_adequacy(c, 1e-11)
+        assert info["frequency"] == pytest.approx(1e9)
+        assert info["steps_per_period"] == pytest.approx(100.0)
+
+    def test_diagnostics_disabled(self):
+        result = transient_analysis(
+            _rlc_circuit(), t_stop=1e-9, dt=1e-12, diagnostics=False
+        )
+        assert result.diagnostics is None
+
+    def test_dc_start_fallback_flag_and_counter(self):
+        # An inductor directly across the source makes DC singular; the
+        # least-squares start must be taken and flagged.
+        c = Circuit()
+        c.add_voltage_source("V1", "a", "0", PulseSource(
+            v1=0.0, v2=1.0, delay=1e-10, rise=1e-10, fall=1e-10,
+            width=1e-9, period=0.0,
+        ))
+        c.add_inductor("L1", "a", "0", 1e-9)
+        c.add_resistor("R1", "a", "0", 100.0)
+        with metrics_meter() as meter:
+            result = transient_analysis(c, t_stop=1e-9, dt=1e-12)
+        assert result.diagnostics.dc_start_fallback
+        assert meter.delta.counter("circuit_dc_start_fallback") == 1
+        assert any("fallback" in f for f in result.diagnostics.flags())
+
+    def test_transient_steps_counter(self):
+        with metrics_meter() as meter:
+            transient_analysis(_rlc_circuit(), t_stop=1e-9, dt=1e-12,
+                               diagnostics=False)
+        assert meter.delta.counter("circuit_transient_steps") == 1000
+
+
+class TestCircuitSpans:
+    def test_transient_and_assemble_spans_recorded(self):
+        tracer = get_tracer()
+        tracer.reset()
+        previous = tracer.enabled
+        tracer.enabled = True
+        try:
+            circuit = _rlc_circuit()
+            transient_analysis(circuit, t_stop=1e-9, dt=1e-12)
+            operating_point(circuit)
+            roots = [sp.to_dict() for sp in tracer.drain()]
+        finally:
+            tracer.enabled = previous
+        names = [r["name"] for r in roots]
+        assert "circuit.assemble" in names
+        assert "circuit.transient" in names
+        assert "circuit.dc" in names
+        transient = next(r for r in roots if r["name"] == "circuit.transient")
+        assert transient["tags"]["steps"] == 1000
+        assert transient["tags"]["factor_seconds"] >= 0.0
+        assert transient["tags"]["size"] > 0
+        # diagnostics execute under their own child span
+        assert _find_span(transient, "circuit.diagnostics") is not None
+
+    def test_spans_disabled_still_produces_diagnostics(self):
+        with spans_disabled():
+            result = transient_analysis(_rlc_circuit(), t_stop=1e-9, dt=1e-12)
+        assert result.diagnostics is not None
+        assert result.diagnostics.steps == 1000
+
+
+class TestValidation:
+    def test_bad_arguments_rejected(self):
+        circuit = _rlc_circuit()
+        with pytest.raises(CircuitError):
+            transient_analysis(circuit, t_stop=0.0, dt=1e-12)
+        with pytest.raises(CircuitError):
+            transient_analysis(circuit, t_stop=1e-9, dt=2e-9)
+        with pytest.raises(CircuitError):
+            transient_analysis(circuit, t_stop=1e-9, dt=1e-12, method="rk4")
+        with pytest.raises(CircuitError):
+            transient_analysis(circuit, t_stop=1e-9, dt=1e-12, initial="warm")

@@ -145,10 +145,11 @@ class TestSchemaMigration:
             metrics=MetricsSnapshot(counters={"loop_solve": 2}),
             spans=[{"name": "root", "duration": 0.4, "status": "ok"}],
         ).to_dict()
-        # rewind to the v1 shape: no coverage / table_health sections
+        # rewind to the v1 shape: no coverage / table_health / simulation
         data["schema_version"] = 1
         del data["coverage"]
         del data["table_health"]
+        del data["simulation"]
         return data
 
     def test_v1_report_loads_with_empty_quality_sections(self, tmp_path):
@@ -167,13 +168,49 @@ class TestSchemaMigration:
         assert "lookup-domain coverage" not in text
         assert "table health" not in text
 
-    def test_saved_reports_are_v2(self, tmp_path):
-        path = tmp_path / "v2.json"
+    def test_saved_reports_are_v3(self, tmp_path):
+        path = tmp_path / "v3.json"
         RunReport(command="x").save(path)
         data = json.loads(path.read_text())
-        assert data["schema_version"] == 2
+        assert data["schema_version"] == 3
         assert data["coverage"] == []
         assert data["table_health"] == []
+        assert data["simulation"] == {}
+
+    def test_v2_report_loads_with_empty_simulation(self, tmp_path):
+        data = RunReport(
+            command="repro skew",
+            coverage=[{"table": "t", "lookups": 1}],
+        ).to_dict()
+        # rewind to the v2 shape: no simulation section
+        data["schema_version"] = 2
+        del data["simulation"]
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps(data))
+        report = load_report(path)
+        assert report.simulation == {}
+        assert report.coverage == [{"table": "t", "lookups": 1}]
+
+    def test_v3_simulation_section_roundtrips(self, tmp_path):
+        report = RunReport(
+            command="repro skew",
+            simulation={"rlc": {
+                "diagnostics": {"method": "trapezoidal", "steps": 100,
+                                "dt": 5e-13, "lte_p95": 1e-6,
+                                "energy_residual": 1e-9,
+                                "dt_adequate": True},
+                "netlist_health": {"name": "clocktree_rlc", "clean": True,
+                                   "num_errors": 0, "num_warnings": 0},
+            }},
+        )
+        path = tmp_path / "r.json"
+        report.save(path)
+        loaded = load_report(path)
+        assert loaded.simulation == report.simulation
+        text = render_report(loaded)
+        assert "simulation (1 netlist(s))" in text
+        assert "LTE p95=1.000e-06" in text
+        assert "netlist health [clocktree_rlc]: clean" in text
 
     def test_v2_quality_sections_roundtrip(self, tmp_path):
         report = RunReport(

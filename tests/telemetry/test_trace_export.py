@@ -1,0 +1,133 @@
+"""Chrome trace-event export of span trees (PR 5)."""
+
+import json
+
+from repro.telemetry import (
+    RunReport,
+    Tracer,
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+
+
+def _spans():
+    """A two-root span forest captured through a real tracer."""
+    tracer = Tracer(enabled=True)
+    with tracer.span("repro skew", sinks=4):
+        with tracer.span("htree.build_netlist", segments=6):
+            pass
+        with tracer.span("circuit.transient", steps=100):
+            with tracer.span("circuit.diagnostics"):
+                pass
+    with tracer.span("worker chunk"):
+        pass
+    return [sp.to_dict() for sp in tracer.drain()]
+
+
+def _complete_events(events):
+    return [e for e in events if e.get("ph") == "X"]
+
+
+class TestChromeTraceEvents:
+    def test_every_span_becomes_a_complete_event(self):
+        events = chrome_trace_events(_spans())
+        xs = _complete_events(events)
+        assert [e["name"] for e in xs] == [
+            "repro skew", "htree.build_netlist", "circuit.transient",
+            "circuit.diagnostics", "worker chunk",
+        ]
+        for e in xs:
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+            assert isinstance(e["pid"], int)
+
+    def test_children_nest_within_parents(self):
+        events = _complete_events(chrome_trace_events(_spans()))
+        by_name = {e["name"]: e for e in events}
+        parent = by_name["repro skew"]
+        for child_name in ("htree.build_netlist", "circuit.transient"):
+            child = by_name[child_name]
+            assert child["ts"] >= parent["ts"]
+            assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+        grand = by_name["circuit.diagnostics"]
+        mid = by_name["circuit.transient"]
+        assert grand["ts"] >= mid["ts"]
+        assert grand["ts"] + grand["dur"] <= mid["ts"] + mid["dur"]
+
+    def test_clock_skew_is_clamped(self):
+        # A child whose epoch start pokes past the parent's end (mixed
+        # epoch/monotonic clocks) must be clamped into the parent.
+        spans = [{
+            "name": "parent", "started_at": 100.0, "duration": 0.001,
+            "status": "ok",
+            "children": [{
+                "name": "child", "started_at": 100.0025, "duration": 0.002,
+                "status": "ok",
+            }],
+        }]
+        events = _complete_events(chrome_trace_events(spans))
+        parent, child = events
+        assert child["ts"] >= parent["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_roots_get_distinct_lanes(self):
+        events = _complete_events(chrome_trace_events(_spans()))
+        by_name = {e["name"]: e for e in events}
+        assert by_name["repro skew"]["tid"] != by_name["worker chunk"]["tid"]
+        # children share the parent's lane
+        assert (by_name["circuit.transient"]["tid"]
+                == by_name["repro skew"]["tid"])
+
+    def test_tags_counters_and_errors_ride_in_args(self):
+        tracer = Tracer(enabled=True)
+        try:
+            with tracer.span("boom", size=3):
+                raise ValueError("exploded")
+        except ValueError:
+            pass
+        events = _complete_events(
+            chrome_trace_events([sp.to_dict() for sp in tracer.drain()])
+        )
+        args = events[0]["args"]
+        assert args["size"] == 3
+        assert args["status"] == "error"
+        assert "exploded" in args["error"]
+
+    def test_metadata_events_name_process_and_lanes(self):
+        events = chrome_trace_events(_spans(), process_name="repro skew")
+        metas = [e for e in events if e["ph"] == "M"]
+        assert metas[0]["name"] == "process_name"
+        assert metas[0]["args"]["name"] == "repro skew"
+        assert any(e["name"] == "thread_name" for e in metas)
+
+    def test_empty_spans(self):
+        events = chrome_trace_events([])
+        assert all(e["ph"] == "M" for e in events)
+
+
+class TestTraceFile:
+    def test_report_source_carries_command(self):
+        report = RunReport(command="repro skew", duration=1.5,
+                           spans=_spans())
+        trace = chrome_trace(report)
+        assert trace["otherData"]["command"] == "repro skew"
+        assert trace["displayTimeUnit"] == "ms"
+        assert any(e["name"] == "circuit.transient"
+                   for e in trace["traceEvents"])
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        report = RunReport(command="repro skew", spans=_spans())
+        path = write_chrome_trace(report, tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+        assert len(data["traceEvents"]) >= len(_complete_events(
+            data["traceEvents"]))
+
+    def test_plain_span_list_source(self, tmp_path):
+        path = write_chrome_trace(_spans(), tmp_path / "t.json",
+                                  process_name="adhoc")
+        data = json.loads(path.read_text())
+        meta = data["traceEvents"][0]
+        assert meta["args"]["name"] == "adhoc"
+        assert "otherData" not in data

@@ -17,6 +17,12 @@ class TestParser:
             args = parser.parse_args([command])
             assert callable(args.func)
 
+    def test_lint_command_known(self):
+        args = build_parser().parse_args(["lint", "deck.sp"])
+        assert callable(args.func)
+        assert args.netlist == "deck.sp"
+        assert not args.strict
+
     def test_characterize_needs_output(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["characterize"])
@@ -82,3 +88,111 @@ class TestExecution:
         assert code == 0
         assert (tmp_path / "inductance.json").exists()
         assert (tmp_path / "resistance.json").exists()
+
+
+_BAD_DECK = "* bad\nV1 in 0 DC 1\nR1 in out 10\nC1 out 0 -1p\n.end\n"
+_OVERCOUPLED_DECK = ("* bad\nV1 in 0 DC 1\nL1 in x 1n\nL2 x 0 1n\n"
+                     "K1 L1 L2 1.2\n.end\n")
+_STUBBY_DECK = ("* warn\nV1 a 0 DC 1\nR1 a 0 10\nRstub a stub 5\n.end\n")
+
+
+class TestLintCLI:
+    def _extracted_deck(self, tmp_path):
+        path = tmp_path / "tree.sp"
+        assert main(["spice", "--output", str(path), "--levels", "1",
+                     "--root-length", "1000"]) == 0
+        return path
+
+    def test_extracted_htree_deck_is_clean(self, tmp_path, capsys):
+        path = self._extracted_deck(tmp_path)
+        capsys.readouterr()
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert path.name in out
+
+    def test_negative_capacitance_deck_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.sp"
+        path.write_text(_BAD_DECK)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "parse_error" in out
+        assert "ERROR" in out
+
+    def test_overcoupled_deck_fails(self, tmp_path, capsys):
+        path = tmp_path / "k.sp"
+        path.write_text(_OVERCOUPLED_DECK)
+        assert main(["lint", str(path)]) == 1
+        assert "rejected by importer" in capsys.readouterr().out
+
+    def test_json_mode(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.sp"
+        path.write_text(_BAD_DECK)
+        assert main(["lint", str(path), "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "bad.sp"
+        assert [f["code"] for f in data["findings"]] == ["parse_error"]
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        path = tmp_path / "stub.sp"
+        path.write_text(_STUBBY_DECK)
+        assert main(["lint", str(path)]) == 0  # warning-only: passes
+        assert main(["lint", str(path), "--strict"]) == 1
+        assert "dangling_node" in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.sp")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_telemetry_report_carries_health(self, tmp_path, capsys):
+        from repro.telemetry import load_report
+
+        deck = self._extracted_deck(tmp_path)
+        out = tmp_path / "lint.json"
+        assert main(["lint", str(deck), "--telemetry", str(out)]) == 0
+        capsys.readouterr()
+        report = load_report(out)
+        assert report.to_dict()["schema_version"] == 3
+        health = report.simulation[deck.name]["netlist_health"]
+        assert health["findings"] == []
+        assert main(["report", str(out)]) == 0
+        assert "netlist health" in capsys.readouterr().out
+
+
+class TestSimulationTelemetry:
+    def test_skew_report_has_clean_simulation_section(self, tmp_path, capsys):
+        from repro.telemetry import load_report
+
+        out = tmp_path / "skew.json"
+        assert main(["skew", "--telemetry", str(out)]) == 0
+        capsys.readouterr()
+        report = load_report(out)
+        assert report.to_dict()["schema_version"] == 3
+        assert set(report.simulation) == {"rc", "rlc"}
+        for label in ("rc", "rlc"):
+            section = report.simulation[label]
+            assert section["netlist_health"]["findings"] == []
+            assert section["diagnostics"]["steps"] > 0
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "simulation (2 netlist(s))" in text
+        assert "netlist health [clocktree_rlc]: clean" in text
+
+    def test_report_trace_json_emits_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "skew.json"
+        assert main(["skew", "--telemetry", str(out)]) == 0
+        trace_path = tmp_path / "trace.json"
+        capsys.readouterr()
+        assert main(["report", str(out),
+                     "--trace-json", str(trace_path)]) == 0
+        assert "chrome trace" in capsys.readouterr().out
+        trace = json.loads(trace_path.read_text())
+        events = trace["traceEvents"]
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        assert "circuit.transient" in names
+        assert any(n.startswith("htree.") for n in names)
+        assert trace["otherData"]["command"] == "repro skew"
