@@ -9,33 +9,20 @@ wins, by roughly what factor, where the crossovers fall.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 
 def record_bench(path: Union[str, Path], update: dict) -> dict:
     """Read-merge-write one ``BENCH_*.json`` record with provenance.
 
-    Every write refreshes the record's ``meta`` block (schema version,
-    git sha, ISO timestamp, host, python version) via
-    :func:`repro.quality.regress.run_metadata`, so committed benchmark
-    numbers are comparable artifacts for ``repro bench diff`` rather
-    than loose floats.
+    Thin delegate to :func:`repro.quality.regress.record_bench` -- one
+    implementation shared with ``repro bench serve`` -- kept here so
+    every benchmark module keeps importing from ``conftest``.
     """
-    from repro.quality.regress import run_metadata
+    from repro.quality.regress import record_bench as _record_bench
 
-    path = Path(path)
-    data: dict = {}
-    if path.exists():
-        try:
-            data = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data.update(update)
-    data["meta"] = run_metadata()
-    path.write_text(json.dumps(data, indent=1) + "\n")
-    return data
+    return _record_bench(path, update)
 
 
 def report(title: str, rows: Sequence[Sequence[str]],

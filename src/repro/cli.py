@@ -458,6 +458,84 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ExtractionService, run_server
+
+    service = ExtractionService(
+        args.library,
+        config=_library_config(args),
+        frequency=GHz(args.frequency) if args.frequency else None,
+        cache_size=args.cache_size,
+        compute_width=args.compute_width,
+        max_inflight=args.max_inflight,
+    )
+    health = service.health()
+    print(f"repro serve v{health['version']}: kit {args.library} "
+          f"({health['kit']['tables']} tables, "
+          f"manifest {health['kit']['manifest_sha'][:12]})")
+    print(f"  http://{args.host}:{args.port}  "
+          f"(POST /extract /lookup /skew; GET /healthz /metrics)")
+    print(f"  max inflight {args.max_inflight}, result cache "
+          f"{args.cache_size}, compute width {args.compute_width}")
+    return run_server(
+        service, host=args.host, port=args.port,
+        drain_timeout=args.drain_timeout,
+    )
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.loadgen import run_load
+
+    payload = _json.loads(args.payload) if args.payload else {
+        "root_length_um": 3000.0, "levels": 2,
+    }
+    if not isinstance(payload, dict):
+        print("--payload must be a JSON object", file=sys.stderr)
+        return 2
+
+    server = None
+    if args.url:
+        base_url = args.url
+    elif args.library:
+        from repro.serve import ExtractionService, start_server
+
+        service = ExtractionService(
+            args.library, max_inflight=max(args.max_inflight, args.threads),
+        )
+        server = start_server(service)
+        base_url = server.url
+        print(f"in-process daemon on {base_url} (kit {args.library})")
+    else:
+        print("bench serve needs --url or --library", file=sys.stderr)
+        return 2
+
+    try:
+        if args.warmup:
+            run_load(base_url, args.endpoint, payload,
+                     threads=1, requests_per_thread=args.warmup)
+        report = run_load(
+            base_url, args.endpoint, payload,
+            threads=args.threads, requests_per_thread=args.requests,
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+
+    print(report.summary())
+    if report.errors:
+        print(f"  WARNING: {report.errors} request(s) failed "
+              f"(statuses: {report.to_dict()['status_counts']})")
+    if args.record:
+        from repro.quality import record_bench
+
+        record_bench(args.record, {"serve_load": report.to_dict()})
+        print(f"bench record -> {args.record}")
+    return 1 if report.errors else 0
+
+
 def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry", default=None, metavar="FILE",
@@ -538,10 +616,15 @@ def _add_library_parser(sub) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser (exposed for testing)."""
+    from repro.version import get_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Clocktree RLC extraction with efficient inductance "
                     "modeling (DATE 2000 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {get_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -635,6 +718,35 @@ def build_parser() -> argparse.ArgumentParser:
                               "baselines")
     p_bdiff.set_defaults(func=_cmd_bench_diff)
 
+    p_bserve = bench_sub.add_parser(
+        "serve",
+        help="load-test an extraction daemon: N threads x M requests, "
+             "latency percentiles + RPS")
+    p_bserve.add_argument("--url", default=None,
+                          help="base URL of a running daemon "
+                               "(e.g. http://127.0.0.1:8080)")
+    p_bserve.add_argument("--library", default=None, metavar="ROOT",
+                          help="start an in-process daemon over this kit "
+                               "instead of targeting --url")
+    p_bserve.add_argument("--endpoint", default="extract",
+                          choices=["extract", "lookup", "skew"])
+    p_bserve.add_argument("--payload", default=None,
+                          help="JSON request body (default: a 2-level "
+                               "3000 um extract)")
+    p_bserve.add_argument("--threads", type=int, default=4)
+    p_bserve.add_argument("--requests", type=int, default=25,
+                          help="requests per thread")
+    p_bserve.add_argument("--warmup", type=int, default=1,
+                          help="untimed warmup requests (0 for a "
+                               "cold-cache measurement)")
+    p_bserve.add_argument("--max-inflight", type=int, default=8,
+                          help="daemon admission ceiling (in-process "
+                               "mode; raised to --threads if lower)")
+    p_bserve.add_argument("--record", default=None, metavar="FILE",
+                          help="write/merge a BENCH_*.json record "
+                               "gated by `repro bench diff`")
+    p_bserve.set_defaults(func=_cmd_bench_serve)
+
     p_report = sub.add_parser(
         "report", help="render a --telemetry run report (span tree + metrics)")
     p_report.add_argument("file", help="report JSON written by --telemetry")
@@ -647,6 +759,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="export the span tree as a Chrome "
                                "trace-event (Perfetto) timeline to FILE")
     p_report.set_defaults(func=_cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="extraction-as-a-service daemon over a characterization kit")
+    p_serve.add_argument("--library", required=True, metavar="ROOT",
+                         help="characterization library (kit) to serve")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         help="admission ceiling; beyond it requests "
+                              "get 429 immediately")
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="result-cache entries (LRU)")
+    p_serve.add_argument("--compute-width", type=int, default=1,
+                         help="distinct cache-missing computations "
+                              "running at once (memo locality gate)")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0,
+                         help="seconds to wait for in-flight requests "
+                              "on SIGTERM")
+    p_serve.add_argument("--frequency", type=float, default=None,
+                         help="extraction frequency [GHz] (default: the "
+                              "kit's characterized frequency)")
+    p_serve.add_argument("--signal-width", type=float, default=10.0,
+                         help="default geometry [um]; must match the "
+                              "kit's characterized family for table hits")
+    p_serve.add_argument("--ground-width", type=float, default=5.0)
+    p_serve.add_argument("--spacing", type=float, default=1.0)
+    p_serve.add_argument("--thickness", type=float, default=2.0)
+    p_serve.add_argument("--height-below", type=float, default=2.0)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser(
         "lint", help="netlist health lint for a SPICE deck; exits nonzero "

@@ -44,5 +44,18 @@ class TelemetryError(ReproError):
     """A telemetry metric, span or report is used inconsistently."""
 
 
+class ServeError(ReproError):
+    """Invalid or unserviceable extraction-service request.
+
+    Carries the HTTP status the server should answer with (default 400);
+    the service layer raises it for malformed payloads, unknown
+    endpoints and missing tables so handlers map failures uniformly.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = int(status)
+
+
 class QualityError(ReproError):
     """A quality artifact (health report, bench record) is malformed."""

@@ -59,6 +59,7 @@ from repro.quality.regress import (
     git_sha,
     load_bench,
     metric_direction,
+    record_bench,
     run_metadata,
 )
 
@@ -72,7 +73,7 @@ __all__ = [
     "HEALTH_SCHEMA_VERSION", "DEFAULT_ERROR_BUDGET",
     "TableAuditor", "TableHealthReport", "audit_library", "render_health",
     # regress
-    "BENCH_SCHEMA_VERSION", "run_metadata", "git_sha",
+    "BENCH_SCHEMA_VERSION", "run_metadata", "record_bench", "git_sha",
     "flatten_metrics", "metric_direction",
     "MetricDelta", "BenchDiff", "diff_benches", "load_bench",
 ]

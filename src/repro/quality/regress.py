@@ -43,6 +43,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "git_sha",
     "run_metadata",
+    "record_bench",
     "flatten_metrics",
     "metric_direction",
     "MetricDelta",
@@ -57,7 +58,9 @@ BENCH_SCHEMA_VERSION = 1
 #: Name fragments marking a metric as lower-is-better (latency-like).
 _LOWER_MARKERS = ("seconds", "_ms", "duration", "ratio_vs_naive")
 #: Name suffixes marking a metric as higher-is-better (throughput-like).
-_HIGHER_MARKERS = ("speedup", "hit_rate", "dedup_factor")
+#: Higher markers win over lower on overlap, so ``requests_per_second``
+#: gates as throughput even though latency metrics end in ``seconds``.
+_HIGHER_MARKERS = ("speedup", "hit_rate", "dedup_factor", "per_second")
 
 
 def git_sha() -> str:
@@ -85,6 +88,29 @@ def run_metadata() -> Dict[str, object]:
         "host": platform.node() or "unknown",
         "python": platform.python_version(),
     }
+
+
+def record_bench(path: Union[str, Path], update: dict) -> dict:
+    """Read-merge-write one ``BENCH_*.json`` record with provenance.
+
+    Every write refreshes the record's ``meta`` block (schema version,
+    git sha, ISO timestamp, host, python version) via
+    :func:`run_metadata`, so committed benchmark numbers are comparable
+    artifacts for ``repro bench diff`` rather than loose floats.  Shared
+    by the pytest benchmarks (``benchmarks/conftest.py``) and the
+    ``repro bench serve`` load driver.
+    """
+    path = Path(path)
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.update(update)
+    data["meta"] = run_metadata()
+    path.write_text(json.dumps(data, indent=1) + "\n")
+    return data
 
 
 # ----------------------------------------------------------------------

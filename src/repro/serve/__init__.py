@@ -1,0 +1,47 @@
+"""Extraction-as-a-service: a resident daemon over a characterization kit.
+
+The paper's pitch is that table lookup makes RLC extraction cheap enough
+to run inside a layout loop.  This package completes the argument
+operationally: ``repro serve`` loads a characterization-library kit
+*once* and answers extraction requests over HTTP for as long as the
+process lives, so a router or optimizer pays the kit load exactly once
+per session instead of once per invocation.
+
+Layering (policy lives low, transport stays thin):
+
+* :mod:`repro.serve.cache` -- content-addressed LRU of responses, keyed
+  by sha256(kit manifest sha + endpoint + canonical request JSON);
+* :mod:`repro.serve.batching` -- single-flight coalescing of identical
+  concurrent requests plus a bounded compute gate for memo locality;
+* :mod:`repro.serve.limits` -- admission control (429 overload, 503
+  drain) and the graceful-shutdown idle wait;
+* :mod:`repro.serve.service` -- the endpoint handlers (``extract``,
+  ``lookup``, ``skew``) plus ``/healthz`` and ``/metrics`` payloads;
+* :mod:`repro.serve.server` -- stdlib ``ThreadingHTTPServer`` transport;
+* :mod:`repro.serve.loadgen` -- the closed-loop load driver behind
+  ``repro bench serve``.
+
+Everything is stdlib + the existing repro stack; there is no web
+framework to install.
+"""
+
+from repro.serve.batching import RequestCoalescer
+from repro.serve.cache import ResultCache, result_key
+from repro.serve.limits import Admission, ConcurrencyLimiter
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.server import ExtractionServer, run_server, start_server
+from repro.serve.service import ExtractionService
+
+__all__ = [
+    "Admission",
+    "ConcurrencyLimiter",
+    "ExtractionServer",
+    "ExtractionService",
+    "LoadReport",
+    "RequestCoalescer",
+    "ResultCache",
+    "result_key",
+    "run_load",
+    "run_server",
+    "start_server",
+]

@@ -1,0 +1,102 @@
+"""Request coalescing: one computation per key, warm memo locality.
+
+Two mechanisms turn a burst of concurrent requests into nearly the cost
+of one:
+
+* **Single-flight** -- concurrent requests with the *same* cache key
+  share one computation: the first thread in becomes the leader and
+  computes; followers park on an event and receive the leader's result
+  (or its exception) without touching the solvers or the cache.  Each
+  follower ticks ``serve_coalesced``.
+* **A compute gate** -- a semaphore bounding how many *distinct*
+  cache-missing computations run at once (default 1).  Cold requests
+  with different keys but shared geometry then execute back-to-back on
+  a warm :class:`~repro.peec.kernel.LpMemoCache` instead of racing each
+  other with cold per-thread working sets -- the same memo-locality
+  argument behind the build runner's contiguous grid-point chunks.
+  Admission control (:mod:`repro.serve.limits`) bounds queueing above
+  this gate, so the gate trades latency for throughput only within the
+  admitted window.
+
+The coalescer deliberately does **not** cache: the leader's compute
+callable is expected to publish to the :class:`~repro.serve.cache.
+ResultCache` itself, so followers that arrive *after* the leader
+finished hit the cache, not the coalescer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.errors import ServeError
+from repro.telemetry.registry import SERVE_COALESCED, get_registry
+
+__all__ = ["RequestCoalescer"]
+
+
+class _Inflight:
+    """One in-progress computation other threads can wait on."""
+
+    __slots__ = ("done", "value", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Optional[dict] = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+
+class RequestCoalescer:
+    """Single-flight deduplication plus a bounded compute gate."""
+
+    def __init__(self, compute_width: int = 1):
+        if compute_width < 1:
+            raise ServeError("compute_width must be >= 1")
+        self.compute_width = int(compute_width)
+        self._gate = threading.BoundedSemaphore(self.compute_width)
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Inflight] = {}
+        self.leaders = 0
+        self.coalesced = 0
+
+    def run(self, key: str, compute: Callable[[], dict]) -> dict:
+        """Compute (or wait for) the result identified by *key*.
+
+        Exactly one concurrent caller per key executes *compute* (inside
+        the compute gate); every other concurrent caller blocks until
+        the leader finishes and then shares its result.  Exceptions
+        propagate to the leader *and* every follower.
+        """
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.followers += 1
+                leader = False
+            else:
+                entry = self._inflight[key] = _Inflight()
+                leader = True
+
+        if not leader:
+            entry.done.wait()
+            with self._lock:
+                self.coalesced += 1
+            get_registry().inc(SERVE_COALESCED)
+            if entry.error is not None:
+                raise entry.error
+            assert entry.value is not None
+            return entry.value
+
+        try:
+            with self._gate:
+                with self._lock:
+                    self.leaders += 1
+                entry.value = compute()
+            return entry.value
+        except BaseException as exc:
+            entry.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            entry.done.set()

@@ -1,0 +1,131 @@
+"""Content-addressed result cache for the extraction service.
+
+The paper's economics -- characterize once, answer every extraction by
+lookup -- repeat one level up in a long-lived daemon: identical requests
+against the same characterization kit must not recompute anything, not
+even the spline lookups.  :class:`ResultCache` is the daemon-level half
+of that argument, reusing the exact keying discipline the library store
+proved: the cache key is the sha256 of a canonical JSON description of
+everything that determines the answer --
+
+* the **kit manifest sha** (a rebuilt or different library can never
+  serve stale results),
+* the **endpoint** name,
+* the **canonical request payload** (sorted keys, stable float text via
+  :func:`repro.library.store.canonical_json`, so key order and float
+  formatting in the client's JSON never split the cache).
+
+Entries are bounded LRU; hits and misses tick the ``serve_cache_hit`` /
+``serve_cache_miss`` counters and the entry count is exported as the
+``serve_cache_entries`` gauge, so ``/metrics`` shows the cache doing its
+job.  The cache is thread-safe (one lock) -- the server handles each
+request on its own thread.
+
+Cached values are the handler-built response dicts; callers treat them
+as frozen (the server serializes them straight to JSON).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.errors import ServeError
+from repro.library.store import canonical_json
+from repro.telemetry.registry import (
+    SERVE_CACHE_HIT,
+    SERVE_CACHE_MISS,
+    get_registry,
+)
+
+__all__ = ["ResultCache", "result_key"]
+
+#: Gauge exporting the live entry count.
+CACHE_ENTRIES_GAUGE = "serve_cache_entries"
+
+
+def result_key(kit_sha: str, endpoint: str, payload: dict) -> str:
+    """The sha256 content key of one (kit, endpoint, request) triple."""
+    text = canonical_json(
+        {"kit": kit_sha, "endpoint": endpoint, "request": payload}
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU of request key -> response dict."""
+
+    DEFAULT_CAPACITY = 1024
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ServeError("result cache capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._data: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached responses."""
+        return self._capacity
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of gets that hit (0.0 before any get)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached response for *key*, refreshed in LRU order.
+
+        Ticks ``serve_cache_hit`` / ``serve_cache_miss``.
+        """
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        get_registry().inc(SERVE_CACHE_HIT if value is not None
+                           else SERVE_CACHE_MISS)
+        return value
+
+    def put(self, key: str, value: dict) -> None:
+        """Store *value* under *key*, evicting LRU beyond capacity."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            entries = len(self._data)
+        get_registry().set_gauge(CACHE_ENTRIES_GAUGE, float(entries))
+
+    def clear(self) -> None:
+        """Drop every cached response (statistics are kept)."""
+        with self._lock:
+            self._data.clear()
+        get_registry().set_gauge(CACHE_ENTRIES_GAUGE, 0.0)
+
+    def stats(self) -> Dict[str, float]:
+        """Serializable cache statistics for ``/healthz``."""
+        with self._lock:
+            entries = len(self._data)
+        return {
+            "entries": entries,
+            "capacity": self._capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,122 @@
+"""Admission control: bounded inflight requests and graceful drain.
+
+A resident extraction daemon must degrade predictably under overload:
+beyond a configured number of in-flight requests it answers **429**
+immediately instead of queueing unboundedly (every parked thread holds
+a socket and a stack), and during shutdown it answers **503** while the
+already-admitted requests finish -- the SIGTERM drain.
+
+:class:`ConcurrencyLimiter` implements both with one lock: a counting
+admit/release pair with a hard ceiling, a ``draining`` flag flipped by
+the server's signal handler, and a condition variable
+:meth:`wait_idle` blocks on so the drain can wait for inflight == 0.
+Rejections tick ``serve_rejected`` (tagged per reason); the live
+inflight count is exported as the ``serve_inflight`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.errors import ServeError
+from repro.telemetry.registry import SERVE_REJECTED, get_registry
+
+__all__ = ["Admission", "ConcurrencyLimiter"]
+
+#: Gauge exporting the live in-flight request count.
+INFLIGHT_GAUGE = "serve_inflight"
+
+
+class Admission:
+    """Outcome of one admission attempt (context manager on success)."""
+
+    __slots__ = ("limiter", "admitted", "status", "reason")
+
+    def __init__(self, limiter: "ConcurrencyLimiter", admitted: bool,
+                 status: int, reason: str):
+        self.limiter = limiter
+        self.admitted = admitted
+        #: HTTP status to answer with when rejected (429 or 503).
+        self.status = status
+        self.reason = reason
+
+    def __enter__(self) -> "Admission":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.admitted:
+            self.limiter.release()
+
+
+class ConcurrencyLimiter:
+    """Hard in-flight ceiling with overload rejection and drain state."""
+
+    def __init__(self, max_inflight: int = 8):
+        if max_inflight < 1:
+            raise ServeError("max_inflight must be >= 1")
+        self.max_inflight = int(max_inflight)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._draining = False
+        self.rejected = 0
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._lock:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown started; new requests get 503."""
+        with self._lock:
+            return self._draining
+
+    def admit(self) -> Admission:
+        """Try to admit one request; never blocks.
+
+        Returns an :class:`Admission` usable as a context manager when
+        ``admitted``; otherwise its ``status`` is 503 while draining and
+        429 when the in-flight ceiling is hit.
+        """
+        with self._lock:
+            if self._draining:
+                status, reason = 503, "draining"
+            elif self._inflight >= self.max_inflight:
+                status, reason = 429, "overloaded"
+            else:
+                self._inflight += 1
+                inflight = self._inflight
+                registry = get_registry()
+                registry.set_gauge(INFLIGHT_GAUGE, float(inflight))
+                return Admission(self, True, 200, "admitted")
+            self.rejected += 1
+        registry = get_registry()
+        registry.inc(SERVE_REJECTED)
+        registry.inc(f"{SERVE_REJECTED}.{reason}")
+        return Admission(self, False, status, reason)
+
+    def release(self) -> None:
+        """Mark one admitted request finished."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise ServeError("release() without a matching admit()")
+            self._inflight -= 1
+            inflight = self._inflight
+            if inflight == 0:
+                self._idle.notify_all()
+        get_registry().set_gauge(INFLIGHT_GAUGE, float(inflight))
+
+    def start_draining(self) -> None:
+        """Reject new requests with 503 from now on."""
+        with self._lock:
+            self._draining = True
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted request released (or *timeout*)."""
+        with self._lock:
+            return self._idle.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )

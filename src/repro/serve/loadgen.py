@@ -1,0 +1,196 @@
+"""Closed-loop load driver for the extraction daemon.
+
+``repro bench serve`` needs reproducible latency/throughput numbers for
+a live daemon, and the CI smoke job needs the same measurement without
+inventing a second client.  :func:`run_load` is that one client: *N*
+worker threads each issue *M* synchronous POSTs against one endpoint
+(closed-loop -- a worker sends its next request only after the previous
+response lands, so measured latency is honest service time, not queue
+fantasy), timing every request with ``perf_counter``.
+
+The :class:`LoadReport` summarizes the run the same way the kernel
+benchmarks do -- p50/p95/p99 latency, requests/second, per-status and
+cache-hit counts -- and serializes via :meth:`LoadReport.to_dict` into
+the flat metric namespace ``quality/regress.py`` gates (``seconds`` =>
+lower is better, ``per_second`` => higher is better).
+
+Only stdlib (``urllib.request``) is used, so the driver runs anywhere
+the daemon does.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ServeError
+
+__all__ = ["LoadReport", "percentile", "run_load"]
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated *q*-quantile (q in [0, 1]) of sorted data."""
+    if not sorted_values:
+        raise ServeError("percentile of empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ServeError("quantile must be in [0, 1]")
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run (thread-merged, ready to serialize)."""
+
+    endpoint: str
+    threads: int
+    requests: int
+    errors: int
+    cache_hits: int
+    duration_seconds: float
+    latencies_seconds: List[float] = field(repr=False, default_factory=list)
+    status_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.duration_seconds <= 0.0:
+            return 0.0
+        return self.requests / self.duration_seconds
+
+    def latency(self, q: float) -> float:
+        return percentile(sorted(self.latencies_seconds), q)
+
+    def to_dict(self) -> dict:
+        """Flat, regression-gateable summary (no raw samples)."""
+        ordered = sorted(self.latencies_seconds)
+        return {
+            "endpoint": self.endpoint,
+            "threads": self.threads,
+            "requests": self.requests,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": (
+                self.cache_hits / self.requests if self.requests else 0.0
+            ),
+            "duration_seconds": self.duration_seconds,
+            "requests_per_second": self.requests_per_second,
+            "latency_p50_seconds": percentile(ordered, 0.50),
+            "latency_p95_seconds": percentile(ordered, 0.95),
+            "latency_p99_seconds": percentile(ordered, 0.99),
+            "latency_max_seconds": ordered[-1],
+            "status_counts": {
+                str(code): n for code, n in sorted(self.status_counts.items())
+            },
+        }
+
+    def summary(self) -> str:
+        """One-line human verdict for the CLI."""
+        return (
+            f"{self.endpoint}: {self.requests} requests, "
+            f"{self.threads} threads, {self.errors} errors, "
+            f"{self.requests_per_second:.1f} req/s, "
+            f"p50 {self.latency(0.50) * 1e3:.2f} ms, "
+            f"p95 {self.latency(0.95) * 1e3:.2f} ms, "
+            f"p99 {self.latency(0.99) * 1e3:.2f} ms, "
+            f"{self.cache_hits} cache hits"
+        )
+
+
+def _post_json(url: str, payload: dict, timeout: float):
+    """POST *payload*; return (status, parsed-body-or-None)."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            body = json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            body = None
+        return exc.code, body
+
+
+def run_load(
+    base_url: str,
+    endpoint: str,
+    payload: dict,
+    threads: int = 4,
+    requests_per_thread: int = 25,
+    timeout: float = 30.0,
+    payload_for: Optional[object] = None,
+) -> LoadReport:
+    """Hammer ``POST {base_url}/{endpoint}`` and measure.
+
+    *payload_for*, when given, is a callable ``(thread, i) -> dict``
+    producing per-request payloads (for cold-cache sweeps); otherwise
+    every request sends *payload* -- the cache-hit steady state.
+    """
+    if threads < 1 or requests_per_thread < 1:
+        raise ServeError("threads and requests_per_thread must be >= 1")
+    url = base_url.rstrip("/") + "/" + endpoint.lstrip("/")
+    latencies: List[List[float]] = [[] for _ in range(threads)]
+    statuses: List[Dict[int, int]] = [{} for _ in range(threads)]
+    hits = [0] * threads
+    errors = [0] * threads
+    start_gate = threading.Event()
+
+    def worker(slot: int) -> None:
+        start_gate.wait()
+        for i in range(requests_per_thread):
+            body = (
+                payload_for(slot, i) if payload_for is not None else payload
+            )
+            t0 = time.perf_counter()
+            try:
+                status, parsed = _post_json(url, body, timeout)
+            except Exception:
+                errors[slot] += 1
+                continue
+            latencies[slot].append(time.perf_counter() - t0)
+            statuses[slot][status] = statuses[slot].get(status, 0) + 1
+            if status != 200:
+                errors[slot] += 1
+            elif isinstance(parsed, dict):
+                if parsed.get("cache", {}).get("hit"):
+                    hits[slot] += 1
+
+    pool = [
+        threading.Thread(target=worker, args=(slot,), daemon=True)
+        for slot in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    wall_start = time.perf_counter()
+    start_gate.set()
+    for thread in pool:
+        thread.join()
+    duration = time.perf_counter() - wall_start
+
+    merged_status: Dict[int, int] = {}
+    for per_thread in statuses:
+        for code, n in per_thread.items():
+            merged_status[code] = merged_status.get(code, 0) + n
+    all_latencies = [x for per_thread in latencies for x in per_thread]
+    return LoadReport(
+        endpoint=endpoint.lstrip("/"),
+        threads=threads,
+        requests=threads * requests_per_thread,
+        errors=sum(errors),
+        cache_hits=sum(hits),
+        duration_seconds=duration,
+        latencies_seconds=all_latencies,
+        status_counts=merged_status,
+    )

@@ -1,0 +1,225 @@
+"""HTTP transport for the extraction service (stdlib only).
+
+A deliberately thin layer: :class:`ExtractionServer` is a
+``ThreadingHTTPServer`` (one thread per connection, daemon threads) that
+owns one :class:`~repro.serve.service.ExtractionService` and translates
+HTTP to :meth:`~repro.serve.service.ExtractionService.handle` calls.
+All policy lives below it -- admission in
+:class:`~repro.serve.limits.ConcurrencyLimiter`, dedup in the
+coalescer, result reuse in the cache -- so the handler here only parses,
+dispatches, and serializes.
+
+Routes::
+
+    GET  /healthz   identity + load + cache stats (served while draining)
+    GET  /metrics   Prometheus text exposition of the live registry
+    POST /extract   geometry -> RLC netlist (``{"result": ...}`` JSON)
+    POST /lookup    raw table lookup with coverage classification
+    POST /skew      H-tree skew summary (RC vs RLC)
+
+POST requests pass admission control first: 429 when the in-flight
+ceiling is hit, 503 once draining.  :func:`run_server` is the blocking
+entry point used by ``repro serve``; it installs SIGTERM/SIGINT handlers
+implementing the graceful drain (stop admitting, wait for in-flight to
+reach zero, then shut the listener down).  :func:`start_server` starts
+the same server on a background thread -- the form the end-to-end tests
+and the in-process load driver use.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import ReproError, ServeError
+from repro.serve.service import ExtractionService
+
+__all__ = ["ExtractionServer", "start_server", "run_server"]
+
+log = logging.getLogger(__name__)
+
+#: Largest accepted request body; extraction requests are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+#: Default seconds to wait for in-flight requests during drain.
+DRAIN_TIMEOUT = 10.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler: parse, admit, dispatch, serialize."""
+
+    server: "ExtractionServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        log.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, obj: dict) -> None:
+        body = json.dumps(obj, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            return {}
+        try:
+            length = int(length)
+        except ValueError:
+            raise ServeError("bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise ServeError("request body too large", status=413)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+        service = self.server.service
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, service.health())
+            elif self.path == "/metrics":
+                self._send_text(200, service.metrics_text())
+            else:
+                self._send_json(404, {"error": f"no such path {self.path!r}"})
+        except BrokenPipeError:  # client went away; nothing to answer
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            log.exception("GET %s failed", self.path)
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.server.service
+        endpoint = self.path.lstrip("/")
+        try:
+            admission = service.limiter.admit()
+            if not admission.admitted:
+                self._send_json(
+                    admission.status,
+                    {"error": admission.reason, "retry": True},
+                )
+                return
+            with admission:
+                payload = self._read_body()
+                envelope = service.handle(endpoint, payload)
+            self._send_json(200, envelope)
+        except BrokenPipeError:
+            pass
+        except ServeError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            log.exception("POST %s failed", self.path)
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+
+class ExtractionServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ExtractionService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: ExtractionService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def start_server(
+    service: ExtractionService, host: str = "127.0.0.1", port: int = 0
+) -> ExtractionServer:
+    """Start an :class:`ExtractionServer` on a background thread.
+
+    Returns the listening server; callers stop it with
+    ``server.shutdown(); server.server_close()``.
+    """
+    server = ExtractionServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server
+
+
+def run_server(
+    service: ExtractionService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    drain_timeout: float = DRAIN_TIMEOUT,
+    install_signals: bool = True,
+) -> int:
+    """Serve until SIGTERM/SIGINT, then drain gracefully.  Blocking.
+
+    On signal: admission flips to 503, in-flight requests get up to
+    *drain_timeout* seconds to finish, then the listener shuts down
+    (``shutdown()`` must run off the ``serve_forever`` thread --
+    a ``ThreadingHTTPServer`` constraint).  Returns a process exit code.
+    """
+    server = ExtractionServer((host, port), service)
+
+    def _drain_and_stop() -> None:
+        drained = service.limiter.wait_idle(timeout=drain_timeout)
+        if not drained:
+            log.warning(
+                "drain timed out after %.1fs with %d request(s) in flight",
+                drain_timeout, service.limiter.inflight,
+            )
+        server.shutdown()
+
+    def _on_signal(signum: int, frame: Optional[object]) -> None:
+        log.info("signal %d: draining", signum)
+        service.limiter.start_draining()
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    log.info(
+        "serving kit %s (%d tables) on %s",
+        service.kit_sha[:12], len(service.library), server.url,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    return 0

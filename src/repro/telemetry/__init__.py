@@ -42,6 +42,12 @@ from repro.telemetry.registry import (
     LP_PAIR_EVAL,
     LP_PAIR_TOTAL,
     PARTIAL_SOLVE,
+    SERVE_CACHE_HIT,
+    SERVE_CACHE_MISS,
+    SERVE_COALESCED,
+    SERVE_LATENCY,
+    SERVE_REJECTED,
+    SERVE_REQUEST,
     TABLE_BUILD_POINT,
     TABLE_LOOKUP,
     TABLE_LOOKUP_EDGE,
@@ -84,6 +90,8 @@ __all__ = [
     "LOOKUP_LATENCY", "TABLE_BUILD_POINT", "BUILD_CHUNK_SECONDS",
     "TABLE_LOOKUP", "TABLE_LOOKUP_EDGE", "TABLE_LOOKUP_EXTRAPOLATED",
     "AUDIT_SOLVE",
+    "SERVE_REQUEST", "SERVE_CACHE_HIT", "SERVE_CACHE_MISS",
+    "SERVE_COALESCED", "SERVE_REJECTED", "SERVE_LATENCY",
     "DEFAULT_TIME_BUCKETS",
     # registry
     "MetricsRegistry", "MetricsSnapshot", "HistogramSnapshot",

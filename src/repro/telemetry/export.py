@@ -14,6 +14,33 @@ from repro.telemetry.registry import MetricsSnapshot
 
 __all__ = ["prometheus_text", "snapshot_json"]
 
+#: Help strings for well-known metrics (``# HELP`` lines).  Tagged
+#: variants (``serve_request.extract``) fall back to their base name's
+#: entry; anything else gets a generic kind-derived line.
+_HELP = {
+    "loop_solve": "Loop R/L extractions solved directly (PEEC)",
+    "lp_pair_eval": "Partial-inductance pair kernel evaluations",
+    "field_solve_2d": "2-D capacitance field-solver invocations",
+    "matrix_assembly": "Partial-element matrix assemblies",
+    "table_lookup": "Extraction-table spline lookups",
+    "memo_cache_entries": "Live entries in the Lp pair memo cache",
+    "lookup_latency_seconds": "Extraction-table lookup latency",
+    "serve_request": "Requests handled by the extraction service",
+    "serve_cache_hit": "Service requests answered from the result cache",
+    "serve_cache_miss": "Service requests that missed the result cache",
+    "serve_coalesced": "Requests that shared another request's computation",
+    "serve_rejected": "Requests rejected by admission control",
+    "serve_inflight": "Service requests currently in flight",
+    "serve_cache_entries": "Live entries in the service result cache",
+    "serve_latency_seconds": "End-to-end service request latency",
+}
+
+
+def _help_for(name: str, kind: str) -> str:
+    """The ``# HELP`` text for one metric family."""
+    text = _HELP.get(name) or _HELP.get(name.split(".", 1)[0])
+    return text if text is not None else f"repro {kind} metric"
+
 
 def _fmt(value: float) -> str:
     """Stable short float formatting (``0.001``, ``1e-06``, ``42``)."""
@@ -38,21 +65,25 @@ def prometheus_text(snapshot: MetricsSnapshot, prefix: str = "repro_") -> str:
 
     Counters become ``<prefix><name>``; histograms expand to the
     standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and
-    ``_count``.  Metric families are emitted in sorted-name order with a
-    ``# TYPE`` header each.
+    ``_count``.  Metric families are emitted in sorted-name order, each
+    preceded by its ``# HELP`` and ``# TYPE`` comment lines as the
+    exposition format prescribes.
     """
     lines: List[str] = []
     for name in sorted(snapshot.counters):
         metric = _sanitize(prefix + name)
+        lines.append(f"# HELP {metric} {_help_for(name, 'counter')}")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {snapshot.counters[name]}")
     for name in sorted(snapshot.gauges):
         metric = _sanitize(prefix + name)
+        lines.append(f"# HELP {metric} {_help_for(name, 'gauge')}")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_fmt(snapshot.gauges[name])}")
     for name in sorted(snapshot.histograms):
         hist = snapshot.histograms[name]
         metric = _sanitize(prefix + name)
+        lines.append(f"# HELP {metric} {_help_for(name, 'histogram')}")
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for bound, count in zip(hist.buckets, hist.counts):

@@ -55,6 +55,12 @@ __all__ = [
     "SINGULAR_SYSTEM",
     "NETLIST_LINT",
     "NETLIST_LINT_FINDING",
+    "SERVE_REQUEST",
+    "SERVE_CACHE_HIT",
+    "SERVE_CACHE_MISS",
+    "SERVE_COALESCED",
+    "SERVE_REJECTED",
+    "SERVE_LATENCY",
     "OBSERVATIONAL_PREFIXES",
     "is_solver_counter",
     "LOOKUP_LATENCY",
@@ -110,13 +116,25 @@ SINGULAR_SYSTEM = "circuit_singular_system"
 NETLIST_LINT = "netlist_lint"
 NETLIST_LINT_FINDING = "netlist_lint_finding"
 
+#: Serving-layer counters (PR 6; see :mod:`repro.serve`).  Requests are
+#: ticked per endpoint as ``serve_request.<endpoint>`` alongside the
+#: totals; the cache/coalescing/rejection counters make the daemon's
+#: economics (how much work the result cache absorbs) observable on
+#: ``/metrics`` and in ``repro report``.
+SERVE_REQUEST = "serve_request"
+SERVE_CACHE_HIT = "serve_cache_hit"
+SERVE_CACHE_MISS = "serve_cache_miss"
+SERVE_COALESCED = "serve_coalesced"
+SERVE_REJECTED = "serve_rejected"
+
 #: Counter-name prefixes that *observe* rather than record solver work:
-#: the ``table_lookup*`` coverage family (PR 4) and the ``circuit_*`` /
-#: ``netlist_lint*`` simulation-observability families (PR 5).  Warm
-#: lookups, transient step counts and netlist lints legitimately tick
-#: these, so zero-solve totals must not count them.
+#: the ``table_lookup*`` coverage family (PR 4), the ``circuit_*`` /
+#: ``netlist_lint*`` simulation-observability families (PR 5) and the
+#: ``serve_*`` daemon families (PR 6).  Warm lookups, transient step
+#: counts, netlist lints and served requests legitimately tick these,
+#: so zero-solve totals must not count them.
 OBSERVATIONAL_PREFIXES: Tuple[str, ...] = (
-    "table_lookup", "circuit_", "netlist_lint",
+    "table_lookup", "circuit_", "netlist_lint", "serve_",
 )
 
 
@@ -129,6 +147,7 @@ LOOKUP_LATENCY = "lookup_latency_seconds"
 TABLE_BUILD_POINT = "table_build_point_seconds"
 BUILD_CHUNK_SECONDS = "build_chunk_seconds"
 FACTOR_SECONDS = "circuit_factor_seconds"
+SERVE_LATENCY = "serve_latency_seconds"
 
 #: Default histogram bucket upper bounds [s]: 1 us .. 1 min, log-spaced.
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (

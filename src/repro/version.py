@@ -1,0 +1,62 @@
+"""Package version resolution for the CLI and the serving daemon.
+
+``repro --version`` and the daemon's ``/healthz`` endpoint both report
+the package version.  The repo is routinely run straight off a source
+checkout (``PYTHONPATH=src``) where no distribution metadata exists, so
+resolution tries, in order:
+
+1. the ``pyproject.toml`` sitting above the package (source checkout --
+   the authoritative number while developing),
+2. installed distribution metadata (``pip install`` -ed environments),
+3. a sentinel ``0.0.0+unknown`` so callers never crash on packaging
+   questions.
+
+The result is cached per process.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["get_version"]
+
+_FALLBACK = "0.0.0+unknown"
+_cached: Optional[str] = None
+
+
+def _from_pyproject() -> Optional[str]:
+    """Version from the source checkout's pyproject.toml, if any."""
+    # src/repro/version.py -> src/repro -> src -> repo root
+    root = Path(__file__).resolve().parents[2]
+    pyproject = root / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        return None
+    # [project] version = "..." -- a regex keeps 3.9 (no tomllib) happy.
+    match = re.search(
+        r'^\s*version\s*=\s*["\']([^"\']+)["\']', text, re.MULTILINE
+    )
+    return match.group(1) if match else None
+
+
+def _from_metadata() -> Optional[str]:
+    """Version from installed distribution metadata, if any."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - 3.9+ always has it
+        return None
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return None
+
+
+def get_version() -> str:
+    """The repro package version string (cached after the first call)."""
+    global _cached
+    if _cached is None:
+        _cached = _from_pyproject() or _from_metadata() or _FALLBACK
+    return _cached

@@ -1,0 +1,41 @@
+"""Shared fixtures: one small characterization kit per test session.
+
+The kit covers the CLI's default CPW geometry at 3.2 GHz with loop R/L
+tables only (capacitance comes from the closed-form fallback, which
+performs no solver calls), so every serve test runs against a fully
+warm table path.
+"""
+
+import pytest
+
+from repro.clocktree.configs import CoplanarWaveguideConfig
+from repro.constants import GHz, um
+from repro.library import build_library, standard_clocktree_jobs
+
+KIT_FREQUENCY = GHz(3.2)
+
+
+def default_config() -> CoplanarWaveguideConfig:
+    return CoplanarWaveguideConfig(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        thickness=um(2), height_below=um(2),
+    )
+
+
+@pytest.fixture(scope="session")
+def kit_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-kit")
+    jobs = standard_clocktree_jobs(
+        default_config(), frequency=KIT_FREQUENCY,
+        widths=[um(6), um(10), um(14)],
+        lengths=[um(400), um(1500), um(3000), um(6000)],
+    )
+    build_library(root, jobs, parallel=False)
+    return root
+
+
+@pytest.fixture
+def service(kit_root):
+    from repro.serve import ExtractionService
+
+    return ExtractionService(kit_root)

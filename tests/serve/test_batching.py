@@ -1,0 +1,152 @@
+"""Request coalescer: single-flight semantics under real threads."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.batching import RequestCoalescer
+
+
+class TestSingleFlight:
+    def test_concurrent_same_key_computes_once(self):
+        coalescer = RequestCoalescer()
+        calls = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            calls.append(threading.get_ident())
+            entered.set()
+            release.wait(timeout=5.0)
+            return {"n": 42}
+
+        results = []
+
+        def request():
+            results.append(coalescer.run("key", compute))
+
+        pool = [threading.Thread(target=request) for _ in range(6)]
+        pool[0].start()
+        assert entered.wait(timeout=5.0)
+        for thread in pool[1:]:
+            thread.start()
+        # followers must be parked on the leader before it finishes
+        deadline = time.time() + 5.0
+        while coalescer._inflight["key"].followers < 5:
+            assert time.time() < deadline
+            time.sleep(0.001)
+        release.set()
+        for thread in pool:
+            thread.join(timeout=5.0)
+
+        assert len(calls) == 1
+        assert results == [{"n": 42}] * 6
+        assert coalescer.leaders == 1
+        assert coalescer.coalesced == 5
+
+    def test_sequential_same_key_computes_each_time(self):
+        # no caching in the coalescer: sequential calls both compute
+        coalescer = RequestCoalescer()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"n": len(calls)}
+
+        assert coalescer.run("key", compute) == {"n": 1}
+        assert coalescer.run("key", compute) == {"n": 2}
+        assert coalescer.leaders == 2
+        assert coalescer.coalesced == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        coalescer = RequestCoalescer(compute_width=4)
+        barrier = threading.Barrier(3, timeout=5.0)
+        results = []
+
+        def request(key):
+            barrier.wait()
+            results.append(coalescer.run(key, lambda: {"key": key}))
+
+        pool = [
+            threading.Thread(target=request, args=(f"k{i}",))
+            for i in range(3)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=5.0)
+        assert coalescer.leaders == 3
+        assert coalescer.coalesced == 0
+        assert sorted(r["key"] for r in results) == ["k0", "k1", "k2"]
+
+    def test_leader_exception_propagates_to_followers(self):
+        coalescer = RequestCoalescer()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            entered.set()
+            release.wait(timeout=5.0)
+            raise ValueError("boom")
+
+        errors = []
+
+        def request():
+            try:
+                coalescer.run("key", compute)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        leader = threading.Thread(target=request)
+        follower = threading.Thread(target=request)
+        leader.start()
+        assert entered.wait(timeout=5.0)
+        follower.start()
+        deadline = time.time() + 5.0
+        while coalescer._inflight.get("key") is not None and \
+                coalescer._inflight["key"].followers < 1:
+            assert time.time() < deadline
+            time.sleep(0.001)
+        release.set()
+        leader.join(timeout=5.0)
+        follower.join(timeout=5.0)
+        assert errors == ["boom", "boom"]
+
+    def test_failed_key_can_be_retried(self):
+        coalescer = RequestCoalescer()
+        with pytest.raises(RuntimeError):
+            coalescer.run("key", lambda: (_ for _ in ()).throw(
+                RuntimeError("first")))
+        assert coalescer.run("key", lambda: {"ok": True}) == {"ok": True}
+
+    def test_compute_gate_serializes_distinct_keys(self):
+        coalescer = RequestCoalescer(compute_width=1)
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def compute():
+            with lock:
+                active.append(1)
+                peak.append(len(active))
+            time.sleep(0.01)
+            with lock:
+                active.pop()
+            return {}
+
+        pool = [
+            threading.Thread(
+                target=lambda k=i: coalescer.run(f"k{k}", compute))
+            for i in range(4)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=5.0)
+        assert max(peak) == 1  # gate width 1: never two computes at once
+
+    def test_compute_width_must_be_positive(self):
+        with pytest.raises(ServeError):
+            RequestCoalescer(compute_width=0)

@@ -1,0 +1,107 @@
+"""Result cache: content keys, LRU bounds, hit/miss accounting."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.cache import ResultCache, result_key
+from repro.telemetry import get_registry
+from repro.telemetry.registry import SERVE_CACHE_HIT, SERVE_CACHE_MISS
+
+
+class TestResultKey:
+    def test_key_order_does_not_split_the_cache(self):
+        a = result_key("kit", "extract", {"x": 1, "y": 2.5})
+        b = result_key("kit", "extract", {"y": 2.5, "x": 1})
+        assert a == b
+
+    def test_kit_sha_partitions_keys(self):
+        payload = {"root_length_um": 3000.0}
+        assert (result_key("kit-a", "extract", payload)
+                != result_key("kit-b", "extract", payload))
+
+    def test_endpoint_partitions_keys(self):
+        payload = {"root_length_um": 3000.0}
+        assert (result_key("kit", "extract", payload)
+                != result_key("kit", "skew", payload))
+
+    def test_payload_values_partition_keys(self):
+        assert (result_key("kit", "extract", {"n": 1})
+                != result_key("kit", "extract", {"n": 2}))
+
+    def test_key_is_hex_sha256(self):
+        key = result_key("kit", "extract", {})
+        assert len(key) == 64
+        int(key, 16)  # all hex
+
+
+class TestResultCache:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_keeps_bound(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        cache.put("c", {"n": 3})
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get("a") is None  # oldest evicted
+        assert cache.get("c") == {"n": 3}
+
+    def test_get_refreshes_lru_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        cache.get("a")  # refresh: now b is the LRU entry
+        cache.put("c", {"n": 3})
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_put_same_key_updates_without_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"n": 1})
+        cache.put("a", {"n": 2})
+        assert len(cache) == 1
+        assert cache.evictions == 0
+        assert cache.get("a") == {"n": 2}
+
+    def test_clear_keeps_statistics(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"n": 1})
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.get("a") is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServeError):
+            ResultCache(capacity=0)
+
+    def test_stats_payload(self):
+        cache = ResultCache(capacity=3)
+        cache.put("a", {"n": 1})
+        cache.get("a")
+        cache.get("zz")
+        stats = cache.stats()
+        assert stats == {
+            "entries": 1, "capacity": 3, "hits": 1, "misses": 1,
+            "evictions": 0, "hit_rate": 0.5,
+        }
+
+    def test_ticks_registry_counters(self):
+        registry = get_registry()
+        before = registry.snapshot()
+        cache = ResultCache(capacity=2)
+        cache.get("missing")
+        cache.put("k", {})
+        cache.get("k")
+        delta = registry.snapshot().minus(before)
+        assert delta.counters.get(SERVE_CACHE_MISS) == 1
+        assert delta.counters.get(SERVE_CACHE_HIT) == 1

@@ -1,0 +1,89 @@
+"""Admission control: overload rejection, drain, idle wait."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.limits import ConcurrencyLimiter
+
+
+class TestAdmission:
+    def test_admits_until_ceiling_then_429(self):
+        limiter = ConcurrencyLimiter(max_inflight=2)
+        first = limiter.admit()
+        second = limiter.admit()
+        assert first.admitted and second.admitted
+        third = limiter.admit()
+        assert not third.admitted
+        assert third.status == 429
+        assert third.reason == "overloaded"
+        assert limiter.rejected == 1
+
+    def test_release_reopens_admission(self):
+        limiter = ConcurrencyLimiter(max_inflight=1)
+        admission = limiter.admit()
+        assert not limiter.admit().admitted
+        admission.limiter.release()
+        assert limiter.admit().admitted
+
+    def test_context_manager_releases(self):
+        limiter = ConcurrencyLimiter(max_inflight=1)
+        with limiter.admit() as admission:
+            assert admission.admitted
+            assert limiter.inflight == 1
+        assert limiter.inflight == 0
+
+    def test_rejected_admission_context_is_noop(self):
+        limiter = ConcurrencyLimiter(max_inflight=1)
+        held = limiter.admit()
+        with limiter.admit() as rejected:
+            assert not rejected.admitted
+        assert limiter.inflight == 1  # the rejection released nothing
+        held.limiter.release()
+
+    def test_draining_rejects_with_503(self):
+        limiter = ConcurrencyLimiter(max_inflight=4)
+        limiter.start_draining()
+        admission = limiter.admit()
+        assert not admission.admitted
+        assert admission.status == 503
+        assert admission.reason == "draining"
+        assert limiter.draining
+
+    def test_unmatched_release_raises(self):
+        limiter = ConcurrencyLimiter()
+        with pytest.raises(ServeError):
+            limiter.release()
+
+    def test_max_inflight_must_be_positive(self):
+        with pytest.raises(ServeError):
+            ConcurrencyLimiter(max_inflight=0)
+
+
+class TestWaitIdle:
+    def test_wait_idle_immediate_when_idle(self):
+        assert ConcurrencyLimiter().wait_idle(timeout=0.1)
+
+    def test_wait_idle_times_out_while_busy(self):
+        limiter = ConcurrencyLimiter()
+        admission = limiter.admit()
+        assert not limiter.wait_idle(timeout=0.05)
+        admission.limiter.release()
+
+    def test_wait_idle_wakes_on_last_release(self):
+        limiter = ConcurrencyLimiter(max_inflight=2)
+        admissions = [limiter.admit(), limiter.admit()]
+        woke = threading.Event()
+
+        def waiter():
+            if limiter.wait_idle(timeout=5.0):
+                woke.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        for admission in admissions:
+            assert not woke.is_set()
+            admission.limiter.release()
+        thread.join(timeout=5.0)
+        assert woke.is_set()

@@ -1,0 +1,116 @@
+"""Load driver: percentile math, report shape, a real (tiny) run."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import start_server
+from repro.serve.loadgen import LoadReport, percentile, run_load
+
+
+class TestPercentile:
+    def test_endpoints_and_median(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 5.0
+        assert percentile(data, 0.5) == 3.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 1.0], 0.25) == pytest.approx(0.25)
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ServeError):
+            percentile([], 0.5)
+
+    def test_bad_quantile_raises(self):
+        with pytest.raises(ServeError):
+            percentile([1.0], 1.5)
+
+
+class TestLoadReport:
+    def _report(self):
+        return LoadReport(
+            endpoint="extract", threads=2, requests=4, errors=0,
+            cache_hits=3, duration_seconds=2.0,
+            latencies_seconds=[0.010, 0.020, 0.030, 0.040],
+            status_counts={200: 4},
+        )
+
+    def test_throughput(self):
+        assert self._report().requests_per_second == 2.0
+
+    def test_to_dict_is_regression_gateable(self):
+        from repro.quality import flatten_metrics, metric_direction
+
+        flat = flatten_metrics({"serve_load": self._report().to_dict()})
+        assert metric_direction("serve_load.latency_p50_seconds") == "lower"
+        assert metric_direction("serve_load.latency_p95_seconds") == "lower"
+        assert metric_direction("serve_load.requests_per_second") == "higher"
+        assert metric_direction("serve_load.cache_hit_rate") == "higher"
+        assert flat["serve_load.requests_per_second"] == 2.0
+        assert flat["serve_load.latency_p50_seconds"] == pytest.approx(0.025)
+
+    def test_summary_mentions_the_headlines(self):
+        text = self._report().summary()
+        assert "p50" in text and "p99" in text and "req/s" in text
+
+    def test_dict_percentiles_ordered(self):
+        data = self._report().to_dict()
+        assert (data["latency_p50_seconds"] <= data["latency_p95_seconds"]
+                <= data["latency_p99_seconds"] <= data["latency_max_seconds"])
+
+
+class TestRunLoad:
+    def test_tiny_run_against_live_server(self, service):
+        server = start_server(service)
+        try:
+            report = run_load(
+                server.url, "extract", {"root_length_um": 1500.0},
+                threads=2, requests_per_thread=3,
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert report.requests == 6
+        assert report.errors == 0
+        assert report.status_counts == {200: 6}
+        # one computation, five cache hits (or coalesced followers that
+        # report miss); either way most answers came from the cache
+        assert report.cache_hits >= 4
+        assert report.duration_seconds > 0.0
+        assert report.latency(0.5) > 0.0
+
+    def test_payload_for_varies_requests(self, service):
+        server = start_server(service)
+        try:
+            report = run_load(
+                server.url, "extract", {},
+                threads=1, requests_per_thread=3,
+                payload_for=lambda slot, i: {
+                    "root_length_um": 1000.0 + 100.0 * i},
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert report.requests == 3
+        assert report.cache_hits == 0  # all distinct -> all cold
+        assert service.cache.stats()["entries"] == 3
+
+    def test_error_statuses_are_counted(self, service):
+        server = start_server(service)
+        try:
+            report = run_load(
+                server.url, "extract", {},  # missing root_length_um
+                threads=1, requests_per_thread=2,
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert report.errors == 2
+        assert report.status_counts == {400: 2}
+
+    def test_invalid_sizing_raises(self):
+        with pytest.raises(ServeError):
+            run_load("http://localhost:1", "extract", {}, threads=0)

@@ -26,12 +26,16 @@ def _sample_snapshot() -> MetricsSnapshot:
 
 
 PROMETHEUS_GOLDEN = """\
+# HELP repro_loop_solve Loop R/L extractions solved directly (PEEC)
 # TYPE repro_loop_solve counter
 repro_loop_solve 4
+# HELP repro_lp_pair_eval Partial-inductance pair kernel evaluations
 # TYPE repro_lp_pair_eval counter
 repro_lp_pair_eval 762
+# HELP repro_memo_cache_entries Live entries in the Lp pair memo cache
 # TYPE repro_memo_cache_entries gauge
 repro_memo_cache_entries 1200
+# HELP repro_lookup_latency_seconds Extraction-table lookup latency
 # TYPE repro_lookup_latency_seconds histogram
 repro_lookup_latency_seconds_bucket{le="1e-06"} 2
 repro_lookup_latency_seconds_bucket{le="0.001"} 3
@@ -58,6 +62,21 @@ class TestPrometheus:
         text = prometheus_text(snap, prefix="")
         assert "weird_name_ 1" in text
         assert "_2fast 2" in text
+
+    def test_unknown_metric_gets_generic_help(self):
+        snap = MetricsSnapshot(counters={"bespoke_thing": 1})
+        text = prometheus_text(snap)
+        assert "# HELP repro_bespoke_thing repro counter metric" in text
+
+    def test_tagged_counter_inherits_base_help(self):
+        snap = MetricsSnapshot(counters={"serve_request.extract": 3})
+        text = prometheus_text(snap)
+        assert ("# HELP repro_serve_request_extract "
+                "Requests handled by the extraction service") in text
+
+    def test_every_family_has_help_and_type(self):
+        text = prometheus_text(_sample_snapshot())
+        assert text.count("# HELP ") == text.count("# TYPE ")
 
 
 JSON_GOLDEN = {

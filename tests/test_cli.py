@@ -196,3 +196,51 @@ class TestSimulationTelemetry:
         assert "circuit.transient" in names
         assert any(n.startswith("htree.") for n in names)
         assert trace["otherData"]["command"] == "repro skew"
+
+
+class TestServeCLI:
+    def test_serve_parser(self):
+        args = build_parser().parse_args(
+            ["serve", "--library", "kit", "--port", "9999",
+             "--max-inflight", "4"])
+        assert callable(args.func)
+        assert args.library == "kit"
+        assert args.port == 9999
+        assert args.max_inflight == 4
+        assert args.frequency is None  # default: the kit's frequency
+
+    def test_serve_requires_library(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_bench_serve_parser(self):
+        args = build_parser().parse_args(
+            ["bench", "serve", "--library", "kit",
+             "--threads", "2", "--requests", "5",
+             "--record", "BENCH_serve.json"])
+        assert callable(args.func)
+        assert args.endpoint == "extract"
+        assert args.threads == 2
+        assert args.record == "BENCH_serve.json"
+
+    def test_bench_serve_rejects_unknown_endpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench", "serve", "--endpoint", "teleport"])
+
+    def test_bench_serve_needs_a_target(self, capsys):
+        assert main(["bench", "serve"]) == 2
+        assert "--url or --library" in capsys.readouterr().err
+
+    def test_bench_serve_rejects_non_object_payload(self, capsys):
+        assert main(["bench", "serve", "--url", "http://x",
+                     "--payload", "[1]"]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_version_flag(self, capsys):
+        from repro.version import get_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert get_version() in capsys.readouterr().out
