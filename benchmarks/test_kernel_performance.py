@@ -136,6 +136,8 @@ def test_assembly_dedup_vs_naive():
         "naive_seconds": round(t_naive, 4),
         "dedup_seconds": round(t_dedup, 4),
         "speedup": round(speedup, 2),
+        "filaments_per_second": round(len(bars) / t_dedup, 1)
+        if t_dedup > 0 else float("inf"),
         "max_rel_diff": max_rel,
     }})
 
@@ -274,4 +276,96 @@ def test_smoke_dedup_never_slower_on_small_mesh():
     assert ratio < 1.2, (
         f"dedup assembly is {ratio:.2f}x naive on a small mesh "
         "(must stay under 1.2x)"
+    )
+
+
+def test_signature_key_batching_not_slower_than_per_row():
+    """The batched key path (one tobytes + slicing) vs n per-row calls.
+
+    ``signature_keys`` is on the memo hot path of every dedup assembly;
+    this guards the vectorized encoding against regressing below the
+    naive per-row loop it replaced (recorded, and asserted with a 10%
+    noise allowance).
+    """
+    from repro.peec.kernel import signature_keys
+
+    rows = np.random.default_rng(0).random((20_000, 9))
+    per_row = _best_of(
+        lambda: [rows[i].tobytes() for i in range(rows.shape[0])], 7)
+    batched = _best_of(lambda: signature_keys(rows), 7)
+    assert signature_keys(rows) == [
+        rows[i].tobytes() for i in range(rows.shape[0])
+    ]
+    ratio = batched / per_row if per_row > 0 else float("inf")
+    report(
+        f"signature key encoding, {rows.shape[0]} signatures",
+        [
+            ["per-row tobytes", f"{per_row * 1e3:.2f} ms"],
+            ["batched", f"{batched * 1e3:.2f} ms ({ratio:.2f}x per-row)"],
+        ],
+    )
+    _record({"signature_keys": {
+        "signatures": rows.shape[0],
+        "per_row_ms": round(per_row * 1e3, 3),
+        "batched_ms": round(batched * 1e3, 3),
+        "ratio_vs_per_row": round(ratio, 3),
+    }})
+    assert ratio < 1.1, (
+        f"batched signature keys {ratio:.2f}x the per-row loop"
+    )
+
+
+def test_disk_warmed_assembly_faster_than_cold(tmp_path):
+    """A shard-warmed memo replays every pair value of a prior assembly.
+
+    Cold: clear memo, assemble the 400-filament reference mesh, flush
+    to a disk shard.  Warm: clear the memo (a fresh process), load the
+    shard back, assemble again -- every lookup must hit and the
+    assembly must be measurably faster.
+    """
+    from repro.peec.diskmemo import DiskMemoShard
+
+    bars = _reference_mesh(20, 20)
+    shard = DiskMemoShard(tmp_path / "memo.json")
+    cache = lp_memo_cache()
+
+    cache.clear()
+    cache.reset_stats()
+    t0 = time.perf_counter()
+    lp_cold = assemble_partial_inductance_matrix(bars)
+    t_cold = time.perf_counter() - t0
+    entries = shard.flush(cache)
+
+    cache.clear()
+    cache.reset_stats()
+    shard.warm(cache)
+    t0 = time.perf_counter()
+    lp_warm = assemble_partial_inductance_matrix(bars)
+    t_warm = time.perf_counter() - t0
+
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    report(
+        f"disk-warmed assembly, {len(bars)}-filament mesh "
+        f"({entries} shard entries)",
+        [
+            ["cold (empty memo)", f"{t_cold * 1e3:.1f} ms", "1.00x"],
+            ["disk-warmed", f"{t_warm * 1e3:.1f} ms", f"{speedup:.2f}x"],
+        ],
+        header=["assembly", "wall time", "speedup"],
+    )
+    _record({"disk_memo": {
+        "filaments": len(bars),
+        "shard_entries": int(entries),
+        "cold_ms": round(t_cold * 1e3, 2),
+        "warm_ms": round(t_warm * 1e3, 2),
+        "speedup": round(speedup, 2),
+        "hit_rate": round(cache.hit_rate, 4),
+    }})
+
+    np.testing.assert_array_equal(lp_warm, lp_cold)
+    assert cache.hit_rate >= 0.9, (
+        f"disk-warmed assembly hit rate {cache.hit_rate:.1%}"
+    )
+    assert speedup > 1.2, (
+        f"disk-warmed assembly only {speedup:.2f}x the cold one"
     )

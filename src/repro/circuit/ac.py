@@ -7,6 +7,7 @@ from typing import Dict, Sequence, Union
 
 import numpy as np
 
+from repro.circuit.backend import factorize, resolve_method, system_matrices
 from repro.circuit.netlist import AssembledCircuit, Circuit
 from repro.errors import CircuitError, SolverError
 
@@ -41,16 +42,23 @@ class ACResult:
 def ac_analysis(
     circuit: Union[Circuit, AssembledCircuit],
     frequencies: Sequence[float],
+    solver: str = "auto",
 ) -> ACResult:
-    """Frequency sweep with the registered AC source magnitudes."""
+    """Frequency sweep with the registered AC source magnitudes.
+
+    *solver* picks the per-frequency factorization backend (``"auto"`` /
+    ``"dense"`` / ``"sparse"``).
+    """
     assembled = circuit.assemble() if isinstance(circuit, Circuit) else circuit
     freqs = np.asarray(frequencies, dtype=float)
     if freqs.ndim != 1 or freqs.size == 0:
         raise CircuitError("frequencies must be a non-empty 1-D sequence")
     if np.any(freqs < 0.0):
         raise CircuitError("frequencies must be non-negative")
-    g = assembled.stamps.g_matrix
-    c = assembled.stamps.c_matrix
+    method = resolve_method(
+        assembled.size, nnz=assembled.stamps.nnz, solver=solver
+    )
+    g, c = system_matrices(assembled.stamps, method)
     b = assembled.stamps.ac_source_vector()
     if not np.any(b):
         raise CircuitError("no AC sources: set ac_magnitude on a source")
@@ -58,9 +66,10 @@ def ac_analysis(
     solutions = np.empty((freqs.size, assembled.size), dtype=complex)
     for k, f in enumerate(freqs):
         omega = 2.0 * np.pi * f
+        system = g + 1j * omega * c
         try:
-            solutions[k] = np.linalg.solve(g + 1j * omega * c, b)
-        except np.linalg.LinAlgError as exc:
+            solutions[k] = factorize(system).solve(b)
+        except SolverError as exc:
             raise SolverError(f"singular AC system at {f} Hz: {exc}") from exc
 
     node_voltages = {"0": np.zeros(freqs.size, dtype=complex)}

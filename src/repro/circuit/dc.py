@@ -4,8 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, Union
 
-import numpy as np
-
+from repro.circuit.backend import (
+    factorize,
+    gmin_loaded,
+    resolve_method,
+    system_matrices,
+)
 from repro.circuit.netlist import AssembledCircuit, Circuit
 from repro.errors import SolverError
 from repro.telemetry.registry import SINGULAR_SYSTEM, get_registry
@@ -20,22 +24,26 @@ def operating_point(
     circuit: Union[Circuit, AssembledCircuit],
     time: float = 0.0,
     gmin: float = GMIN,
+    solver: str = "auto",
 ) -> Dict[str, float]:
     """Solve the DC operating point with sources evaluated at *time*.
 
     Inductors are shorts (their branch equations enforce V = 0 at DC) and
     capacitors are opens.  Returns node voltages keyed by node name,
-    including ground.
+    including ground.  *solver* picks the factorization backend
+    (``"auto"`` / ``"dense"`` / ``"sparse"``).
     """
     assembled = circuit.assemble() if isinstance(circuit, Circuit) else circuit
-    with span("circuit.dc", size=assembled.size, time=time):
-        g = assembled.stamps.g_matrix.copy()
-        n = assembled.num_nodes
-        g[:n, :n] += np.eye(n) * gmin
+    method = resolve_method(
+        assembled.size, nnz=assembled.stamps.nnz, solver=solver
+    )
+    with span("circuit.dc", size=assembled.size, time=time, solver=method):
+        g, _ = system_matrices(assembled.stamps, method)
+        loaded = gmin_loaded(g, assembled.num_nodes, gmin)
         b = assembled.stamps.source_vector(time)
         try:
-            x = np.linalg.solve(g, b)
-        except np.linalg.LinAlgError as exc:
+            x = factorize(loaded).solve(b)
+        except SolverError as exc:
             get_registry().inc(SINGULAR_SYSTEM)
             raise SolverError(f"singular DC system: {exc}") from exc
     voltages = {"0": 0.0}

@@ -41,8 +41,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
 
+from repro.circuit.backend import factorize, resolve_method, system_matrices
 from repro.circuit.elements import (
     VCVS,
     Capacitor,
@@ -53,9 +53,12 @@ from repro.circuit.elements import (
 )
 from repro.circuit.sources import PulseSource, SineSource
 from repro.core.frequency import significant_frequency
+from repro.errors import SolverError
 
 __all__ = [
     "DT_ADEQUACY_FLOOR",
+    "LTE_SUBSAMPLE_SIZE",
+    "LTE_SUBSAMPLE_PROBES",
     "TransientDiagnostics",
     "estimate_local_truncation_error",
     "energy_balance",
@@ -64,6 +67,15 @@ __all__ = [
 
 #: Minimum steps per significant period for ``dt`` to count as adequate.
 DT_ADEQUACY_FLOOR = 10.0
+
+#: Above this many MNA unknowns the LTE probe count is capped at
+#: :data:`LTE_SUBSAMPLE_PROBES` -- each probe costs two solves against
+#: an extra half-step factorization, which at chip scale would rival the
+#: transient itself (``circuit_lte_subsampled`` counts the cap firing).
+LTE_SUBSAMPLE_SIZE = 2000
+
+#: Probe budget once :data:`LTE_SUBSAMPLE_SIZE` is exceeded.
+LTE_SUBSAMPLE_PROBES = 4
 
 #: Trapezoidal integration that survives the numpy 2.x trapz rename.
 _trapezoid = getattr(np, "trapezoid", None) or np.trapz
@@ -173,6 +185,7 @@ def estimate_local_truncation_error(
     dt: float,
     method: str,
     max_probes: int = 16,
+    solver: str = "auto",
 ) -> Dict[str, float]:
     """Richardson (step-doubling) LTE estimate over a probe subsample.
 
@@ -181,10 +194,14 @@ def estimate_local_truncation_error(
     half-step matrix; the normalized infinity-norm gap against the
     recorded ``x[k+1]`` estimates the local truncation error of that
     step.  Returns ``{"max", "p95", "probes"}`` (NaNs with 0 probes
-    when the half-step matrix is singular).
+    when the half-step matrix is singular).  *solver* picks the
+    half-step factorization backend; keep it in sync with the transient
+    run being diagnosed.
     """
-    g = assembled.stamps.g_matrix
-    c = assembled.stamps.c_matrix
+    backend = resolve_method(
+        assembled.size, nnz=assembled.stamps.nnz, solver=solver
+    )
+    g, c = system_matrices(assembled.stamps, backend)
     half = dt / 2.0
     if method == "trapezoidal":
         lhs = 2.0 * c / half + g
@@ -192,9 +209,11 @@ def estimate_local_truncation_error(
     else:
         lhs = c / half + g
         rhs_matrix = c / half
+    if backend == "sparse":
+        rhs_matrix = rhs_matrix.tocsr()
     try:
-        lu = lu_factor(lhs)
-    except (ValueError, np.linalg.LinAlgError):
+        lu = factorize(lhs)
+    except SolverError:
         return {"max": float("nan"), "p95": float("nan"), "probes": 0}
 
     n_steps = len(time) - 1
@@ -212,11 +231,11 @@ def estimate_local_truncation_error(
         t1 = time[k + 1]
         b0, bm, b1 = source(t0), source(t_mid), source(t1)
         if method == "trapezoidal":
-            x_mid = lu_solve(lu, rhs_matrix @ x[k] + b0 + bm)
-            x_end = lu_solve(lu, rhs_matrix @ x_mid + bm + b1)
+            x_mid = lu.solve(rhs_matrix @ x[k] + b0 + bm)
+            x_end = lu.solve(rhs_matrix @ x_mid + bm + b1)
         else:
-            x_mid = lu_solve(lu, rhs_matrix @ x[k] + bm)
-            x_end = lu_solve(lu, rhs_matrix @ x_mid + b1)
+            x_mid = lu.solve(rhs_matrix @ x[k] + bm)
+            x_end = lu.solve(rhs_matrix @ x_mid + b1)
         errors[i] = np.max(np.abs(x_end - x[k + 1])) / scale
     return {
         "max": float(np.max(errors)),

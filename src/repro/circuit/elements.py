@@ -172,6 +172,15 @@ class Stamps:
 
     The unknown vector is ``x = [node voltages (ground excluded);
     branch currents]`` and the system reads ``G x + C dx/dt = b(t)``.
+
+    Entries accumulate as COO triplets so a chip-scale netlist never
+    materializes an ``size x size`` array just to be stamped: the sparse
+    solver backend reads :meth:`g_csc` / :meth:`c_csc` directly, while
+    the dense analyses keep reading :attr:`g_matrix` / :attr:`c_matrix`,
+    which are built lazily (and cached) from the same triplets.  The
+    dense build accumulates duplicates in stamping order via
+    ``np.add.at``, so it is bit-identical to the historical
+    stamp-into-``np.zeros`` behaviour.
     """
 
     def __init__(self, node_index, branch_names):
@@ -181,8 +190,16 @@ class Stamps:
         m = len(branch_names)
         self.size = n + m
         self.num_nodes = n
-        self.g_matrix = np.zeros((self.size, self.size))
-        self.c_matrix = np.zeros((self.size, self.size))
+        # COO triplets (duplicates allowed; summed on materialization).
+        self._g_rows: list = []
+        self._g_cols: list = []
+        self._g_vals: list = []
+        self._c_rows: list = []
+        self._c_cols: list = []
+        self._c_vals: list = []
+        self._g_dense = None
+        self._c_dense = None
+        self._nnz = None
         # b(t) is assembled from static entries plus per-source callables.
         self._sources = []  # (row, sign, waveform, ac_magnitude)
 
@@ -195,42 +212,56 @@ class Stamps:
     def _row(self, node: str) -> int:
         return self._node_index[node]
 
+    def _add_g(self, row: int, col: int, value: float) -> None:
+        self._g_rows.append(row)
+        self._g_cols.append(col)
+        self._g_vals.append(value)
+        self._g_dense = None
+        self._nnz = None
+
+    def _add_c(self, row: int, col: int, value: float) -> None:
+        self._c_rows.append(row)
+        self._c_cols.append(col)
+        self._c_vals.append(value)
+        self._c_dense = None
+        self._nnz = None
+
     def add_conductance(self, node1: str, node2: str, g: float) -> None:
         """Stamp a conductance between two nodes into G."""
         i, j = self._row(node1), self._row(node2)
         if i >= 0:
-            self.g_matrix[i, i] += g
+            self._add_g(i, i, g)
         if j >= 0:
-            self.g_matrix[j, j] += g
+            self._add_g(j, j, g)
         if i >= 0 and j >= 0:
-            self.g_matrix[i, j] -= g
-            self.g_matrix[j, i] -= g
+            self._add_g(i, j, -g)
+            self._add_g(j, i, -g)
 
     def add_capacitance(self, node1: str, node2: str, c: float) -> None:
         """Stamp a capacitance between two nodes into C."""
         i, j = self._row(node1), self._row(node2)
         if i >= 0:
-            self.c_matrix[i, i] += c
+            self._add_c(i, i, c)
         if j >= 0:
-            self.c_matrix[j, j] += c
+            self._add_c(j, j, c)
         if i >= 0 and j >= 0:
-            self.c_matrix[i, j] -= c
-            self.c_matrix[j, i] -= c
+            self._add_c(i, j, -c)
+            self._add_c(j, i, -c)
 
     def add_branch_voltage(self, branch: int, node1: str, node2: str) -> None:
         """Couple branch current into KCL and node voltages into the branch row."""
         row = self.num_nodes + branch
         i, j = self._row(node1), self._row(node2)
         if i >= 0:
-            self.g_matrix[i, row] += 1.0   # current leaves node1
-            self.g_matrix[row, i] += 1.0   # +V(node1) in branch equation
+            self._add_g(i, row, 1.0)   # current leaves node1
+            self._add_g(row, i, 1.0)   # +V(node1) in branch equation
         if j >= 0:
-            self.g_matrix[j, row] -= 1.0
-            self.g_matrix[row, j] -= 1.0
+            self._add_g(j, row, -1.0)
+            self._add_g(row, j, -1.0)
 
     def add_branch_reactance(self, branch1: int, branch2: int, value: float) -> None:
         """Stamp -L or -M into the branch block of C."""
-        self.c_matrix[self.num_nodes + branch1, self.num_nodes + branch2] += value
+        self._add_c(self.num_nodes + branch1, self.num_nodes + branch2, value)
 
     def add_branch_control(
         self, branch: int, control1: str, control2: str, gain: float
@@ -239,9 +270,76 @@ class Stamps:
         row = self.num_nodes + branch
         i, j = self._row(control1), self._row(control2)
         if i >= 0:
-            self.g_matrix[row, i] += gain
+            self._add_g(row, i, gain)
         if j >= 0:
-            self.g_matrix[row, j] -= gain
+            self._add_g(row, j, -gain)
+
+    # ------------------------------------------------------------------
+    # matrix materialization
+    # ------------------------------------------------------------------
+    def _dense(self, rows, cols, vals) -> np.ndarray:
+        matrix = np.zeros((self.size, self.size))
+        if rows:
+            # np.add.at applies the additions unbuffered, in triplet
+            # order -- the same float-accumulation sequence as stamping
+            # straight into the array, hence bit-identical results.
+            np.add.at(
+                matrix,
+                (np.asarray(rows, dtype=np.intp),
+                 np.asarray(cols, dtype=np.intp)),
+                np.asarray(vals, dtype=float),
+            )
+        return matrix
+
+    def _csc(self, rows, cols, vals):
+        from scipy import sparse
+
+        return sparse.coo_matrix(
+            (np.asarray(vals, dtype=float),
+             (np.asarray(rows, dtype=np.intp),
+              np.asarray(cols, dtype=np.intp))),
+            shape=(self.size, self.size),
+        ).tocsc()
+
+    @property
+    def g_matrix(self) -> np.ndarray:
+        """Dense conductance matrix G (built lazily, cached)."""
+        if self._g_dense is None:
+            self._g_dense = self._dense(
+                self._g_rows, self._g_cols, self._g_vals
+            )
+        return self._g_dense
+
+    @property
+    def c_matrix(self) -> np.ndarray:
+        """Dense reactance matrix C (built lazily, cached)."""
+        if self._c_dense is None:
+            self._c_dense = self._dense(
+                self._c_rows, self._c_cols, self._c_vals
+            )
+        return self._c_dense
+
+    def g_csc(self):
+        """Sparse CSC conductance matrix (duplicate triplets summed)."""
+        return self._csc(self._g_rows, self._g_cols, self._g_vals)
+
+    def c_csc(self):
+        """Sparse CSC reactance matrix (duplicate triplets summed)."""
+        return self._csc(self._c_rows, self._c_cols, self._c_vals)
+
+    @property
+    def nnz(self) -> int:
+        """Structural non-zeros of the combined G/C sparsity pattern."""
+        if self._nnz is None:
+            pattern = set(zip(self._g_rows, self._g_cols))
+            pattern.update(zip(self._c_rows, self._c_cols))
+            self._nnz = len(pattern)
+        return self._nnz
+
+    @property
+    def triplets(self) -> int:
+        """Raw accumulated COO triplet count (before duplicate merge)."""
+        return len(self._g_rows) + len(self._c_rows)
 
     def set_branch_source(self, branch: int, waveform, ac_magnitude: float) -> None:
         """Register a branch-row source (voltage source value)."""

@@ -19,8 +19,13 @@ from dataclasses import dataclass
 from typing import Dict, Union
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
 
+from repro.circuit.backend import (
+    factorize,
+    gmin_loaded,
+    resolve_method,
+    system_matrices,
+)
 from repro.circuit.netlist import AssembledCircuit, Circuit
 from repro.errors import CircuitError, SolverError
 
@@ -93,28 +98,32 @@ def compute_moments(
     circuit: Union[Circuit, AssembledCircuit],
     order: int = 3,
     time: float = None,
+    solver: str = "auto",
 ) -> MomentExpansion:
     """Compute voltage moments m0..m_order for all nodes.
 
     Sources are evaluated at *time* (default 0) to form the DC excitation;
     for delay analysis drive the circuit with a unit step source.
+    *solver* picks the factorization backend (``"auto"`` / ``"dense"`` /
+    ``"sparse"``).
     """
     if order < 1:
         raise CircuitError("order must be >= 1")
     assembled = circuit.assemble() if isinstance(circuit, Circuit) else circuit
-    g = assembled.stamps.g_matrix.copy()
-    n = assembled.num_nodes
-    g[:n, :n] += np.eye(n) * 1e-12    # gmin for floating caps
-    c = assembled.stamps.c_matrix
+    method = resolve_method(
+        assembled.size, nnz=assembled.stamps.nnz, solver=solver
+    )
+    g, c = system_matrices(assembled.stamps, method)
+    loaded = gmin_loaded(g, assembled.num_nodes, 1e-12)  # gmin for floating caps
     b = assembled.stamps.source_vector(0.0 if time is None else time)
 
     try:
-        lu = lu_factor(g)
-    except (ValueError, np.linalg.LinAlgError) as exc:
+        lu = factorize(loaded)
+    except SolverError as exc:
         raise SolverError(f"singular conductance matrix: {exc}") from exc
 
     moments = np.empty((order + 1, assembled.size))
-    moments[0] = lu_solve(lu, b)
+    moments[0] = lu.solve(b)
     for k in range(1, order + 1):
-        moments[k] = lu_solve(lu, -c @ moments[k - 1])
+        moments[k] = lu.solve(-(c @ moments[k - 1]))
     return MomentExpansion(moments=moments, node_index=dict(assembled.node_index))

@@ -155,15 +155,18 @@ class Circuit:
     @property
     def nodes(self) -> List[str]:
         """All non-ground node names in first-use order."""
-        seen: List[str] = []
+        # dict preserves insertion order and keeps this O(elements);
+        # the previous list-membership scan was quadratic and dominated
+        # assembly of chip-scale netlists.
+        seen: Dict[str, None] = {}
         for element in self.elements:
             candidates = [element.node1, element.node2]
             if isinstance(element, VCVS):
                 candidates += [element.control1, element.control2]
             for node in candidates:
-                if node != GROUND and node not in seen:
-                    seen.append(node)
-        return seen
+                if node != GROUND:
+                    seen[node] = None
+        return list(seen)
 
     @property
     def branch_elements(self) -> List[Element]:
@@ -227,6 +230,7 @@ class AssembledCircuit:
         self.node_index = node_index
         self.branch_names = branch_names
         self.stamps = stamps
+        self._branch_rows = {name: i for i, name in enumerate(branch_names)}
 
     @property
     def size(self) -> int:
@@ -248,8 +252,8 @@ class AssembledCircuit:
     def branch_row(self, name: str) -> int:
         """Row of a branch current in the unknown vector."""
         try:
-            return self.stamps.num_nodes + self.branch_names.index(name)
-        except ValueError:
+            return self.stamps.num_nodes + self._branch_rows[name]
+        except KeyError:
             raise CircuitError(f"element {name!r} has no branch current") from None
 
     def initial_state(self) -> np.ndarray:

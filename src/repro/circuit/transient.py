@@ -28,9 +28,17 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
 
+from repro.circuit.backend import (
+    factorize,
+    gmin_loaded,
+    resolve_method,
+    system_matrices,
+    validate_solver,
+)
 from repro.circuit.diagnostics import (
+    LTE_SUBSAMPLE_PROBES,
+    LTE_SUBSAMPLE_SIZE,
     TransientDiagnostics,
     dt_adequacy,
     energy_balance,
@@ -42,6 +50,7 @@ from repro.errors import CircuitError, SolverError
 from repro.telemetry.registry import (
     DC_START_FALLBACK,
     FACTOR_SECONDS,
+    LTE_SUBSAMPLED,
     SINGULAR_SYSTEM,
     TRANSIENT_DT_SNAPPED,
     TRANSIENT_STEPS,
@@ -104,6 +113,7 @@ def transient_analysis(
     initial: str = "dc",
     diagnostics: bool = True,
     lte_probes: int = 16,
+    solver: str = "auto",
 ) -> TransientResult:
     """Integrate the circuit from 0 to *t_stop* with fixed step *dt*.
 
@@ -119,9 +129,14 @@ def transient_analysis(
         Attach a :class:`TransientDiagnostics` (LTE estimate, energy
         residual, dt adequacy) to the result.  Costs one extra
         half-step factorization plus ``2 * lte_probes`` solves and a
-        vectorized energy pass; disable for tight inner loops.
+        vectorized energy pass; disable for tight inner loops.  At
+        chip scale (``size > LTE_SUBSAMPLE_SIZE``) the probe count is
+        capped at :data:`LTE_SUBSAMPLE_PROBES`.
     lte_probes:
         Steps probed by the step-doubling LTE estimate.
+    solver:
+        Factorization backend: ``"auto"`` (default; dense for small
+        systems, sparse at chip scale), ``"dense"`` or ``"sparse"``.
     """
     if t_stop <= 0.0 or dt <= 0.0:
         raise CircuitError("t_stop and dt must be positive")
@@ -131,10 +146,13 @@ def transient_analysis(
         raise CircuitError(f"unknown method {method!r}")
     if initial not in ("dc", "zero"):
         raise CircuitError(f"unknown initial condition mode {initial!r}")
+    validate_solver(solver)
 
     assembled = circuit.assemble() if isinstance(circuit, Circuit) else circuit
-    g = assembled.stamps.g_matrix
-    c = assembled.stamps.c_matrix
+    backend = resolve_method(
+        assembled.size, nnz=assembled.stamps.nnz, solver=solver
+    )
+    g, c = system_matrices(assembled.stamps, backend)
     registry = get_registry()
 
     requested_dt = dt
@@ -148,12 +166,13 @@ def transient_analysis(
         steps=n_steps,
         dt=dt,
         method=method,
+        solver=backend,
     ) as sp:
         registry.inc(TRANSIENT_STEPS, n_steps)
         x = np.empty((n_steps + 1, assembled.size))
         dc_fallback = False
         if initial == "dc":
-            x[0], dc_fallback = _dc_start(assembled)
+            x[0], dc_fallback = _dc_start(assembled, backend)
         else:
             x[0] = assembled.initial_state()
 
@@ -163,11 +182,14 @@ def transient_analysis(
         else:
             lhs = c / dt + g
             rhs_matrix = c / dt
+        if backend == "sparse":
+            # CSR mat-vec is the per-step hot operation.
+            rhs_matrix = rhs_matrix.tocsr()
 
         t0 = _time.perf_counter()
         try:
-            lu = lu_factor(lhs)
-        except (ValueError, np.linalg.LinAlgError) as exc:
+            lu = factorize(lhs)
+        except SolverError as exc:
             registry.inc(SINGULAR_SYSTEM)
             raise SolverError(f"singular transient step matrix: {exc}") from exc
         factor_seconds = _time.perf_counter() - t0
@@ -183,7 +205,7 @@ def transient_analysis(
                 rhs = rhs_matrix @ x[k] + b_prev + b_next
             else:
                 rhs = rhs_matrix @ x[k] + b_next
-            x[k + 1] = lu_solve(lu, rhs)
+            x[k + 1] = lu.solve(rhs)
             b_prev = b_next
 
         node_voltages = {"0": np.zeros(n_steps + 1)}
@@ -197,10 +219,18 @@ def transient_analysis(
 
         diag: Optional[TransientDiagnostics] = None
         if diagnostics:
-            with span("circuit.diagnostics", probes=lte_probes):
+            effective_probes = lte_probes
+            if (
+                assembled.size > LTE_SUBSAMPLE_SIZE
+                and lte_probes > LTE_SUBSAMPLE_PROBES
+            ):
+                effective_probes = LTE_SUBSAMPLE_PROBES
+                registry.inc(LTE_SUBSAMPLED)
+            with span("circuit.diagnostics", probes=effective_probes):
                 diag = _run_diagnostics(
                     assembled, x, time, dt, requested_dt, dt_snapped,
-                    method, factor_seconds, dc_fallback, lte_probes,
+                    method, factor_seconds, dc_fallback, effective_probes,
+                    backend,
                 )
 
     return TransientResult(
@@ -222,9 +252,10 @@ def _run_diagnostics(
     factor_seconds: float,
     dc_fallback: bool,
     lte_probes: int,
+    solver: str = "auto",
 ) -> TransientDiagnostics:
     lte = estimate_local_truncation_error(
-        assembled, x, time, dt, method, max_probes=lte_probes
+        assembled, x, time, dt, method, max_probes=lte_probes, solver=solver
     )
     energy = energy_balance(assembled.circuit, assembled, x, time)
     adequacy = dt_adequacy(assembled.circuit, dt)
@@ -253,7 +284,9 @@ def _run_diagnostics(
     )
 
 
-def _dc_start(assembled: AssembledCircuit) -> Tuple[np.ndarray, bool]:
+def _dc_start(
+    assembled: AssembledCircuit, backend: str = "dense"
+) -> Tuple[np.ndarray, bool]:
     """Operating-point start vector plus whether the fallback was taken.
 
     Inductor loops (an inductor directly across a voltage source, or two
@@ -263,15 +296,19 @@ def _dc_start(assembled: AssembledCircuit) -> Tuple[np.ndarray, bool]:
     start for a transient, so it is used as the fallback (ticking
     ``circuit_dc_start_fallback``).
     """
-    g = assembled.stamps.g_matrix.copy()
-    n = assembled.num_nodes
-    g[:n, :n] += np.eye(n) * 1e-12
+    g_raw, _ = system_matrices(assembled.stamps, backend)
+    g = gmin_loaded(g_raw, assembled.num_nodes, 1e-12)
     b = assembled.stamps.source_vector(0.0)
     try:
-        return np.linalg.solve(g, b), False
-    except np.linalg.LinAlgError:
+        return factorize(g).solve(b), False
+    except SolverError:
         get_registry().inc(DC_START_FALLBACK)
-        solution, _, rank, _ = np.linalg.lstsq(g, b, rcond=None)
+        if backend == "sparse":
+            from scipy.sparse.linalg import lsqr
+
+            solution = lsqr(g, b)[0]
+        else:
+            solution, _, rank, _ = np.linalg.lstsq(g, b, rcond=None)
         residual = g @ solution - b
         if np.max(np.abs(residual)) > 1e-9 * max(1.0, np.max(np.abs(b))):
             get_registry().inc(SINGULAR_SYSTEM)

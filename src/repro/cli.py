@@ -105,7 +105,10 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 def _cmd_skew(args: argparse.Namespace) -> int:
     from repro.experiments import run_htree_skew
 
-    result = run_htree_skew(library=getattr(args, "library", None))
+    result = run_htree_skew(
+        library=getattr(args, "library", None),
+        solver=getattr(args, "solver", "auto"),
+    )
     print("H-tree clock skew, RC-only vs RLC netlist (Sec. V)")
     print(f"  sinks: {result.htree.num_sinks}, levels: {result.htree.num_levels}")
     print(f"  skew RC  = {to_ps(result.rc_skew):7.2f} ps")
@@ -276,6 +279,7 @@ def _cmd_library_build(args: argparse.Namespace) -> int:
         parallel=not args.serial,
         progress=progress if not args.quiet else None,
         auditor=auditor,
+        disk_memo=args.disk_memo,
     )
     stats = runner.build(jobs)
     if not args.quiet:
@@ -468,11 +472,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         compute_width=args.compute_width,
         max_inflight=args.max_inflight,
+        disk_memo=args.disk_memo,
     )
     health = service.health()
     print(f"repro serve v{health['version']}: kit {args.library} "
           f"({health['kit']['tables']} tables, "
           f"manifest {health['kit']['manifest_sha'][:12]})")
+    if args.disk_memo:
+        print(f"  disk memo {args.disk_memo}: "
+              f"{service.disk_memo_entries} entries warmed")
     print(f"  http://{args.host}:{args.port}  "
           f"(POST /extract /lookup /skew; GET /healthz /metrics)")
     print(f"  max inflight {args.max_inflight}, result cache "
@@ -580,6 +588,10 @@ def _add_library_parser(sub) -> None:
                               "health report into the manifest")
     p_build.add_argument("--audit-samples", type=int, default=8,
                          help="off-grid sample points per job")
+    p_build.add_argument("--disk-memo", default=None, metavar="FILE",
+                         help="persistent Lp memo shard warmed before and "
+                              "flushed after the build (shared across "
+                              "processes and repeated builds)")
     p_build.add_argument("--audit-budget", type=float, default=0.05,
                          help="p95 relative-error budget (fraction)")
     _add_telemetry_arg(p_build)
@@ -646,6 +658,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_skew = sub.add_parser("skew", help="H-tree skew RC vs RLC")
     p_skew.add_argument("--library", default=None,
                         help="characterization library to pull tables from")
+    p_skew.add_argument("--solver", default="auto",
+                        choices=["auto", "dense", "sparse"],
+                        help="MNA factorization backend (auto picks dense "
+                             "for small trees, sparse at chip scale)")
     _add_telemetry_arg(p_skew)
     p_skew.set_defaults(func=_cmd_skew)
     sub.add_parser("variation", help="process variation study").set_defaults(
@@ -781,6 +797,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--frequency", type=float, default=None,
                          help="extraction frequency [GHz] (default: the "
                               "kit's characterized frequency)")
+    p_serve.add_argument("--disk-memo", default=None, metavar="FILE",
+                         help="persistent Lp memo shard warmed at startup")
     p_serve.add_argument("--signal-width", type=float, default=10.0,
                          help="default geometry [um]; must match the "
                               "kit's characterized family for table hits")

@@ -72,6 +72,7 @@ def simulate_clocktree(
     threshold_fraction: float = 0.5,
     lint: bool = True,
     diagnostics: bool = True,
+    solver: str = "auto",
 ) -> SkewResult:
     """Transient-simulate a clocktree netlist and measure sink arrivals.
 
@@ -81,13 +82,17 @@ def simulate_clocktree(
     Unless disabled, the netlist health report (cached from the build,
     or computed here) and the per-run :class:`TransientDiagnostics` ride
     along on the :class:`SkewResult`, so every skew number is traceable
-    to the integration quality that produced it.
+    to the integration quality that produced it.  *solver* picks the
+    transient factorization backend (``"auto"`` / ``"dense"`` /
+    ``"sparse"``) -- chip-scale trees need ``"sparse"`` (which ``auto``
+    selects by size).
     """
     if not netlist.sink_nodes:
         raise CircuitError("netlist has no sinks")
     health = netlist.lint() if (lint or netlist.health is not None) else None
     result = transient_analysis(
-        netlist.circuit, t_stop=t_stop, dt=dt, diagnostics=diagnostics
+        netlist.circuit, t_stop=t_stop, dt=dt, diagnostics=diagnostics,
+        solver=solver,
     )
     level = threshold_fraction * supply
     root_wave = result.voltage(netlist.root_node)
@@ -155,12 +160,15 @@ def compare_rc_vs_rlc(
     t_stop: float,
     dt: float,
     threshold_fraction: float = 0.5,
+    solver: str = "auto",
 ) -> SkewComparison:
     """Extract, formulate and simulate both netlists of one H-tree."""
     supply = htree.buffer.supply
     rc_netlist = extractor.build_netlist(htree, include_inductance=False)
     rlc_netlist = extractor.build_netlist(htree, include_inductance=True)
     return SkewComparison(
-        rc=simulate_clocktree(rc_netlist, supply, t_stop, dt, threshold_fraction),
-        rlc=simulate_clocktree(rlc_netlist, supply, t_stop, dt, threshold_fraction),
+        rc=simulate_clocktree(rc_netlist, supply, t_stop, dt,
+                              threshold_fraction, solver=solver),
+        rlc=simulate_clocktree(rlc_netlist, supply, t_stop, dt,
+                               threshold_fraction, solver=solver),
     )

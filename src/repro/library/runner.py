@@ -251,10 +251,25 @@ def _solve_point_task(
     return index, job.solve_point(point)
 
 
+#: Disk-memo shard paths this worker process has already warmed from;
+#: keeps a long-lived pool worker from re-reading the shard every chunk.
+_WORKER_MEMO_WARMED: set = set()
+
+
+def _warm_worker_memo(disk_memo: str) -> None:
+    """Warm the worker's global Lp memo from *disk_memo* once per process."""
+    if disk_memo not in _WORKER_MEMO_WARMED:
+        _WORKER_MEMO_WARMED.add(disk_memo)
+        from repro.peec.diskmemo import warm_lp_memo
+
+        warm_lp_memo(disk_memo)
+
+
 def _solve_chunk_task(
     job: CharacterizationJob,
     indices: Sequence[int],
     points: Sequence[Tuple[float, ...]],
+    disk_memo: Optional[str] = None,
 ) -> ChunkResult:
     """Solve a chunk of grid points in one worker task.
 
@@ -278,8 +293,14 @@ def _solve_chunk_task(
     tracer.reset()
     start = registry.snapshot()
     t0 = time.perf_counter()
+    if disk_memo is not None:
+        _warm_worker_memo(disk_memo)
     with tracer.span("library.chunk", job=job.kind, points=len(indices)):
         values = job.solve_points(points)
+    if disk_memo is not None:
+        from repro.peec.diskmemo import flush_lp_memo
+
+        flush_lp_memo(disk_memo)
     wall = time.perf_counter() - t0
     delta = registry.snapshot().minus(start)
     return ChunkResult(
@@ -356,6 +377,13 @@ class BuildRunner:
         Optional callback receiving a :class:`JobProgress` after every
         completed point.  Raising from the callback aborts the build;
         everything already solved is safely checkpointed first.
+    disk_memo:
+        Optional path to a persistent Lp memo shard
+        (:class:`~repro.peec.diskmemo.DiskMemoShard`).  The build warms
+        the process-wide memo from it up front (workers warm once per
+        process) and flushes freshly computed Hoer-Love values back, so
+        a *second* build -- even in a fresh process -- reuses every pair
+        evaluation ever made.
     auditor:
         Optional :class:`~repro.quality.audit.TableAuditor`.  When
         given, every *freshly built* job is spot-checked right after
@@ -380,6 +408,7 @@ class BuildRunner:
         progress: Optional[ProgressFn] = None,
         chunk_size: Optional[int] = None,
         auditor=None,
+        disk_memo: Optional[Union[str, Path]] = None,
     ):
         if workers is not None and workers < 1:
             raise TableError("workers must be >= 1")
@@ -389,6 +418,7 @@ class BuildRunner:
         self.workers = workers
         self.chunk_size = chunk_size
         self.auditor = auditor
+        self.disk_memo = str(disk_memo) if disk_memo is not None else None
         # Resolve the worker count up front: requesting a pool of one
         # process buys no concurrency but still pays fork + pickle per
         # task, so an effective single worker degrades to the serial
@@ -404,8 +434,16 @@ class BuildRunner:
         """Run every job, reusing library content and checkpoints."""
         stats = BuildStats()
         t0 = time.perf_counter()
+        if self.disk_memo is not None:
+            from repro.peec.diskmemo import warm_lp_memo
+
+            warm_lp_memo(self.disk_memo)
         for job in jobs:
             stats.jobs.append(self._build_job(job))
+        if self.disk_memo is not None:
+            from repro.peec.diskmemo import flush_lp_memo
+
+            flush_lp_memo(self.disk_memo)
         stats.wall_time = time.perf_counter() - t0
         return stats
 
@@ -542,6 +580,7 @@ class BuildRunner:
                 executor.submit(
                     _solve_chunk_task, job, chunk,
                     [points[i] for i in chunk],
+                    self.disk_memo,
                 )
                 for chunk in chunks
             }
@@ -615,8 +654,10 @@ def build_library(
     parallel: bool = True,
     progress: Optional[ProgressFn] = None,
     auditor=None,
+    disk_memo: Optional[Union[str, Path]] = None,
 ) -> BuildStats:
     """Convenience wrapper: run *jobs* into *library* and return stats."""
     runner = BuildRunner(library, workers=workers, parallel=parallel,
-                         progress=progress, auditor=auditor)
+                         progress=progress, auditor=auditor,
+                         disk_memo=disk_memo)
     return runner.build(jobs)

@@ -1,0 +1,182 @@
+"""Persistent on-disk shard for the Lp memo cache.
+
+The Hoer-Love values the dedup assembly memoizes are pure functions of
+their canonical 9-float signature, so they are reusable *forever* --
+across processes, across builds, across daemon restarts.  This module
+persists the process-wide :class:`~repro.peec.kernel.LpMemoCache` as a
+content-addressed shard file:
+
+* **Format** -- one JSON document ``{"version", "sha256", "entries"}``
+  where ``entries`` is a list of ``[key_hex, value]`` pairs in LRU ->
+  MRU order (the MRU tail survives a capacity-bounded load) and
+  ``sha256`` is the digest of the canonical JSON encoding of
+  ``entries``.  Keys are the raw 72-byte signature bytes, hex-encoded;
+  values round-trip exactly because ``repr`` of a float is its shortest
+  exact decimal.
+* **Crash safety** -- writes go through
+  :func:`repro.ioutil.atomic_write_text` (tempfile + fsync +
+  ``os.replace``), so a reader never observes a torn shard: it sees
+  either the old complete file or the new complete file.
+* **Corruption tolerance** -- a missing, truncated, version-skewed or
+  digest-mismatched shard loads as *empty* (ticking
+  ``lp_disk_memo_corrupt``); the cache then simply re-warms from
+  scratch.  A bad shard can cost time, never correctness.
+* **Concurrent writers** -- :meth:`DiskMemoShard.flush` re-reads the
+  shard and merges the in-memory entries on top before the atomic
+  replace.  Two racing flushes still last-win on the *file*, but every
+  observable state is a valid shard and no flush can truncate another
+  writer's entries it has already read.
+
+Usage: :func:`warm_lp_memo` at process start, :func:`flush_lp_memo`
+after assembly work -- both operate on the global
+:func:`~repro.peec.kernel.lp_memo_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import SolverError
+from repro.ioutil import atomic_write_text
+from repro.peec.kernel import LpMemoCache, lp_memo_cache
+from repro.telemetry import (
+    LP_DISK_MEMO_CORRUPT,
+    LP_DISK_MEMO_FLUSH,
+    LP_DISK_MEMO_WARM,
+    get_registry,
+)
+
+__all__ = [
+    "SHARD_VERSION",
+    "DiskMemoShard",
+    "warm_lp_memo",
+    "flush_lp_memo",
+]
+
+#: On-disk shard format version; mismatched shards load as empty.
+SHARD_VERSION = 1
+
+
+def _entries_digest(entries: List[List]) -> str:
+    """sha256 over the canonical JSON encoding of the entry list."""
+    canonical = json.dumps(entries, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class DiskMemoShard:
+    """One persistent shard file backing an :class:`LpMemoCache`.
+
+    Parameters
+    ----------
+    path:
+        Shard file location (created on first flush; parent directories
+        are created as needed).
+    capacity:
+        Maximum entries retained on load and flush; the MRU tail wins.
+        Defaults to :attr:`LpMemoCache.DEFAULT_CAPACITY` so a shard
+        never outgrows the in-memory cache it feeds.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        capacity: int = LpMemoCache.DEFAULT_CAPACITY,
+    ):
+        if capacity < 1:
+            raise SolverError("disk memo capacity must be >= 1")
+        self.path = Path(path)
+        self.capacity = int(capacity)
+
+    # ------------------------------------------------------------------
+    def load_entries(self) -> List[Tuple[bytes, float]]:
+        """Entries from disk in LRU -> MRU order (empty when unusable).
+
+        Every way a shard can be bad -- absent, unreadable, truncated
+        mid-write by a crash without atomic replace, version-skewed,
+        digest-mismatched, malformed keys -- degrades to an empty load
+        plus an ``lp_disk_memo_corrupt`` tick (absent files are simply
+        cold, not corrupt).
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        except OSError:
+            get_registry().inc(LP_DISK_MEMO_CORRUPT)
+            return []
+        try:
+            document = json.loads(text)
+            if not isinstance(document, dict):
+                raise ValueError("shard is not a JSON object")
+            if document.get("version") != SHARD_VERSION:
+                raise ValueError(f"shard version {document.get('version')!r}")
+            entries = document["entries"]
+            if document["sha256"] != _entries_digest(entries):
+                raise ValueError("shard digest mismatch")
+            decoded = [
+                (bytes.fromhex(key_hex), float(value))
+                for key_hex, value in entries
+            ]
+        except (KeyError, TypeError, ValueError):
+            get_registry().inc(LP_DISK_MEMO_CORRUPT)
+            return []
+        if len(decoded) > self.capacity:
+            decoded = decoded[-self.capacity:]  # keep the MRU tail
+        return decoded
+
+    def warm(self, cache: Optional[LpMemoCache] = None) -> int:
+        """Load the shard into *cache* (default: the global memo).
+
+        Returns the number of entries warmed (0 for a cold or corrupt
+        shard) and ticks ``lp_disk_memo_warm`` by that amount.  Entries
+        are stored in LRU -> MRU order so the cache's own eviction order
+        matches the shard's.
+        """
+        cache = cache if cache is not None else lp_memo_cache()
+        entries = self.load_entries()
+        if entries:
+            keys, values = zip(*entries)
+            cache.store(keys, values)
+            get_registry().inc(LP_DISK_MEMO_WARM, len(entries))
+        return len(entries)
+
+    def flush(self, cache: Optional[LpMemoCache] = None) -> int:
+        """Merge *cache* (default: the global memo) onto the shard.
+
+        Read-merge-write: existing on-disk entries are kept and the
+        cache's entries land on top (refreshing their recency), the
+        merged list is bounded to *capacity* keeping the MRU tail, and
+        the file is atomically replaced.  Returns the number of entries
+        written and ticks ``lp_disk_memo_flush`` by that amount.
+        """
+        cache = cache if cache is not None else lp_memo_cache()
+        merged: "OrderedDict[bytes, float]" = OrderedDict(self.load_entries())
+        for key, value in cache.items_snapshot():
+            merged[key] = value
+            merged.move_to_end(key)
+        while len(merged) > self.capacity:
+            merged.popitem(last=False)
+        entries = [[key.hex(), value] for key, value in merged.items()]
+        document = {
+            "version": SHARD_VERSION,
+            "sha256": _entries_digest(entries),
+            "entries": entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.path, json.dumps(document))
+        get_registry().inc(LP_DISK_MEMO_FLUSH, len(entries))
+        return len(entries)
+
+
+def warm_lp_memo(path: Union[str, Path]) -> int:
+    """Warm the global Lp memo from the shard at *path* (0 if cold)."""
+    return DiskMemoShard(path).warm()
+
+
+def flush_lp_memo(path: Union[str, Path]) -> int:
+    """Flush the global Lp memo to the shard at *path*."""
+    return DiskMemoShard(path).flush()

@@ -54,6 +54,7 @@ import numpy as np
 from repro.errors import GeometryError, SolverError
 from repro.geometry.primitives import RectBar
 from repro.telemetry import (
+    LP_DEDUP_BYPASS,
     LP_MEMO_HIT,
     LP_MEMO_MISS,
     LP_PAIR_EVAL,
@@ -68,13 +69,23 @@ from repro.peec.hoer_love import (
 )
 
 __all__ = [
+    "DEDUP_MIN_FILAMENTS",
     "LpMemoCache",
     "ImpedanceFactorization",
     "assemble_partial_inductance_matrix",
+    "signature_keys",
     "signature_stats",
     "lp_memo_cache",
     "lp_memo_disabled",
 ]
+
+#: Below this many same-axis filaments (and without a memo cache to
+#: feed) signature dedup costs more than it saves -- the unique-sort
+#: plus scatter overhead exceeds the n^2 broadcast it avoids (BENCH
+#: ``smoke.ratio_vs_naive`` measured 0.907 at n=18) -- so assembly falls
+#: through to the direct batched call.  Memo-backed assemblies always
+#: dedup: their values must land in the cache for cross-build reuse.
+DEDUP_MIN_FILAMENTS = 32
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +194,11 @@ class LpMemoCache:
                 self._data.popitem(last=False)
                 self.evictions += 1
 
+    def items_snapshot(self) -> "List[tuple[bytes, float]]":
+        """Entries in LRU -> MRU order (a consistent point-in-time copy)."""
+        with self._lock:
+            return list(self._data.items())
+
 
 _GLOBAL_MEMO = LpMemoCache()
 _MEMO_ENABLED = True
@@ -253,18 +269,41 @@ def _evaluate_signatures(signatures: np.ndarray) -> np.ndarray:
     return np.atleast_1d(np.asarray(values, dtype=float))
 
 
+def signature_keys(signatures: np.ndarray) -> List[bytes]:
+    """Memo keys (one ``bytes`` per row) for an (m, 9) signature array.
+
+    Serializes the whole array in one ``tobytes`` pass and slices out the
+    72-byte rows -- byte-identical to per-row ``row.tobytes()`` but
+    without m separate numpy-scalar round trips, which dominated warm
+    assembly at large unique-signature counts.
+    """
+    if signatures.size == 0:
+        return []
+    rows = np.ascontiguousarray(signatures)
+    width = rows.shape[1] * rows.itemsize
+    blob = rows.tobytes()
+    return [blob[i * width:(i + 1) * width] for i in range(rows.shape[0])]
+
+
 def _assemble_block_dedup(
-    frames: np.ndarray, memo: Optional[LpMemoCache]
+    frames: np.ndarray,
+    memo: Optional[LpMemoCache],
+    dedup_min: Optional[int] = None,
 ) -> np.ndarray:
     """Dense Lp block for one same-axis filament group via signature dedup."""
     n = frames.shape[0]
+    if dedup_min is None:
+        dedup_min = DEDUP_MIN_FILAMENTS
+    if memo is None and n < dedup_min:
+        get_registry().inc(LP_DEDUP_BYPASS)
+        return _assemble_block_naive(frames)
     iu, ju, signatures = _pair_signatures(frames)
     get_registry().inc(LP_PAIR_TOTAL, signatures.shape[0])
     unique, inverse = np.unique(signatures, axis=0, return_inverse=True)
     inverse = inverse.reshape(-1)  # numpy >= 2.0 returns the input shape
     values = np.empty(unique.shape[0])
     if memo is not None:
-        keys = [row.tobytes() for row in unique]
+        keys = signature_keys(unique)
         found, missing = memo.lookup(keys)
         for i, value in found.items():
             values[i] = value
@@ -301,6 +340,7 @@ def assemble_partial_inductance_matrix(
     bars: Sequence[RectBar],
     method: str = "dedup",
     memo: Union[LpMemoCache, bool, None] = True,
+    dedup_min: Optional[int] = None,
 ) -> np.ndarray:
     """Exact partial-inductance matrix [H] over a list of bars.
 
@@ -324,6 +364,12 @@ def assemble_partial_inductance_matrix(
         suspended by :func:`lp_memo_disabled`), ``False`` / ``None``
         skips memoization, and an explicit :class:`LpMemoCache` instance
         uses that cache (dedup method only).
+    dedup_min:
+        Same-axis blocks smaller than this fall back to the direct
+        batched evaluation when no memo cache is in play (dedup is a net
+        loss on tiny assemblies); defaults to
+        :data:`DEDUP_MIN_FILAMENTS`.  Pass ``1`` to force dedup
+        regardless of block size.
     """
     n = len(bars)
     if n == 0:
@@ -341,7 +387,7 @@ def assemble_partial_inductance_matrix(
         for indices in _group_by_axis(bars).values():
             frames = np.array([_bar_to_x_frame(bars[i]) for i in indices])
             if method == "dedup":
-                block = _assemble_block_dedup(frames, cache)
+                block = _assemble_block_dedup(frames, cache, dedup_min)
             else:
                 block = _assemble_block_naive(frames)
             lp[np.ix_(indices, indices)] = block

@@ -139,6 +139,12 @@ class ExtractionService:
         frequency of the default buffer's 50 ps edge: 6.4 GHz).
     cache_size / compute_width / max_inflight:
         Result-cache bound, coalescer gate width and admission ceiling.
+    disk_memo:
+        Optional path to a persistent Lp memo shard
+        (:class:`~repro.peec.diskmemo.DiskMemoShard`): warmed into the
+        process-wide memo at startup so the daemon's first extraction
+        after a restart reuses every Hoer-Love value previous builds or
+        daemon runs computed.
     """
 
     def __init__(
@@ -149,8 +155,15 @@ class ExtractionService:
         cache_size: int = ResultCache.DEFAULT_CAPACITY,
         compute_width: int = 1,
         max_inflight: int = 8,
+        disk_memo: Optional[str] = None,
     ):
         self.library = open_library(library, create=False)
+        self.disk_memo = disk_memo
+        self.disk_memo_entries = 0
+        if disk_memo is not None:
+            from repro.peec.diskmemo import warm_lp_memo
+
+            self.disk_memo_entries = warm_lp_memo(disk_memo)
         self.kit_sha = _sha256_text(self.library.manifest_path.read_text())
         self.config = config if config is not None else (
             CoplanarWaveguideConfig(
@@ -532,6 +545,10 @@ class ExtractionService:
             "rejected": self.limiter.rejected,
             "cache": self.cache.stats(),
             "coalesced": self.coalescer.coalesced,
+            "disk_memo": {
+                "path": self.disk_memo,
+                "warmed_entries": self.disk_memo_entries,
+            },
             "endpoints": self.endpoints,
         }
 

@@ -37,10 +37,17 @@ from repro.telemetry.registry import (
     FIELD_SOLVE_2D,
     LOOKUP_LATENCY,
     LOOP_SOLVE,
+    LP_DEDUP_BYPASS,
+    LP_DISK_MEMO_CORRUPT,
+    LP_DISK_MEMO_FLUSH,
+    LP_DISK_MEMO_WARM,
     LP_MEMO_HIT,
     LP_MEMO_MISS,
     LP_PAIR_EVAL,
     LP_PAIR_TOTAL,
+    LTE_SUBSAMPLED,
+    SOLVER_FACTOR_DENSE,
+    SOLVER_FACTOR_SPARSE,
     PARTIAL_SOLVE,
     SERVE_CACHE_HIT,
     SERVE_CACHE_MISS,
@@ -87,6 +94,9 @@ __all__ = [
     # metric names
     "LOOP_SOLVE", "PARTIAL_SOLVE", "FIELD_SOLVE_2D",
     "LP_PAIR_EVAL", "LP_PAIR_TOTAL", "LP_MEMO_HIT", "LP_MEMO_MISS",
+    "LP_DEDUP_BYPASS", "LP_DISK_MEMO_WARM", "LP_DISK_MEMO_FLUSH",
+    "LP_DISK_MEMO_CORRUPT",
+    "LTE_SUBSAMPLED", "SOLVER_FACTOR_DENSE", "SOLVER_FACTOR_SPARSE",
     "LOOKUP_LATENCY", "TABLE_BUILD_POINT", "BUILD_CHUNK_SECONDS",
     "TABLE_LOOKUP", "TABLE_LOOKUP_EDGE", "TABLE_LOOKUP_EXTRAPOLATED",
     "AUDIT_SOLVE",

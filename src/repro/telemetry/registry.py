@@ -45,6 +45,10 @@ __all__ = [
     "LP_PAIR_TOTAL",
     "LP_MEMO_HIT",
     "LP_MEMO_MISS",
+    "LP_DEDUP_BYPASS",
+    "LP_DISK_MEMO_WARM",
+    "LP_DISK_MEMO_FLUSH",
+    "LP_DISK_MEMO_CORRUPT",
     "TABLE_LOOKUP",
     "TABLE_LOOKUP_EDGE",
     "TABLE_LOOKUP_EXTRAPOLATED",
@@ -53,6 +57,9 @@ __all__ = [
     "TRANSIENT_DT_SNAPPED",
     "DC_START_FALLBACK",
     "SINGULAR_SYSTEM",
+    "LTE_SUBSAMPLED",
+    "SOLVER_FACTOR_DENSE",
+    "SOLVER_FACTOR_SPARSE",
     "NETLIST_LINT",
     "NETLIST_LINT_FINDING",
     "SERVE_REQUEST",
@@ -92,6 +99,15 @@ LP_PAIR_TOTAL = "lp_pair_total"
 LP_MEMO_HIT = "lp_memo_hit"
 LP_MEMO_MISS = "lp_memo_miss"
 
+#: Dedup-assembly economics (PR 7): tiny memo-less blocks skip the
+#: signature machinery entirely (``lp_dedup_bypass``), and the
+#: persistent on-disk memo shard counts entries warmed from / flushed
+#: to disk plus files rejected by the integrity check.
+LP_DEDUP_BYPASS = "lp_dedup_bypass"
+LP_DISK_MEMO_WARM = "lp_disk_memo_warm"
+LP_DISK_MEMO_FLUSH = "lp_disk_memo_flush"
+LP_DISK_MEMO_CORRUPT = "lp_disk_memo_corrupt"
+
 #: Lookup-domain coverage counters (ticked by every table lookup; see
 #: :mod:`repro.quality.coverage`).  Every query classifies as interior,
 #: edge-cell or extrapolated; extrapolated lookups additionally tick a
@@ -113,6 +129,11 @@ TRANSIENT_STEPS = "circuit_transient_steps"
 TRANSIENT_DT_SNAPPED = "circuit_dt_snapped"
 DC_START_FALLBACK = "circuit_dc_start_fallback"
 SINGULAR_SYSTEM = "circuit_singular_system"
+#: Diagnostics capped the LTE probe count on a large system (PR 7).
+LTE_SUBSAMPLED = "circuit_lte_subsampled"
+#: Which backend the MNA factorization abstraction picked (PR 7).
+SOLVER_FACTOR_DENSE = "circuit_solver_dense"
+SOLVER_FACTOR_SPARSE = "circuit_solver_sparse"
 NETLIST_LINT = "netlist_lint"
 NETLIST_LINT_FINDING = "netlist_lint_finding"
 

@@ -1,0 +1,198 @@
+"""Unit tests of the shared dense/sparse factorization backend."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.circuit.backend import (
+    DENSE_SIZE_CUTOFF,
+    SPARSE_DENSITY_CUTOFF,
+    DenseFactorization,
+    SparseFactorization,
+    factorize,
+    gmin_loaded,
+    resolve_method,
+    system_matrices,
+    validate_solver,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import PulseSource
+from repro.errors import CircuitError, SolverError
+from repro.telemetry import (
+    SOLVER_FACTOR_DENSE,
+    SOLVER_FACTOR_SPARSE,
+    get_registry,
+)
+
+
+def spd_matrix(n, seed=0):
+    """A well-conditioned random SPD test matrix."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestResolveMethod:
+    def test_explicit_override_wins(self):
+        assert resolve_method(10, solver="sparse") == "sparse"
+        assert resolve_method(10**6, solver="dense") == "dense"
+
+    def test_auto_small_is_dense(self):
+        assert resolve_method(DENSE_SIZE_CUTOFF) == "dense"
+        assert resolve_method(3, nnz=9) == "dense"
+
+    def test_auto_large_is_sparse(self):
+        assert resolve_method(DENSE_SIZE_CUTOFF + 1) == "sparse"
+        assert resolve_method(100_000, nnz=700_000) == "sparse"
+
+    def test_auto_large_but_dense_pattern_stays_dense(self):
+        n = DENSE_SIZE_CUTOFF + 1
+        nnz = int(SPARSE_DENSITY_CUTOFF * n * n) + n
+        assert resolve_method(n, nnz=nnz) == "dense"
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(CircuitError, match="unknown solver"):
+            validate_solver("cholesky")
+        with pytest.raises(CircuitError, match="unknown solver"):
+            resolve_method(10, solver="LU")
+
+
+class TestDenseFactorization:
+    def test_solve_matches_numpy(self):
+        a = spd_matrix(12)
+        b = np.arange(12.0)
+        lu = DenseFactorization(a)
+        assert lu.method == "dense"
+        np.testing.assert_allclose(lu.solve(b), np.linalg.solve(a, b),
+                                   rtol=1e-12)
+
+    def test_solve_many_columns(self):
+        a = spd_matrix(8)
+        rhs = np.random.default_rng(1).standard_normal((8, 5))
+        out = DenseFactorization(a).solve_many(rhs)
+        np.testing.assert_allclose(a @ out, rhs, atol=1e-9)
+
+    def test_solve_many_rejects_bad_shape(self):
+        lu = DenseFactorization(spd_matrix(4))
+        with pytest.raises(SolverError, match="multi-RHS"):
+            lu.solve_many(np.zeros(4))
+        with pytest.raises(SolverError, match="multi-RHS"):
+            lu.solve_many(np.zeros((5, 2)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SolverError, match="square"):
+            DenseFactorization(np.zeros((3, 4)))
+
+    def test_singular_raises_solver_error(self):
+        singular = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(SolverError, match="singular"):
+            DenseFactorization(singular)
+
+    def test_exactly_zero_matrix_raises(self):
+        # getrf only *warns* here; the backend must still hard-error.
+        with pytest.raises(SolverError, match="singular"):
+            DenseFactorization(np.zeros((3, 3)))
+
+    def test_factor_counter_ticks(self):
+        registry = get_registry()
+        registry.reset()
+        DenseFactorization(spd_matrix(3))
+        assert registry.counter_value(SOLVER_FACTOR_DENSE) == 1
+        assert registry.counter_value(SOLVER_FACTOR_SPARSE) == 0
+
+
+class TestSparseFactorization:
+    def test_solve_matches_dense(self):
+        a = spd_matrix(20)
+        a[np.abs(a) < 0.5] = 0.0  # sparsify off-diagonals
+        np.fill_diagonal(a, np.diag(spd_matrix(20)))
+        b = np.linspace(-1, 1, 20)
+        lu = SparseFactorization(sparse.csc_matrix(a))
+        assert lu.method == "sparse"
+        np.testing.assert_allclose(lu.solve(b), np.linalg.solve(a, b),
+                                   rtol=1e-10)
+
+    def test_solve_many_columns(self):
+        a = sparse.eye(6, format="csc") * 3.0
+        rhs = np.random.default_rng(2).standard_normal((6, 4))
+        out = SparseFactorization(a).solve_many(rhs)
+        np.testing.assert_allclose(out, rhs / 3.0, rtol=1e-12)
+
+    def test_solve_many_rejects_bad_shape(self):
+        lu = SparseFactorization(sparse.eye(4, format="csc"))
+        with pytest.raises(SolverError, match="multi-RHS"):
+            lu.solve_many(np.zeros((3, 2)))
+
+    def test_rejects_dense_input(self):
+        with pytest.raises(SolverError, match="scipy.sparse"):
+            SparseFactorization(np.eye(3))
+
+    def test_singular_raises_solver_error(self):
+        singular = sparse.csc_matrix(
+            np.array([[1.0, 2.0], [2.0, 4.0]]))
+        with pytest.raises(SolverError, match="singular"):
+            SparseFactorization(singular)
+
+    def test_factor_counter_ticks(self):
+        registry = get_registry()
+        registry.reset()
+        SparseFactorization(sparse.eye(3, format="csc"))
+        assert registry.counter_value(SOLVER_FACTOR_SPARSE) == 1
+        assert registry.counter_value(SOLVER_FACTOR_DENSE) == 0
+
+
+class TestFactorize:
+    def test_dispatches_on_representation(self):
+        assert isinstance(factorize(np.eye(3)), DenseFactorization)
+        assert isinstance(factorize(sparse.eye(3, format="csc")),
+                          SparseFactorization)
+
+    def test_both_paths_agree(self):
+        a = spd_matrix(15, seed=4)
+        b = np.random.default_rng(4).standard_normal(15)
+        dense = factorize(a).solve(b)
+        sp = factorize(sparse.csc_matrix(a)).solve(b)
+        np.testing.assert_allclose(sp, dense, rtol=1e-11)
+
+
+class TestSystemMatrices:
+    def _stamps(self):
+        circuit = Circuit()
+        circuit.add_voltage_source(
+            "V1", "in", "0", PulseSource(0.0, 1.0, rise=1e-12, width=1.0))
+        circuit.add_resistor("R1", "in", "out", 50.0)
+        circuit.add_inductor("L1", "out", "m", 1e-9)
+        circuit.add_capacitor("C1", "m", "0", 1e-12)
+        return circuit.assemble().stamps
+
+    def test_sparse_matches_dense_assembly(self):
+        stamps = self._stamps()
+        g_dense, c_dense = system_matrices(stamps, "dense")
+        g_sparse, c_sparse = system_matrices(stamps, "sparse")
+        assert sparse.issparse(g_sparse) and sparse.issparse(c_sparse)
+        np.testing.assert_array_equal(g_sparse.toarray(), g_dense)
+        np.testing.assert_array_equal(c_sparse.toarray(), c_dense)
+
+
+class TestGminLoaded:
+    def test_dense_matches_seed_recipe(self):
+        g = spd_matrix(6, seed=5)
+        n_nodes, gmin = 4, 1e-12
+        expected = g.copy()
+        expected[:n_nodes, :n_nodes] += np.eye(n_nodes) * gmin
+        np.testing.assert_array_equal(
+            gmin_loaded(g, n_nodes, gmin), expected)
+
+    def test_sparse_matches_dense(self):
+        g = spd_matrix(6, seed=6)
+        loaded_dense = gmin_loaded(g, 3, 1e-9)
+        loaded_sparse = gmin_loaded(sparse.csc_matrix(g), 3, 1e-9)
+        assert sparse.issparse(loaded_sparse)
+        np.testing.assert_allclose(loaded_sparse.toarray(), loaded_dense,
+                                   rtol=1e-15)
+
+    def test_input_not_mutated(self):
+        g = spd_matrix(4, seed=7)
+        before = g.copy()
+        gmin_loaded(g, 2, 1e-6)
+        np.testing.assert_array_equal(g, before)

@@ -1,0 +1,204 @@
+"""Sparse and dense MNA backends must be two views of one solver.
+
+The sparse path exists for chip-scale capacity, not different numbers:
+on any circuit both backends factor the same assembled system, so their
+results must agree to solver roundoff (<= 1e-10 relative -- far tighter
+than any physical tolerance in the suite).  Hypothesis drives randomized
+passive RLC ladders through dc, transient and moment analysis under both
+backends; a seeded H-tree deck covers the extractor-generated netlist
+shape (mutual inductances, buffer VCVS stages) the ladders do not.
+
+Also pinned here: ``solver="auto"`` keeps tier-1-sized fixtures on the
+dense path (so the sparse backend cannot move any seed number), and the
+chip-scale LTE probe subsampling kicks in exactly above its size cutoff.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuit.backend import DENSE_SIZE_CUTOFF
+from repro.circuit.dc import operating_point
+from repro.circuit.diagnostics import LTE_SUBSAMPLE_PROBES, LTE_SUBSAMPLE_SIZE
+from repro.circuit.moments import compute_moments
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import PulseSource
+from repro.circuit.transient import transient_analysis
+from repro.telemetry import (
+    LTE_SUBSAMPLED,
+    SOLVER_FACTOR_DENSE,
+    SOLVER_FACTOR_SPARSE,
+    get_registry,
+)
+
+#: Acceptance bound: sparse and dense agree to this relative tolerance.
+AGREEMENT_RTOL = 1e-10
+
+FAST = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+dampings = st.floats(0.3, 2.0)
+inductances = st.floats(1e-10, 1e-8)
+capacitances = st.floats(1e-14, 1e-12)
+stage = st.tuples(dampings, inductances, capacitances)
+ladders = st.lists(stage, min_size=1, max_size=4)
+
+
+def _ladder(stages):
+    """Step-driven RLC ladder parameterized by damping ratio per stage."""
+    c = Circuit("ladder")
+    c.add_voltage_source(
+        "Vs", "n0", "0", PulseSource(0.0, 1.0, rise=1e-11, width=1.0)
+    )
+    node = "n0"
+    for i, (zeta, l, cap) in enumerate(stages):
+        r = 2.0 * zeta * np.sqrt(l / cap)
+        mid = f"m{i}"
+        nxt = f"n{i + 1}"
+        c.add_resistor(f"R{i}", node, mid, r)
+        c.add_inductor(f"L{i}", mid, nxt, l)
+        c.add_capacitor(f"C{i}", nxt, "0", cap)
+        node = nxt
+    return c
+
+
+def assert_agreement(sparse_values, dense_values):
+    """Relative agreement against the scale of the dense reference."""
+    sparse_values = np.asarray(sparse_values, dtype=float)
+    dense_values = np.asarray(dense_values, dtype=float)
+    scale = np.max(np.abs(dense_values))
+    if scale == 0.0:
+        scale = 1.0
+    np.testing.assert_allclose(
+        sparse_values, dense_values,
+        rtol=AGREEMENT_RTOL, atol=AGREEMENT_RTOL * scale,
+    )
+
+
+class TestLadderAgreement:
+    @given(stages=ladders)
+    @FAST
+    def test_dc_operating_point(self, stages):
+        circuit = _ladder(stages)
+        dense = operating_point(circuit, solver="dense")
+        sparse = operating_point(circuit, solver="sparse")
+        assert sparse.keys() == dense.keys()
+        assert_agreement([sparse[n] for n in dense],
+                         [dense[n] for n in dense])
+
+    @given(stages=ladders, method=st.sampled_from(
+        ["trapezoidal", "backward_euler"]))
+    @FAST
+    def test_transient_waveforms(self, stages, method):
+        circuit = _ladder(stages)
+        runs = {}
+        for solver in ("dense", "sparse"):
+            runs[solver] = transient_analysis(
+                circuit, t_stop=2e-9, dt=1e-11, method=method,
+                diagnostics=False, solver=solver,
+            )
+        for node, dense_wave in runs["dense"].node_voltages.items():
+            assert_agreement(runs["sparse"].node_voltages[node], dense_wave)
+        for name, dense_wave in runs["dense"].branch_currents.items():
+            assert_agreement(runs["sparse"].branch_currents[name], dense_wave)
+
+    @given(stages=ladders)
+    @FAST
+    def test_moments(self, stages):
+        circuit = _ladder(stages)
+        dense = compute_moments(circuit, order=4, solver="dense")
+        sparse = compute_moments(circuit, order=4, solver="sparse")
+        # Moment magnitudes fall as (RC)^k; compare order by order.
+        for k in range(dense.moments.shape[0]):
+            assert_agreement(sparse.moments[k], dense.moments[k])
+
+
+@pytest.fixture(scope="module")
+def htree_netlist():
+    """A seeded H-tree RLC deck from the real extraction flow."""
+    from repro.clocktree.extractor import ClocktreeRLCExtractor
+    from repro.core.frequency import significant_frequency
+    from repro.experiments.htree_skew import default_htree
+
+    htree = default_htree(levels=2)
+    extractor = ClocktreeRLCExtractor(
+        htree.config, frequency=significant_frequency(htree.buffer.rise_time)
+    )
+    return extractor.build_netlist(htree, include_inductance=True)
+
+
+class TestHTreeDeckAgreement:
+    def test_transient_sparse_matches_dense(self, htree_netlist):
+        runs = {}
+        for solver in ("dense", "sparse"):
+            runs[solver] = transient_analysis(
+                htree_netlist.circuit, t_stop=3e-10, dt=5e-13,
+                diagnostics=False, solver=solver,
+            )
+        for node, dense_wave in runs["dense"].node_voltages.items():
+            assert_agreement(runs["sparse"].node_voltages[node], dense_wave)
+
+    def test_dc_sparse_matches_dense(self, htree_netlist):
+        dense = operating_point(htree_netlist.circuit, solver="dense")
+        sparse = operating_point(htree_netlist.circuit, solver="sparse")
+        assert_agreement([sparse[n] for n in dense],
+                         [dense[n] for n in dense])
+
+    def test_auto_picks_dense_on_extracted_fixture(self, htree_netlist):
+        assembled = htree_netlist.circuit.assemble()
+        assert assembled.size <= DENSE_SIZE_CUTOFF
+        registry = get_registry()
+        registry.reset()
+        transient_analysis(htree_netlist.circuit, t_stop=2e-10, dt=1e-12,
+                           diagnostics=False, solver="auto")
+        assert registry.counter_value(SOLVER_FACTOR_DENSE) >= 1
+        assert registry.counter_value(SOLVER_FACTOR_SPARSE) == 0
+
+
+def _rc_chain(stages):
+    """A long RC chain: one node per stage, chip-scale-sized cheaply."""
+    c = Circuit("chain")
+    c.add_voltage_source(
+        "Vs", "n0", "0", PulseSource(0.0, 1.0, rise=1e-11, width=1.0)
+    )
+    node = "n0"
+    for i in range(stages):
+        nxt = f"n{i + 1}"
+        c.add_resistor(f"R{i}", node, nxt, 10.0)
+        c.add_capacitor(f"C{i}", nxt, "0", 1e-15)
+        node = nxt
+    return c
+
+
+class TestLTESubsampling:
+    def test_large_circuit_caps_probes_and_ticks_counter(self):
+        circuit = _rc_chain(LTE_SUBSAMPLE_SIZE + 50)
+        registry = get_registry()
+        registry.reset()
+        result = transient_analysis(
+            circuit, t_stop=1e-9, dt=5e-11, diagnostics=True, lte_probes=16,
+        )
+        assert registry.counter_value(LTE_SUBSAMPLED) == 1
+        assert result.diagnostics.lte_probes <= LTE_SUBSAMPLE_PROBES
+        # A circuit this size also auto-selects the sparse backend.
+        assert registry.counter_value(SOLVER_FACTOR_SPARSE) >= 1
+
+    def test_small_circuit_keeps_requested_probes(self):
+        circuit = _rc_chain(20)
+        registry = get_registry()
+        registry.reset()
+        result = transient_analysis(
+            circuit, t_stop=1e-9, dt=5e-11, diagnostics=True, lte_probes=16,
+        )
+        assert registry.counter_value(LTE_SUBSAMPLED) == 0
+        assert result.diagnostics.lte_probes == 16
+
+    def test_explicit_probe_request_below_cap_unchanged(self):
+        circuit = _rc_chain(LTE_SUBSAMPLE_SIZE + 50)
+        registry = get_registry()
+        registry.reset()
+        result = transient_analysis(
+            circuit, t_stop=1e-9, dt=5e-11, diagnostics=True, lte_probes=2,
+        )
+        assert registry.counter_value(LTE_SUBSAMPLED) == 0
+        assert result.diagnostics.lte_probes <= 2

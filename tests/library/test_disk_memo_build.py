@@ -1,0 +1,128 @@
+"""Cross-process memo persistence during characterization builds.
+
+The acceptance claim of the persistent shard: a *second* build -- even
+in a fresh process -- replays the first build's Hoer-Love evaluations
+from disk instead of recomputing them.  A fresh process is simulated by
+clearing the process-wide memo between builds; the counters then show a
+>= 90% memo hit rate and an order-of-magnitude drop in kernel pair
+evaluations on the warm build.
+"""
+
+import json
+
+import pytest
+
+from repro.clocktree.configs import CoplanarWaveguideConfig
+from repro.constants import GHz, um
+from repro.library import LoopTableJob, build_library
+from repro.peec.kernel import lp_memo_cache
+from repro.telemetry import (
+    LP_DISK_MEMO_FLUSH,
+    LP_DISK_MEMO_WARM,
+    LP_MEMO_HIT,
+    LP_MEMO_MISS,
+    LP_PAIR_EVAL,
+    get_registry,
+)
+
+
+def _job():
+    config = CoplanarWaveguideConfig(
+        signal_width=um(10), ground_width=um(5), spacing=um(1),
+        thickness=um(2), height_below=um(2),
+    )
+    return LoopTableJob(
+        config=config, frequency=GHz(6.4),
+        widths=(um(8), um(10)), lengths=(um(500), um(1000)),
+        n_width=3, n_thickness=2,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo_and_registry():
+    cache = lp_memo_cache()
+    cache.clear()
+    cache.reset_stats()
+    get_registry().reset()
+    yield
+    cache.clear()
+    get_registry().reset()
+
+
+def counter(name):
+    return get_registry().counter_value(name)
+
+
+def test_second_build_replays_shard_with_high_hit_rate(tmp_path):
+    shard = tmp_path / "memo.json"
+    job = _job()
+
+    build_library(tmp_path / "kit-cold", [job], parallel=False,
+                  disk_memo=shard)
+    cold_evals = counter(LP_PAIR_EVAL)
+    assert cold_evals > 0
+    assert shard.exists()
+    flushed = counter(LP_DISK_MEMO_FLUSH)
+    assert flushed > 0
+
+    # Simulate a fresh process: drop the in-memory memo entirely.
+    lp_memo_cache().clear()
+    lp_memo_cache().reset_stats()
+    get_registry().reset()
+
+    build_library(tmp_path / "kit-warm", [job], parallel=False,
+                  disk_memo=shard)
+
+    warmed = counter(LP_DISK_MEMO_WARM)
+    assert warmed > 0, "warm build must load the shard"
+    hits = counter(LP_MEMO_HIT)
+    misses = counter(LP_MEMO_MISS)
+    hit_rate = hits / (hits + misses)
+    assert hit_rate >= 0.9, (
+        f"disk-warmed build hit rate {hit_rate:.1%}; expected >= 90%"
+    )
+    # The assembly work measurably shrinks: almost every pair value is
+    # replayed from the shard instead of re-evaluated.
+    warm_evals = counter(LP_PAIR_EVAL)
+    assert warm_evals <= 0.1 * cold_evals, (
+        f"warm build evaluated {warm_evals} pairs vs {cold_evals} cold"
+    )
+
+
+def test_shard_is_valid_json_document(tmp_path):
+    shard = tmp_path / "memo.json"
+    build_library(tmp_path / "kit", [_job()], parallel=False,
+                  disk_memo=shard)
+    document = json.loads(shard.read_text())
+    assert document["version"] == 1
+    assert len(document["entries"]) == counter(LP_DISK_MEMO_FLUSH)
+
+
+def test_build_without_disk_memo_touches_no_shard(tmp_path):
+    build_library(tmp_path / "kit", [_job()], parallel=False)
+    assert counter(LP_DISK_MEMO_WARM) == 0
+    assert counter(LP_DISK_MEMO_FLUSH) == 0
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_parallel_workers_warm_and_flush_shard(tmp_path):
+    """Pool workers warm from and flush to the shard; the counters ride
+    back on the chunk metric deltas, not the parent registry."""
+    shard = tmp_path / "memo.json"
+    job = _job()
+    build_library(tmp_path / "kit-seed", [job], parallel=False,
+                  disk_memo=shard)
+    get_registry().reset()
+    lp_memo_cache().clear()
+
+    stats = build_library(tmp_path / "kit-pool", [job], parallel=True,
+                          workers=2, disk_memo=shard)
+
+    worker = stats.worker_metrics
+    if worker is None:
+        pytest.skip("pool degraded to serial in this environment")
+    assert worker.counter(LP_DISK_MEMO_WARM) > 0
+    assert worker.counter(LP_DISK_MEMO_FLUSH) > 0
+    # Workers replayed the seeded shard rather than re-evaluating.
+    lookups = worker.counter(LP_MEMO_HIT) + worker.counter(LP_MEMO_MISS)
+    assert worker.counter(LP_MEMO_HIT) / lookups >= 0.9

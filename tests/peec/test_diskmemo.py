@@ -1,0 +1,235 @@
+"""Persistent Lp memo shard: round-trip, corruption recovery, races.
+
+The disk shard's contract is "can cost time, never correctness": any
+unusable file loads as empty (plus a corruption counter tick) and every
+observable on-disk state is a complete, digest-valid shard.  These tests
+exercise that contract directly -- exact value round-trips, every
+corruption mode, capacity bounding, and interleaved concurrent flushes.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.peec.diskmemo import (
+    SHARD_VERSION,
+    DiskMemoShard,
+    flush_lp_memo,
+    warm_lp_memo,
+)
+from repro.peec.kernel import LpMemoCache, lp_memo_cache
+from repro.telemetry import (
+    LP_DISK_MEMO_CORRUPT,
+    LP_DISK_MEMO_FLUSH,
+    LP_DISK_MEMO_WARM,
+    get_registry,
+)
+
+
+def make_entries(n, seed=0):
+    """*n* synthetic (72-byte key, float value) memo entries."""
+    rng = np.random.default_rng(seed)
+    keys = [rng.random(9).tobytes() for _ in range(n)]
+    values = [float(v) for v in rng.uniform(1e-12, 1e-6, size=n)]
+    return keys, values
+
+
+def counter(name):
+    return get_registry().counter_value(name)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+class TestRoundTrip:
+    def test_flush_then_warm_restores_exact_values(self, tmp_path):
+        path = tmp_path / "memo.json"
+        keys, values = make_entries(50)
+        cache = LpMemoCache()
+        cache.store(keys, values)
+
+        shard = DiskMemoShard(path)
+        assert shard.flush(cache) == 50
+        assert counter(LP_DISK_MEMO_FLUSH) == 50
+
+        warmed = LpMemoCache()
+        assert shard.warm(warmed) == 50
+        assert counter(LP_DISK_MEMO_WARM) == 50
+        found, missing = warmed.lookup(keys)
+        assert missing == []
+        # JSON floats are repr round-trips: bit-exact, not approximate.
+        for i, value in enumerate(values):
+            assert found[i] == value
+
+    def test_warm_preserves_recency_order(self, tmp_path):
+        path = tmp_path / "memo.json"
+        keys, values = make_entries(10)
+        cache = LpMemoCache()
+        cache.store(keys, values)
+        DiskMemoShard(path).flush(cache)
+
+        warmed = LpMemoCache()
+        DiskMemoShard(path).warm(warmed)
+        assert [k for k, _ in warmed.items_snapshot()] == keys
+
+    def test_global_cache_helpers(self, tmp_path):
+        path = tmp_path / "memo.json"
+        cache = lp_memo_cache()
+        cache.clear()
+        keys, values = make_entries(8, seed=3)
+        cache.store(keys, values)
+        try:
+            assert flush_lp_memo(path) == 8
+            cache.clear()
+            assert warm_lp_memo(path) == 8
+            found, missing = cache.lookup(keys)
+            assert missing == []
+            assert [found[i] for i in range(8)] == values
+        finally:
+            cache.clear()
+
+    def test_cold_shard_warms_nothing_without_corruption_tick(self, tmp_path):
+        shard = DiskMemoShard(tmp_path / "absent.json")
+        assert shard.warm(LpMemoCache()) == 0
+        assert counter(LP_DISK_MEMO_CORRUPT) == 0
+        assert counter(LP_DISK_MEMO_WARM) == 0
+
+
+class TestCorruptionRecovery:
+    def _shard_with_data(self, tmp_path, n=5):
+        path = tmp_path / "memo.json"
+        cache = LpMemoCache()
+        cache.store(*make_entries(n))
+        DiskMemoShard(path).flush(cache)
+        get_registry().reset()
+        return path
+
+    @pytest.mark.parametrize("mangle", [
+        lambda text: text[: len(text) // 2],        # truncated mid-write
+        lambda text: "not json at all {",           # malformed JSON
+        lambda text: "[1, 2, 3]",                   # wrong top-level type
+        lambda text: json.dumps(
+            {**json.loads(text), "version": SHARD_VERSION + 99}),
+    ], ids=["truncated", "malformed", "wrong-type", "version-skew"])
+    def test_bad_shard_loads_empty_and_ticks_corrupt(self, tmp_path, mangle):
+        path = self._shard_with_data(tmp_path)
+        path.write_text(mangle(path.read_text()))
+        assert DiskMemoShard(path).load_entries() == []
+        assert counter(LP_DISK_MEMO_CORRUPT) == 1
+
+    def test_digest_mismatch_rejected(self, tmp_path):
+        path = self._shard_with_data(tmp_path)
+        document = json.loads(path.read_text())
+        document["entries"][0][1] *= 2.0  # silent bit-flip in a value
+        path.write_text(json.dumps(document))
+        assert DiskMemoShard(path).load_entries() == []
+        assert counter(LP_DISK_MEMO_CORRUPT) == 1
+
+    def test_bad_hex_key_rejected(self, tmp_path):
+        path = self._shard_with_data(tmp_path)
+        document = json.loads(path.read_text())
+        document["entries"][0][0] = "zz-not-hex"
+        document["sha256"] = __import__("hashlib").sha256(
+            json.dumps(document["entries"],
+                       separators=(",", ":")).encode()).hexdigest()
+        path.write_text(json.dumps(document))
+        assert DiskMemoShard(path).load_entries() == []
+        assert counter(LP_DISK_MEMO_CORRUPT) == 1
+
+    def test_corrupt_shard_is_recovered_by_next_flush(self, tmp_path):
+        path = self._shard_with_data(tmp_path)
+        path.write_text("garbage")
+        cache = LpMemoCache()
+        keys, values = make_entries(3, seed=7)
+        cache.store(keys, values)
+        assert DiskMemoShard(path).flush(cache) == 3
+        warmed = LpMemoCache()
+        assert DiskMemoShard(path).warm(warmed) == 3
+        assert warmed.lookup(keys)[1] == []
+
+
+class TestCapacity:
+    def test_capacity_below_one_rejected(self, tmp_path):
+        with pytest.raises(SolverError):
+            DiskMemoShard(tmp_path / "memo.json", capacity=0)
+
+    def test_flush_bounds_to_capacity_keeping_mru_tail(self, tmp_path):
+        path = tmp_path / "memo.json"
+        keys, values = make_entries(10)
+        cache = LpMemoCache()
+        cache.store(keys, values)
+        assert DiskMemoShard(path, capacity=4).flush(cache) == 4
+        kept = DiskMemoShard(path).load_entries()
+        assert [k for k, _ in kept] == keys[-4:]
+
+    def test_load_bounds_oversized_shard(self, tmp_path):
+        path = tmp_path / "memo.json"
+        keys, values = make_entries(10)
+        cache = LpMemoCache()
+        cache.store(keys, values)
+        DiskMemoShard(path).flush(cache)
+        kept = DiskMemoShard(path, capacity=3).load_entries()
+        assert [k for k, _ in kept] == keys[-3:]
+
+    def test_flush_merges_disk_entries_under_new_ones(self, tmp_path):
+        path = tmp_path / "memo.json"
+        old_keys, old_values = make_entries(4, seed=1)
+        first = LpMemoCache()
+        first.store(old_keys, old_values)
+        DiskMemoShard(path).flush(first)
+
+        new_keys, new_values = make_entries(4, seed=2)
+        second = LpMemoCache()
+        second.store(new_keys, new_values)
+        DiskMemoShard(path).flush(second)
+
+        merged = DiskMemoShard(path).load_entries()
+        assert [k for k, _ in merged] == old_keys + new_keys
+
+
+class TestConcurrentWriters:
+    def test_interleaved_flushes_always_leave_valid_shard(self, tmp_path):
+        """Racing flushes may last-win but never corrupt the file."""
+        path = tmp_path / "memo.json"
+        n_writers, per_writer, rounds = 4, 20, 5
+        caches = []
+        for w in range(n_writers):
+            cache = LpMemoCache()
+            cache.store(*make_entries(per_writer, seed=100 + w))
+            caches.append(cache)
+
+        errors = []
+
+        def hammer(cache):
+            try:
+                shard = DiskMemoShard(path)
+                for _ in range(rounds):
+                    shard.flush(cache)
+                    shard.load_entries()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(c,))
+                   for c in caches]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        # The final file is a complete, digest-valid shard...
+        final = DiskMemoShard(path).load_entries()
+        assert counter(LP_DISK_MEMO_CORRUPT) == 0
+        # ...holding at least the last flusher's full entry set.
+        final_keys = {k for k, _ in final}
+        assert any(
+            all(key in final_keys for key, _ in cache.items_snapshot())
+            for cache in caches
+        )

@@ -21,13 +21,16 @@ from repro.instrumentation import (
     solver_call_meter,
 )
 from repro.peec.kernel import (
+    DEDUP_MIN_FILAMENTS,
     ImpedanceFactorization,
     LpMemoCache,
     assemble_partial_inductance_matrix,
     lp_memo_cache,
     lp_memo_disabled,
+    signature_keys,
     signature_stats,
 )
+from repro.telemetry import LP_DEDUP_BYPASS
 from repro.peec.mesh import mesh_bar
 from repro.peec.network import FilamentNetwork
 from repro.peec.solver import Conductor, PartialInductanceSolver
@@ -49,7 +52,11 @@ def naive(bars):
 
 
 def dedup(bars, memo=False):
-    return assemble_partial_inductance_matrix(bars, method="dedup", memo=memo)
+    # dedup_min=1 forces the dedup path even on tiny fixtures, so these
+    # tests always compare dedup-vs-naive (not bypass-vs-naive).
+    return assemble_partial_inductance_matrix(
+        bars, method="dedup", memo=memo, dedup_min=1
+    )
 
 
 class TestDedupMatchesNaiveBitwise:
@@ -188,7 +195,9 @@ class TestSignatureStatsAndCounters:
             with solver_call_meter() as naive_meter:
                 assemble_partial_inductance_matrix(bars, method="naive")
             with solver_call_meter() as dedup_meter:
-                assemble_partial_inductance_matrix(bars, method="dedup")
+                assemble_partial_inductance_matrix(
+                    bars, method="dedup", dedup_min=1
+                )
         n = len(bars)
         assert naive_meter.counts[LP_PAIR_EVAL] == n * n
         assert dedup_meter.counts[LP_PAIR_EVAL] == 39
@@ -197,6 +206,57 @@ class TestSignatureStatsAndCounters:
     def test_stats_empty_rejected(self):
         with pytest.raises(GeometryError):
             signature_stats([])
+
+
+class TestDedupBypass:
+    """Tiny memo-less assemblies skip dedup (it is a net loss there)."""
+
+    def test_small_block_bypasses_without_memo(self):
+        bars = meshed_bars()  # 8 filaments, below DEDUP_MIN_FILAMENTS
+        assert len(bars) < DEDUP_MIN_FILAMENTS
+        with lp_memo_disabled():
+            with solver_call_meter() as meter:
+                got = assemble_partial_inductance_matrix(bars, method="dedup")
+        assert meter.counts.get(LP_DEDUP_BYPASS, 0) == 1
+        # the bypass evaluates the full n x n broadcast
+        assert meter.counts[LP_PAIR_EVAL] == len(bars) ** 2
+        np.testing.assert_array_equal(got, naive(bars))
+
+    def test_memo_backed_block_never_bypasses(self):
+        bars = meshed_bars()
+        cache = LpMemoCache()
+        with solver_call_meter() as meter:
+            assemble_partial_inductance_matrix(bars, memo=cache)
+        assert meter.counts.get(LP_DEDUP_BYPASS, 0) == 0
+        assert len(cache) > 0
+
+    def test_large_block_dedups_without_memo(self):
+        parent = RectBar(Point3D(0, 0, 0), um(300), um(8), um(4), "x")
+        bars = list(mesh_bar(parent, n_width=8, n_thickness=4).filaments)
+        assert len(bars) >= DEDUP_MIN_FILAMENTS
+        with lp_memo_disabled():
+            with solver_call_meter() as meter:
+                assemble_partial_inductance_matrix(bars, method="dedup")
+        assert meter.counts.get(LP_DEDUP_BYPASS, 0) == 0
+        assert meter.counts[LP_PAIR_EVAL] < len(bars) ** 2
+
+
+class TestSignatureKeys:
+    def test_matches_per_row_tobytes(self):
+        rng = np.random.default_rng(5)
+        signatures = rng.standard_normal((50, 9))
+        assert signature_keys(signatures) == [
+            row.tobytes() for row in signatures
+        ]
+
+    def test_non_contiguous_input(self):
+        rng = np.random.default_rng(6)
+        wide = rng.standard_normal((20, 18))
+        view = wide[:, ::2]  # non-contiguous (20, 9) view
+        assert signature_keys(view) == [row.tobytes() for row in view]
+
+    def test_empty(self):
+        assert signature_keys(np.empty((0, 9))) == []
 
 
 class TestLpMemoCache:
