@@ -464,7 +464,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ExtractionService, run_server
+    from repro.telemetry.logs import configure_logging, install_stdlib_bridge
+    from repro.telemetry.slo import SLOConfig, SLOMonitor
 
+    # Structured JSON logs to stderr (plus --log-file); the stdlib
+    # bridge routes http.server / library `logging` calls through the
+    # same pipeline so every daemon line is one JSON object.
+    configure_logging(
+        stream=sys.stderr, path=args.log_file, level=args.log_level,
+    )
+    install_stdlib_bridge()
+
+    if args.slo_latency_ms <= 0:
+        print("--slo-latency-ms must be positive", file=sys.stderr)
+        return 2
     service = ExtractionService(
         args.library,
         config=_library_config(args),
@@ -473,6 +486,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         compute_width=args.compute_width,
         max_inflight=args.max_inflight,
         disk_memo=args.disk_memo,
+        slo=SLOMonitor(SLOConfig(latency_threshold=args.slo_latency_ms / 1e3)),
     )
     health = service.health()
     print(f"repro serve v{health['version']}: kit {args.library} "
@@ -482,13 +496,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  disk memo {args.disk_memo}: "
               f"{service.disk_memo_entries} entries warmed")
     print(f"  http://{args.host}:{args.port}  "
-          f"(POST /extract /lookup /skew; GET /healthz /metrics)")
+          f"(POST /extract /lookup /skew; "
+          f"GET /healthz /metrics /statusz /debug/requests)")
     print(f"  max inflight {args.max_inflight}, result cache "
-          f"{args.cache_size}, compute width {args.compute_width}")
-    return run_server(
+          f"{args.cache_size}, compute width {args.compute_width}, "
+          f"slo latency {args.slo_latency_ms:.0f} ms")
+    code = run_server(
         service, host=args.host, port=args.port,
         drain_timeout=args.drain_timeout,
     )
+    session = getattr(args, "_telemetry_session", None)
+    if session is not None:
+        session.add_slo(service.slo.summary())
+        session.add_meta(
+            library_root=str(args.library),
+            requests_total=service.requests.total,
+            rejected=service.limiter.rejected,
+        )
+    return code
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -504,6 +529,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         return 2
 
     server = None
+    service = None
     if args.url:
         base_url = args.url
     elif args.library:
@@ -541,6 +567,11 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
         record_bench(args.record, {"serve_load": report.to_dict()})
         print(f"bench record -> {args.record}")
+    session = getattr(args, "_telemetry_session", None)
+    if session is not None:
+        session.add_meta(serve_load=report.to_dict())
+        if service is not None:
+            session.add_slo(service.slo.summary())
     return 1 if report.errors else 0
 
 
@@ -549,6 +580,18 @@ def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
         "--telemetry", default=None, metavar="FILE",
         help="write a structured run report (JSON) to FILE; render it "
              "back with `repro report FILE`",
+    )
+
+
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="sample wall-clock stacks for the whole run and write "
+             "collapsed-stack flamegraph text to FILE",
+    )
+    parser.add_argument(
+        "--profile-interval", type=float, default=5.0, metavar="MS",
+        help="sampling interval in milliseconds (default 5)",
     )
 
 
@@ -595,6 +638,7 @@ def _add_library_parser(sub) -> None:
     p_build.add_argument("--audit-budget", type=float, default=0.05,
                          help="p95 relative-error budget (fraction)")
     _add_telemetry_arg(p_build)
+    _add_profile_args(p_build)
     p_build.set_defaults(func=_cmd_library_build)
 
     p_list = lib_sub.add_parser("list", help="list stored tables")
@@ -761,6 +805,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bserve.add_argument("--record", default=None, metavar="FILE",
                           help="write/merge a BENCH_*.json record "
                                "gated by `repro bench diff`")
+    _add_telemetry_arg(p_bserve)
+    _add_profile_args(p_bserve)
     p_bserve.set_defaults(func=_cmd_bench_serve)
 
     p_report = sub.add_parser(
@@ -806,6 +852,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--spacing", type=float, default=1.0)
     p_serve.add_argument("--thickness", type=float, default=2.0)
     p_serve.add_argument("--height-below", type=float, default=2.0)
+    p_serve.add_argument("--log-file", default=None, metavar="FILE",
+                         help="also append the structured JSON logs "
+                              "(access log included) to FILE")
+    p_serve.add_argument("--log-level", default="info",
+                         choices=["debug", "info", "warning", "error"],
+                         help="minimum structured-log severity")
+    p_serve.add_argument("--slo-latency-ms", type=float, default=500.0,
+                         help="latency-SLI threshold [ms] for the "
+                              "rolling SLO monitor")
+    _add_telemetry_arg(p_serve)
+    _add_profile_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_lint = sub.add_parser(
@@ -825,6 +882,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    profile_path = getattr(args, "profile", None)
+    profiler = None
+    if profile_path:
+        from repro.telemetry.profiler import SamplingProfiler
+
+        interval_ms = getattr(args, "profile_interval", 5.0)
+        profiler = SamplingProfiler(interval=interval_ms / 1e3).start()
+    try:
+        return _dispatch(args, profiler)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            profiler.write_collapsed(profile_path)
+            print(f"profile ({profiler.samples} samples, "
+                  f"{len(profiler.stacks)} stacks) -> {profile_path}")
+
+
+def _dispatch(args: argparse.Namespace, profiler=None) -> int:
+    """Run the selected command, inside a telemetry session if asked."""
     telemetry_path = getattr(args, "telemetry", None)
     if telemetry_path is None:
         return args.func(args)
@@ -840,6 +916,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # the session up from the namespace.
         args._telemetry_session = session
         code = args.func(args)
+        if profiler is not None:
+            # Stop before the session assembles so the report's v4
+            # ``profile`` section covers exactly the command's work.
+            profiler.stop()
+            session.add_profile(profiler.summary())
     report = session.report
     assert report is not None  # telemetry_session always assembles one
     report.meta.setdefault("exit_code", code)

@@ -284,6 +284,8 @@ def _solve_chunk_task(
     results -- the parent merges it into the build totals without ever
     polluting its own registry.
     """
+    from repro.telemetry.logs import correlation_scope, get_logger
+
     registry = get_registry()
     tracer = get_tracer()
     # A forked worker inherits the parent's completed roots and -- when
@@ -295,8 +297,21 @@ def _solve_chunk_task(
     t0 = time.perf_counter()
     if disk_memo is not None:
         _warm_worker_memo(disk_memo)
-    with tracer.span("library.chunk", job=job.kind, points=len(indices)):
-        values = job.solve_points(points)
+    # The chunk id (job prefix + index range) is this chunk's
+    # correlation id: it rides on the ``library.chunk`` span shipped
+    # back to the parent and on every log record the chunk emits.
+    chunk_id = f"{job.job_id[:12]}.{indices[0]}-{indices[-1]}"
+    with correlation_scope(chunk_id=chunk_id):
+        with tracer.span("library.chunk", job=job.kind, points=len(indices)):
+            values = job.solve_points(points)
+        wall = time.perf_counter() - t0
+        get_logger("repro.library.chunk").info(
+            "chunk_done",
+            job=job.kind,
+            points=len(indices),
+            wall_seconds=round(wall, 4),
+            pid=os.getpid(),
+        )
     if disk_memo is not None:
         from repro.peec.diskmemo import flush_lp_memo
 
@@ -530,11 +545,15 @@ class BuildRunner:
         job_stats: JobStats,
     ) -> None:
         """In-process deterministic loop; each point is a work unit."""
+        from repro.telemetry.logs import correlation_scope
+
         registry = get_registry()
         for index in remaining:
-            t0 = time.perf_counter()
-            values = job.solve_point(points[index])
-            wall = time.perf_counter() - t0
+            # Same correlation shape as the pool path, one point wide.
+            with correlation_scope(chunk_id=f"{job.job_id[:12]}.{index}"):
+                t0 = time.perf_counter()
+                values = job.solve_point(points[index])
+                wall = time.perf_counter() - t0
             job_stats.chunk_wall_times.append(wall)
             registry.observe(BUILD_CHUNK_SECONDS, wall)
             record(index, values)

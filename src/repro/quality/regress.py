@@ -122,8 +122,11 @@ def flatten_metrics(data: dict, prefix: str = "") -> Dict[str, float]:
     Bench records flatten nested sections to dotted names
     (``assembly.speedup``); the ``meta`` provenance block is skipped.
     Telemetry run reports (recognized by their ``command`` +
-    ``metrics`` keys) contribute their wall ``duration`` and counter
-    totals (``counter.loop_solve``).
+    ``metrics`` keys) contribute their wall ``duration``, counter
+    totals (``counter.loop_solve``) and per-histogram mean/p95 scalars
+    (``histogram.serve_latency_seconds_p95``) -- the latency
+    distributions gate through ``repro bench diff`` exactly like the
+    counters, with direction inferred from the ``seconds`` leaf.
     """
     if not prefix and "command" in data and "metrics" in data:
         out: Dict[str, float] = {"duration": float(data.get("duration", 0.0))}
@@ -134,6 +137,19 @@ def flatten_metrics(data: dict, prefix: str = "") -> Dict[str, float]:
         for name, value in worker.items():
             key = f"counter.{name}"
             out[key] = out.get(key, 0.0) + float(value)
+        from repro.telemetry.registry import HistogramSnapshot
+
+        for name, hist_data in (
+            (data.get("metrics") or {}).get("histograms", {}) or {}
+        ).items():
+            try:
+                hist = HistogramSnapshot.from_dict(hist_data)
+            except (KeyError, TypeError, ValueError):
+                continue
+            if not hist.count:
+                continue
+            out[f"histogram.{name}_mean"] = hist.mean
+            out[f"histogram.{name}_p95"] = hist.quantile(0.95)
         return out
 
     out = {}

@@ -20,6 +20,7 @@ import threading
 from typing import Optional
 
 from repro.errors import ServeError
+from repro.telemetry.logs import get_logger
 from repro.telemetry.registry import SERVE_REJECTED, get_registry
 
 __all__ = ["Admission", "ConcurrencyLimiter"]
@@ -93,9 +94,17 @@ class ConcurrencyLimiter:
                 registry.set_gauge(INFLIGHT_GAUGE, float(inflight))
                 return Admission(self, True, 200, "admitted")
             self.rejected += 1
+            rejected = self.rejected
         registry = get_registry()
         registry.inc(SERVE_REJECTED)
         registry.inc(f"{SERVE_REJECTED}.{reason}")
+        get_logger("repro.serve.limits").warning(
+            "admission_rejected",
+            reason=reason,
+            status=status,
+            max_inflight=self.max_inflight,
+            rejected_total=rejected,
+        )
         return Admission(self, False, status, reason)
 
     def release(self) -> None:

@@ -1,0 +1,145 @@
+"""Per-request debug records: the ``/debug/requests`` ring.
+
+Every request the service finishes leaves a :class:`RequestRecord` --
+request id, endpoint, status, latency, cache outcome, and the completed
+``serve.<endpoint>`` span tree.  :class:`RequestRing` retains two
+bounded views of them:
+
+* **recent** -- the last N requests in arrival order (a flight
+  recorder for "what just happened"), and
+* **slowest** -- the N highest-latency requests seen since startup
+  (the ones an operator actually wants to open as traces).
+
+Both views are served by ``GET /debug/requests``; the span trees inside
+carry the request id as a tag (see
+:meth:`repro.telemetry.spans.Tracer.span`), which is what ties a slow
+access-log line to an openable trace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["RequestRecord", "RequestRing"]
+
+
+class RequestRecord:
+    """One finished request, as kept by the debug ring."""
+
+    __slots__ = (
+        "request_id", "endpoint", "status", "latency", "cache_hit",
+        "coalesced", "error", "spans", "finished_at",
+    )
+
+    def __init__(
+        self,
+        request_id: str,
+        endpoint: str,
+        status: int,
+        latency: float,
+        cache_hit: Optional[bool] = None,
+        coalesced: bool = False,
+        error: Optional[str] = None,
+        spans: Optional[dict] = None,
+        finished_at: Optional[float] = None,
+    ):
+        self.request_id = request_id
+        self.endpoint = endpoint
+        self.status = status
+        self.latency = latency
+        self.cache_hit = cache_hit
+        self.coalesced = coalesced
+        self.error = error
+        #: The completed ``serve.<endpoint>`` span tree (dict), if spans
+        #: were enabled during the request.
+        self.spans = spans
+        self.finished_at = time.time() if finished_at is None else finished_at
+
+    def to_dict(self, include_spans: bool = True) -> dict:
+        data: Dict[str, object] = {
+            "request_id": self.request_id,
+            "endpoint": self.endpoint,
+            "status": self.status,
+            "latency_ms": round(self.latency * 1e3, 3),
+            "finished_at": self.finished_at,
+        }
+        if self.cache_hit is not None:
+            data["cache_hit"] = self.cache_hit
+        if self.coalesced:
+            data["coalesced"] = True
+        if self.error is not None:
+            data["error"] = self.error
+        if include_spans and self.spans is not None:
+            data["spans"] = self.spans
+        return data
+
+
+class RequestRing:
+    """Bounded recent + slowest views over finished requests."""
+
+    DEFAULT_RECENT = 64
+    DEFAULT_SLOWEST = 16
+
+    def __init__(
+        self,
+        recent_capacity: int = DEFAULT_RECENT,
+        slowest_capacity: int = DEFAULT_SLOWEST,
+    ):
+        self._lock = threading.Lock()
+        self._recent: "deque[RequestRecord]" = deque(
+            maxlen=max(1, int(recent_capacity))
+        )
+        self._slowest: List[RequestRecord] = []
+        self._slowest_capacity = max(1, int(slowest_capacity))
+        self.total = 0
+
+    def add(self, record: RequestRecord) -> None:
+        with self._lock:
+            self.total += 1
+            self._recent.append(record)
+            slow = self._slowest
+            if (len(slow) < self._slowest_capacity
+                    or record.latency > slow[-1].latency):
+                slow.append(record)
+                slow.sort(key=lambda r: r.latency, reverse=True)
+                del slow[self._slowest_capacity:]
+
+    def recent(self, limit: Optional[int] = None) -> List[RequestRecord]:
+        """Most recent requests, newest last."""
+        with self._lock:
+            records = list(self._recent)
+        if limit is not None:
+            records = records[-max(0, int(limit)):]
+        return records
+
+    def slowest(self, limit: Optional[int] = None) -> List[RequestRecord]:
+        """Highest-latency requests, slowest first."""
+        with self._lock:
+            records = list(self._slowest)
+        if limit is not None:
+            records = records[:max(0, int(limit))]
+        return records
+
+    def errors(self, limit: Optional[int] = None) -> List[RequestRecord]:
+        """Recent failed (>=400) requests, newest last."""
+        records = [r for r in self.recent() if r.status >= 400]
+        if limit is not None:
+            records = records[-max(0, int(limit)):]
+        return records
+
+    def to_dict(self, include_spans: bool = True) -> dict:
+        """The ``/debug/requests`` payload."""
+        return {
+            "total": self.total,
+            "recent": [
+                r.to_dict(include_spans=include_spans)
+                for r in self.recent()
+            ],
+            "slowest": [
+                r.to_dict(include_spans=include_spans)
+                for r in self.slowest()
+            ],
+        }

@@ -11,11 +11,22 @@ dispatches, and serializes.
 
 Routes::
 
-    GET  /healthz   identity + load + cache stats (served while draining)
-    GET  /metrics   Prometheus text exposition of the live registry
-    POST /extract   geometry -> RLC netlist (``{"result": ...}`` JSON)
-    POST /lookup    raw table lookup with coverage classification
-    POST /skew      H-tree skew summary (RC vs RLC)
+    GET  /healthz         identity + load + cache + SLO (served draining)
+    GET  /metrics         Prometheus text exposition of the live registry
+    GET  /statusz         human-readable status page (HTML)
+    GET  /debug/requests  recent + slowest requests with span trees
+    POST /extract         geometry -> RLC netlist (``{"result": ...}``)
+    POST /lookup          raw table lookup with coverage classification
+    POST /skew            H-tree skew summary (RC vs RLC)
+
+Request correlation: every request gets a request id -- an incoming
+``X-Request-Id`` header is honored (truncated to a sane length),
+otherwise one is minted -- which is returned on the response, bound as
+the correlation scope around handling (so log records and tracer spans
+carry it), stamped into the response envelope, and written to the
+structured JSON access log (one line per request: request id, endpoint,
+status, latency ms, cache hit/miss, inflight).  429/503 admission
+rejections log at WARNING with the reason.
 
 POST requests pass admission control first: 429 when the in-flight
 ceiling is hit, 503 once draining.  :func:`run_server` is the blocking
@@ -32,15 +43,24 @@ import json
 import logging
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import urlsplit
 
 from repro.errors import ReproError, ServeError
 from repro.serve.service import ExtractionService
+from repro.telemetry.logs import correlation_scope, get_logger, new_request_id
 
 __all__ = ["ExtractionServer", "start_server", "run_server"]
 
 log = logging.getLogger(__name__)
+
+#: Structured access log ("repro.serve.access" records, one per request).
+access_log = get_logger("repro.serve.access")
+
+#: Longest accepted client-supplied X-Request-Id.
+MAX_REQUEST_ID = 128
 
 #: Largest accepted request body; extraction requests are tiny.
 MAX_BODY_BYTES = 1 << 20
@@ -58,14 +78,61 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
+    def _begin_request(self) -> str:
+        """Resolve this request's id and start its latency clock."""
+        rid = (self.headers.get("X-Request-Id") or "").strip()
+        rid = rid[:MAX_REQUEST_ID] if rid else new_request_id()
+        self._request_id = rid
+        self._t0 = time.perf_counter()
+        self._access: dict = {}
+        return rid
+
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        """One structured JSON access-log line per response sent.
+
+        ``send_response`` invokes this, so every answered request --
+        including 404s and handler crashes -- leaves exactly one line.
+        Backpressure rejections (429/503) and server errors log at
+        WARNING so an operator tailing the log sees them without
+        filtering.
+        """
+        try:
+            status = int(code)
+        except (TypeError, ValueError):
+            status = 0
+        fields = dict(getattr(self, "_access", None) or {})
+        rid = getattr(self, "_request_id", None)
+        if rid:
+            fields.setdefault("request_id", rid)
+        t0 = getattr(self, "_t0", None)
+        if t0 is not None:
+            fields["latency_ms"] = round((time.perf_counter() - t0) * 1e3, 3)
+        level = "warning" if (status in (429, 503) or status >= 500) else "info"
+        access_log.log(
+            level, "request",
+            method=self.command,
+            path=self.path,
+            status=status,
+            client=self.address_string(),
+            inflight=self.server.service.limiter.inflight,
+            **fields,
+        )
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        log.debug("%s %s", self.address_string(), format % args)
+        # http.server internals (log_error etc.) land here; keep them
+        # structured too instead of the default stderr one-liners.
+        get_logger("repro.serve.http").warning(
+            "http", message=format % args, client=self.address_string(),
+        )
 
     def _send_json(self, status: int, obj: dict) -> None:
         body = json.dumps(obj, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        rid = getattr(self, "_request_id", None)
+        if rid:
+            self.send_header("X-Request-Id", rid)
         self.end_headers()
         self.wfile.write(body)
 
@@ -75,6 +142,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        rid = getattr(self, "_request_id", None)
+        if rid:
+            self.send_header("X-Request-Id", rid)
         self.end_headers()
         self.wfile.write(body)
 
@@ -104,43 +174,74 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server convention)
         service = self.server.service
-        try:
-            if self.path == "/healthz":
-                self._send_json(200, service.health())
-            elif self.path == "/metrics":
-                self._send_text(200, service.metrics_text())
-            else:
-                self._send_json(404, {"error": f"no such path {self.path!r}"})
-        except BrokenPipeError:  # client went away; nothing to answer
-            pass
-        except Exception as exc:  # pragma: no cover - defensive
-            log.exception("GET %s failed", self.path)
-            self._send_json(500, {"error": f"internal error: {exc}"})
+        rid = self._begin_request()
+        path = urlsplit(self.path).path
+        with correlation_scope(request_id=rid):
+            try:
+                if path == "/healthz":
+                    self._send_json(200, service.health())
+                elif path == "/metrics":
+                    self._send_text(200, service.metrics_text())
+                elif path == "/statusz":
+                    self._send_text(
+                        200, service.statusz_html(),
+                        "text/html; charset=utf-8",
+                    )
+                elif path == "/debug/requests":
+                    self._send_json(200, service.requests.to_dict())
+                else:
+                    self._send_json(
+                        404,
+                        {"error": f"no such path {self.path!r}",
+                         "request_id": rid},
+                    )
+            except BrokenPipeError:  # client went away; nothing to answer
+                pass
+            except Exception as exc:  # pragma: no cover - defensive
+                log.exception("GET %s failed", self.path)
+                self._send_json(
+                    500,
+                    {"error": f"internal error: {exc}", "request_id": rid},
+                )
 
     def do_POST(self) -> None:  # noqa: N802
         service = self.server.service
-        endpoint = self.path.lstrip("/")
-        try:
-            admission = service.limiter.admit()
-            if not admission.admitted:
+        endpoint = urlsplit(self.path).path.lstrip("/")
+        rid = self._begin_request()
+        self._access["endpoint"] = endpoint
+        with correlation_scope(request_id=rid):
+            try:
+                admission = service.limiter.admit()
+                if not admission.admitted:
+                    self._access["reason"] = admission.reason
+                    service.observe_rejection(endpoint)
+                    self._send_json(
+                        admission.status,
+                        {"error": admission.reason, "retry": True,
+                         "request_id": rid},
+                    )
+                    return
+                with admission:
+                    payload = self._read_body()
+                    envelope = service.handle(endpoint, payload)
+                cache = envelope.get("cache")
+                if isinstance(cache, dict) and "hit" in cache:
+                    self._access["cache_hit"] = bool(cache["hit"])
+                self._send_json(200, envelope)
+            except BrokenPipeError:
+                pass
+            except ServeError as exc:
                 self._send_json(
-                    admission.status,
-                    {"error": admission.reason, "retry": True},
+                    exc.status, {"error": str(exc), "request_id": rid}
                 )
-                return
-            with admission:
-                payload = self._read_body()
-                envelope = service.handle(endpoint, payload)
-            self._send_json(200, envelope)
-        except BrokenPipeError:
-            pass
-        except ServeError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
-        except ReproError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            log.exception("POST %s failed", self.path)
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            except ReproError as exc:
+                self._send_json(400, {"error": str(exc), "request_id": rid})
+            except Exception as exc:  # pragma: no cover - defensive
+                log.exception("POST %s failed", self.path)
+                self._send_json(
+                    500,
+                    {"error": f"internal error: {exc}", "request_id": rid},
+                )
 
 
 class ExtractionServer(ThreadingHTTPServer):

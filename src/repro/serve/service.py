@@ -46,12 +46,15 @@ from repro.library.store import TableLibrary, _sha256_text, open_library
 from repro.serve.batching import RequestCoalescer
 from repro.serve.cache import ResultCache, result_key
 from repro.serve.limits import ConcurrencyLimiter
+from repro.serve.requestlog import RequestRecord, RequestRing
 from repro.telemetry import prometheus_text
+from repro.telemetry.logs import correlation_ids, get_logger
 from repro.telemetry.registry import (
     SERVE_LATENCY,
     SERVE_REQUEST,
     get_registry,
 )
+from repro.telemetry.slo import SLOMonitor
 from repro.telemetry.spans import span
 from repro.version import get_version
 
@@ -156,6 +159,7 @@ class ExtractionService:
         compute_width: int = 1,
         max_inflight: int = 8,
         disk_memo: Optional[str] = None,
+        slo: Optional[SLOMonitor] = None,
     ):
         self.library = open_library(library, create=False)
         self.disk_memo = disk_memo
@@ -184,6 +188,10 @@ class ExtractionService:
         self.cache = ResultCache(cache_size)
         self.coalescer = RequestCoalescer(compute_width)
         self.limiter = ConcurrencyLimiter(max_inflight)
+        #: Rolling SLO monitor (injectable for fault-injection tests).
+        self.slo = slo if slo is not None else SLOMonitor()
+        #: Debug ring of recent + slowest requests (``/debug/requests``).
+        self.requests = RequestRing()
         self.started_at = time.time()
         self._started_mono = time.monotonic()
         self._extractors: Dict[Tuple[object, float], ClocktreeRLCExtractor] = {}
@@ -192,6 +200,14 @@ class ExtractionService:
         self.register("extract", self._extract)
         self.register("lookup", self._lookup)
         self.register("skew", self._skew)
+        get_logger("repro.serve").info(
+            "service_ready",
+            kit_sha=self.kit_sha[:12],
+            tables=len(self.library),
+            frequency_ghz=round(self.frequency / 1e9, 3),
+            max_inflight=max_inflight,
+            disk_memo_entries=self.disk_memo_entries,
+        )
 
     def _kit_frequency(self) -> Optional[float]:
         """The characterization frequency of the kit's loop tables."""
@@ -220,8 +236,11 @@ class ExtractionService:
     def handle(self, endpoint: str, payload: Optional[dict]) -> dict:
         """Serve one request; the single entry point for all transports.
 
-        Returns the response envelope ``{"endpoint", "cache", "result"}``.
-        Raises :class:`ServeError` (with an HTTP status) on bad input.
+        Returns the response envelope ``{"endpoint", "cache", "result",
+        "request_id"?}``.  Raises :class:`ServeError` (with an HTTP
+        status) on bad input.  Every finished request -- success or
+        failure -- feeds the SLO monitor once and leaves a record (with
+        its span tree) in the ``/debug/requests`` ring.
         """
         entry = self._endpoints.get(endpoint)
         if entry is None:
@@ -231,8 +250,12 @@ class ExtractionService:
         registry.inc(SERVE_REQUEST)
         registry.inc(f"{SERVE_REQUEST}.{endpoint}")
         t0 = time.perf_counter()
+        status = 200
+        hit: Optional[bool] = None
+        error: Optional[str] = None
+        sp = None
         try:
-            with span(f"serve.{endpoint}"):
+            with span(f"serve.{endpoint}") as sp:
                 if not entry.cacheable:
                     return self._envelope(endpoint, entry.fn(payload))
                 try:
@@ -241,6 +264,7 @@ class ExtractionService:
                     raise ServeError(f"uncacheable request: {exc}") from None
                 cached = self.cache.get(key)
                 if cached is not None:
+                    hit = True
                     return self._envelope(endpoint, cached, hit=True, key=key)
 
                 def compute() -> dict:
@@ -249,9 +273,41 @@ class ExtractionService:
                     return result
 
                 result = self.coalescer.run(key, compute)
+                hit = False
                 return self._envelope(endpoint, result, hit=False, key=key)
+        except ServeError as exc:
+            status, error = exc.status, str(exc)
+            raise
+        except ReproError as exc:
+            status, error = 400, str(exc)
+            raise
+        except Exception as exc:
+            status, error = 500, f"{type(exc).__name__}: {exc}"
+            raise
         finally:
-            registry.observe(SERVE_LATENCY, time.perf_counter() - t0)
+            latency = time.perf_counter() - t0
+            registry.observe(SERVE_LATENCY, latency)
+            # One SLO observation per handled request: 5xx counts
+            # against availability, 4xx is the caller's fault and only
+            # counts against the latency SLI via its duration.
+            self.slo.observe(endpoint, latency, ok=status < 500)
+            self.requests.add(RequestRecord(
+                request_id=correlation_ids().get("request_id", ""),
+                endpoint=endpoint,
+                status=status,
+                latency=latency,
+                cache_hit=hit,
+                error=error,
+                spans=sp.to_dict() if sp is not None else None,
+            ))
+
+    def observe_rejection(self, endpoint: str) -> None:
+        """Count an admission rejection (429/503) against the SLO.
+
+        Rejected requests never reach :meth:`handle`, so the transport
+        feeds them here -- each request hits the monitor exactly once.
+        """
+        self.slo.observe(endpoint, 0.0, ok=False)
 
     @staticmethod
     def _envelope(endpoint: str, result: dict, hit: Optional[bool] = None,
@@ -259,6 +315,9 @@ class ExtractionService:
         envelope: Dict[str, Any] = {"endpoint": endpoint, "result": result}
         if key is not None:
             envelope["cache"] = {"hit": bool(hit), "key": key}
+        request_id = correlation_ids().get("request_id")
+        if request_id:
+            envelope["request_id"] = request_id
         return envelope
 
     # ------------------------------------------------------------------
@@ -550,8 +609,118 @@ class ExtractionService:
                 "warmed_entries": self.disk_memo_entries,
             },
             "endpoints": self.endpoints,
+            "slo": self.slo.summary(),
         }
 
     def metrics_text(self) -> str:
         """The ``/metrics`` payload: the live registry as Prometheus text."""
+        # Refresh the slo_* gauges first so scrapes see current burn rates.
+        self.slo.export_gauges()
         return prometheus_text(get_registry().snapshot())
+
+    # ------------------------------------------------------------------
+    # statusz
+    # ------------------------------------------------------------------
+    def statusz_data(self) -> dict:
+        """Everything the ``/statusz`` page renders, as one dict."""
+        from repro.telemetry.logs import recent_logs
+
+        return {
+            "health": self.health(),
+            "requests": self.requests.to_dict(include_spans=False),
+            "recent_errors": recent_logs(limit=10, min_level="warning"),
+        }
+
+    def statusz_html(self) -> str:
+        """A human-readable single-page status report (``GET /statusz``)."""
+        import html as _html
+
+        data = self.statusz_data()
+        health = data["health"]
+        slo = health.get("slo", {})
+        status = health.get("status", "?")
+        slo_status = slo.get("status", "ok")
+        badge = {"ok": "#2e7d32", "warn": "#f9a825", "page": "#c62828"}.get(
+            slo_status, "#555"
+        )
+
+        def esc(value: object) -> str:
+            return _html.escape(str(value))
+
+        lines: List[str] = [
+            "<!doctype html><html><head><meta charset='utf-8'>",
+            "<title>repro serve statusz</title>",
+            "<style>body{font-family:monospace;margin:2em;}"
+            "table{border-collapse:collapse;margin:0.5em 0;}"
+            "td,th{border:1px solid #ccc;padding:2px 8px;text-align:left;}"
+            "h2{margin-top:1.2em;}</style></head><body>",
+            f"<h1>repro serve &mdash; {esc(status)} "
+            f"<span style='color:{badge}'>[slo: {esc(slo_status)}]</span></h1>",
+            "<h2>identity</h2><table>",
+            f"<tr><th>version</th><td>{esc(health.get('version'))}</td></tr>",
+            f"<tr><th>kit sha</th>"
+            f"<td>{esc(health['kit']['manifest_sha'][:16])}</td></tr>",
+            f"<tr><th>tables</th><td>{esc(health['kit']['tables'])}</td></tr>",
+            f"<tr><th>uptime</th>"
+            f"<td>{health['uptime_seconds']:.1f} s</td></tr>",
+            f"<tr><th>inflight</th><td>{esc(health['inflight'])} / "
+            f"{esc(health['max_inflight'])}</td></tr>",
+            f"<tr><th>rejected</th><td>{esc(health['rejected'])}</td></tr>",
+            "</table>",
+        ]
+
+        cache = health.get("cache", {})
+        lines.append("<h2>cache</h2><table>")
+        for key in sorted(cache):
+            lines.append(
+                f"<tr><th>{esc(key)}</th><td>{esc(cache[key])}</td></tr>"
+            )
+        lines.append("</table>")
+
+        lines.append("<h2>slo</h2><table>"
+                     "<tr><th>endpoint</th><th>sli</th><th>status</th>"
+                     "<th>burn</th><th>windows (bad/total)</th></tr>")
+        for endpoint in sorted(slo.get("endpoints", {})):
+            slis = slo["endpoints"][endpoint].get("slis", {})
+            for sli in sorted(slis):
+                info = slis[sli]
+                windows = " ".join(
+                    f"{w['bad']}/{w['total']}@{w['window_seconds']}s"
+                    for w in info.get("windows", [])
+                )
+                lines.append(
+                    f"<tr><td>{esc(endpoint)}</td><td>{esc(sli)}</td>"
+                    f"<td>{esc(info.get('status'))}</td>"
+                    f"<td>{esc(info.get('burn_rate'))}</td>"
+                    f"<td>{esc(windows)}</td></tr>"
+                )
+        lines.append("</table>")
+
+        lines.append("<h2>slowest requests</h2><table>"
+                     "<tr><th>request id</th><th>endpoint</th>"
+                     "<th>status</th><th>latency</th><th>cache</th></tr>")
+        for record in data["requests"]["slowest"]:
+            lines.append(
+                f"<tr><td>{esc(record.get('request_id'))}</td>"
+                f"<td>{esc(record.get('endpoint'))}</td>"
+                f"<td>{esc(record.get('status'))}</td>"
+                f"<td>{record.get('latency_ms')} ms</td>"
+                f"<td>{esc(record.get('cache_hit', '-'))}</td></tr>"
+            )
+        lines.append("</table>")
+
+        lines.append("<h2>recent warnings/errors</h2><pre>")
+        for record in data["recent_errors"]:
+            lines.append(esc(_json_line(record)))
+        lines.append("</pre></body></html>")
+        return "\n".join(lines)
+
+    def slo_summary(self) -> dict:
+        """The SLO summary (for reports and shutdown logging)."""
+        return self.slo.summary()
+
+
+def _json_line(record: dict) -> str:
+    import json
+
+    return json.dumps(record, sort_keys=True, default=str)

@@ -35,6 +35,7 @@ from repro.telemetry.registry import (
     BUILD_CHUNK_SECONDS,
     DEFAULT_TIME_BUCKETS,
     FIELD_SOLVE_2D,
+    LOG_RECORD,
     LOOKUP_LATENCY,
     LOOP_SOLVE,
     LP_DEDUP_BYPASS,
@@ -49,6 +50,7 @@ from repro.telemetry.registry import (
     SOLVER_FACTOR_DENSE,
     SOLVER_FACTOR_SPARSE,
     PARTIAL_SOLVE,
+    PROFILER_SAMPLE,
     SERVE_CACHE_HIT,
     SERVE_CACHE_MISS,
     SERVE_COALESCED,
@@ -75,10 +77,28 @@ from repro.telemetry.spans import (
     spans_enabled,
     spans_to_jsonl,
 )
+from repro.telemetry.logs import (
+    LogRing,
+    StructuredLogger,
+    bind_correlation,
+    configure_logging,
+    correlation_ids,
+    correlation_scope,
+    current_correlation,
+    get_log_ring,
+    get_logger,
+    install_stdlib_bridge,
+    new_request_id,
+    recent_logs,
+    uninstall_stdlib_bridge,
+)
+from repro.telemetry.slo import SLOConfig, SLOMonitor, WindowStats
+from repro.telemetry.profiler import SamplingProfiler, profiling
 from repro.telemetry.export import prometheus_text, snapshot_json
 from repro.telemetry.trace_export import (
     chrome_trace,
     chrome_trace_events,
+    profiler_trace_events,
     write_chrome_trace,
 )
 from repro.telemetry.report import (
@@ -102,6 +122,7 @@ __all__ = [
     "AUDIT_SOLVE",
     "SERVE_REQUEST", "SERVE_CACHE_HIT", "SERVE_CACHE_MISS",
     "SERVE_COALESCED", "SERVE_REJECTED", "SERVE_LATENCY",
+    "LOG_RECORD", "PROFILER_SAMPLE",
     "DEFAULT_TIME_BUCKETS",
     # registry
     "MetricsRegistry", "MetricsSnapshot", "HistogramSnapshot",
@@ -110,9 +131,19 @@ __all__ = [
     "Span", "Tracer", "get_tracer", "span",
     "spans_enabled", "set_spans_enabled", "spans_disabled",
     "spans_to_jsonl",
+    # structured logs + correlation
+    "LogRing", "StructuredLogger", "get_logger", "get_log_ring",
+    "recent_logs", "configure_logging",
+    "correlation_scope", "bind_correlation", "correlation_ids",
+    "current_correlation", "new_request_id",
+    "install_stdlib_bridge", "uninstall_stdlib_bridge",
+    # slo + profiler
+    "SLOConfig", "SLOMonitor", "WindowStats",
+    "SamplingProfiler", "profiling",
     # exporters
     "prometheus_text", "snapshot_json",
-    "chrome_trace", "chrome_trace_events", "write_chrome_trace",
+    "chrome_trace", "chrome_trace_events", "profiler_trace_events",
+    "write_chrome_trace",
     # reports
     "REPORT_SCHEMA_VERSION", "RunReport", "TelemetrySession",
     "telemetry_session", "render_report", "load_report",

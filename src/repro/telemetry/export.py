@@ -33,6 +33,10 @@ _HELP = {
     "serve_inflight": "Service requests currently in flight",
     "serve_cache_entries": "Live entries in the service result cache",
     "serve_latency_seconds": "End-to-end service request latency",
+    "log_record": "Structured log records emitted",
+    "profiler_sample": "Stacks captured by the sampling profiler",
+    "slo_burn_rate": "SLO error-budget burn rate (worst considered window)",
+    "slo_status": "SLO status code (0=ok, 1=warn, 2=page)",
 }
 
 

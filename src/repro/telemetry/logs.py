@@ -1,0 +1,363 @@
+"""Structured JSON logging with request/chunk correlation.
+
+The third observability pillar (after the PR-3 metrics and spans): every
+log line is one JSON object, and a *correlation id* carried on a
+:mod:`contextvars` context variable is stamped onto every record emitted
+inside its scope -- ``request_id`` for serve requests, ``chunk_id`` for
+build-pool chunks.  The same ids are auto-tagged onto tracer spans
+(:meth:`repro.telemetry.spans.Tracer.span` merges
+:func:`current_correlation`), so one grep through the access log leads
+straight to the span tree and the Perfetto timeline of the slow request.
+
+Pieces:
+
+* :func:`correlation_scope` / :func:`bind_correlation` -- set the
+  correlation ids for the enclosed work.  ContextVars are per-thread by
+  construction (a new thread starts with an empty context), which is
+  exactly the isolation a thread-per-request server needs.
+* :class:`StructuredLogger` (via :func:`get_logger`) -- ``.info("event",
+  key=value, ...)`` emitters building one flat JSON record per call.
+* :class:`LogRing` -- a bounded in-memory ring of recent records; always
+  on, so ``/statusz`` can show the last errors of a daemon that logs
+  nowhere else.  :func:`recent_logs` reads it.
+* :func:`configure_logging` -- optional stderr/stream and file sinks
+  (one JSON line per record) plus the minimum level.
+* :func:`install_stdlib_bridge` -- a :class:`logging.Handler` routing
+  existing ``logging.getLogger(...)`` calls (http.server, libraries)
+  through the same pipeline, correlation ids included.
+
+Every emitted record ticks the observational ``log_record`` counter
+(plus ``log_record.<level>``), so log volume itself is visible on
+``/metrics`` without ever counting as solver work.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, IO, Iterator, List, Optional, Tuple, Union
+
+from repro.telemetry.registry import LOG_RECORD, get_registry
+
+__all__ = [
+    "LEVELS",
+    "new_request_id",
+    "current_correlation",
+    "correlation_ids",
+    "bind_correlation",
+    "correlation_scope",
+    "StructuredLogger",
+    "get_logger",
+    "LogRing",
+    "get_log_ring",
+    "recent_logs",
+    "configure_logging",
+    "log_to_stream",
+    "install_stdlib_bridge",
+    "uninstall_stdlib_bridge",
+]
+
+#: Level name -> numeric severity (stdlib-compatible values).
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: The ContextVar carrying the correlation ids of the current scope as
+#: an immutable tuple of ``(key, value)`` pairs.  Tuples (not dicts)
+#: keep reads allocation-free on the span hot path.
+_CORRELATION: "contextvars.ContextVar[Tuple[Tuple[str, str], ...]]" = (
+    contextvars.ContextVar("repro_correlation", default=())
+)
+
+
+def new_request_id() -> str:
+    """A fresh, log-greppable request id (``req-`` + 12 hex chars)."""
+    return "req-" + uuid.uuid4().hex[:12]
+
+
+def current_correlation() -> Tuple[Tuple[str, str], ...]:
+    """The active correlation pairs (empty tuple outside any scope)."""
+    return _CORRELATION.get()
+
+
+def correlation_ids() -> Dict[str, str]:
+    """The active correlation ids as a dict (copy; safe to mutate)."""
+    return dict(_CORRELATION.get())
+
+
+def bind_correlation(**ids: str) -> "contextvars.Token":
+    """Merge *ids* into the current correlation; returns the reset token.
+
+    Prefer :func:`correlation_scope` -- this low-level form exists for
+    callers that cannot use a ``with`` block (e.g. request handlers
+    spreading work across callbacks).
+    """
+    merged = dict(_CORRELATION.get())
+    merged.update({k: str(v) for k, v in ids.items()})
+    return _CORRELATION.set(tuple(sorted(merged.items())))
+
+
+@contextmanager
+def correlation_scope(**ids: str) -> Iterator[Dict[str, str]]:
+    """Stamp *ids* onto every log record and span inside the block::
+
+        with correlation_scope(request_id=rid):
+            service.handle(endpoint, payload)   # spans + logs carry rid
+    """
+    token = bind_correlation(**ids)
+    try:
+        yield correlation_ids()
+    finally:
+        _CORRELATION.reset(token)
+
+
+# ----------------------------------------------------------------------
+# ring buffer
+# ----------------------------------------------------------------------
+class LogRing:
+    """Bounded, thread-safe ring of the most recent log records."""
+
+    DEFAULT_CAPACITY = 512
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self._lock = threading.Lock()
+        self._records: "deque[dict]" = deque(maxlen=max(1, int(capacity)))
+        #: Records discarded because the ring was full.
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._records.maxlen or 0
+
+    def append(self, record: dict) -> None:
+        with self._lock:
+            if len(self._records) == self._records.maxlen:
+                self.dropped += 1
+            self._records.append(record)
+
+    def records(
+        self,
+        limit: Optional[int] = None,
+        min_level: Optional[str] = None,
+    ) -> List[dict]:
+        """Most-recent-last records, optionally filtered by severity."""
+        with self._lock:
+            records = list(self._records)
+        if min_level is not None:
+            floor = LEVELS.get(min_level, 0)
+            records = [
+                r for r in records if LEVELS.get(r.get("level", ""), 0) >= floor
+            ]
+        if limit is not None:
+            records = records[-max(0, int(limit)):]
+        return records
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+
+# ----------------------------------------------------------------------
+# emitter pipeline (module-global, mutated under one lock)
+# ----------------------------------------------------------------------
+_EMIT_LOCK = threading.Lock()
+_RING = LogRing()
+_STREAM: Optional[IO[str]] = None
+_FILE: Optional[IO[str]] = None
+_MIN_LEVEL = LEVELS["info"]
+
+
+def get_log_ring() -> LogRing:
+    """The process-wide ring buffer of recent records."""
+    return _RING
+
+
+def recent_logs(
+    limit: Optional[int] = None, min_level: Optional[str] = None
+) -> List[dict]:
+    """Recent structured records (most recent last); see :class:`LogRing`."""
+    return _RING.records(limit=limit, min_level=min_level)
+
+
+def configure_logging(
+    stream: Optional[IO[str]] = None,
+    path: Optional[Union[str, "object"]] = None,
+    level: str = "info",
+    ring_capacity: Optional[int] = None,
+) -> None:
+    """(Re)configure the structured-log sinks.
+
+    *stream* receives one JSON line per record (``sys.stderr`` for the
+    daemon; ``None`` keeps records ring-only -- the test default).
+    *path*, when given, appends the same lines to a file (opened here,
+    closed on the next reconfigure).  *level* is the minimum severity
+    emitted at all; *ring_capacity* resizes the in-memory ring.
+    """
+    global _STREAM, _FILE, _MIN_LEVEL, _RING
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r} "
+                         f"(one of {sorted(LEVELS)})")
+    with _EMIT_LOCK:
+        _MIN_LEVEL = LEVELS[level]
+        _STREAM = stream
+        if _FILE is not None:
+            try:
+                _FILE.close()
+            except OSError:  # pragma: no cover - close failures are benign
+                pass
+            _FILE = None
+        if path is not None:
+            _FILE = open(path, "a", encoding="utf-8")
+        if ring_capacity is not None:
+            _RING = LogRing(ring_capacity)
+
+
+@contextmanager
+def log_to_stream(stream: IO[str], level: str = "debug") -> Iterator[None]:
+    """Temporarily route records to *stream* (test harness helper)."""
+    global _STREAM, _MIN_LEVEL
+    with _EMIT_LOCK:
+        previous_stream, previous_level = _STREAM, _MIN_LEVEL
+    configure_logging(stream=stream, level=level)
+    try:
+        yield
+    finally:
+        with _EMIT_LOCK:
+            _STREAM = previous_stream
+            _MIN_LEVEL = previous_level
+
+
+def _emit(record: dict) -> None:
+    """Stamp, ring-buffer, serialize and count one record."""
+    for key, value in _CORRELATION.get():
+        record.setdefault(key, value)
+    _RING.append(record)
+    line: Optional[str] = None
+    with _EMIT_LOCK:
+        if _STREAM is not None or _FILE is not None:
+            line = json.dumps(record, sort_keys=True, default=str)
+            if _STREAM is not None:
+                try:
+                    _STREAM.write(line + "\n")
+                    _STREAM.flush()
+                except (OSError, ValueError):  # closed/broken stream
+                    pass
+            if _FILE is not None:
+                try:
+                    _FILE.write(line + "\n")
+                    _FILE.flush()
+                except (OSError, ValueError):
+                    pass
+    registry = get_registry()
+    registry.inc(LOG_RECORD)
+    registry.inc(f"{LOG_RECORD}.{record.get('level', 'info')}")
+
+
+class StructuredLogger:
+    """Named emitter of structured records (one JSON object per call)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        """Emit one record: ``{ts, level, logger, event, **fields}``."""
+        if LEVELS.get(level, 0) < _MIN_LEVEL:
+            return
+        record: Dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(fields)
+        _emit(record)
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log("error", event, **fields)
+
+
+_LOGGERS: Dict[str, StructuredLogger] = {}
+_LOGGERS_LOCK = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The (cached) :class:`StructuredLogger` named *name*."""
+    with _LOGGERS_LOCK:
+        logger = _LOGGERS.get(name)
+        if logger is None:
+            logger = _LOGGERS[name] = StructuredLogger(name)
+    return logger
+
+
+# ----------------------------------------------------------------------
+# stdlib-logging bridge
+# ----------------------------------------------------------------------
+class StdlibBridgeHandler(logging.Handler):
+    """Routes stdlib ``logging`` records through the structured pipeline.
+
+    Existing ``log.info("served %s", path)`` calls keep working and
+    come out the other side as JSON records with the caller's logger
+    name, rendered message and the active correlation ids.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            level = record.levelname.lower()
+            if level not in LEVELS:
+                level = "error" if record.levelno >= 40 else "info"
+            if LEVELS[level] < _MIN_LEVEL:
+                return
+            structured: Dict[str, object] = {
+                "ts": round(record.created, 6),
+                "level": level,
+                "logger": record.name,
+                "event": record.getMessage(),
+            }
+            if record.exc_info and record.exc_info[0] is not None:
+                structured["exception"] = record.exc_info[0].__name__
+            _emit(structured)
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+
+_BRIDGE: Optional[StdlibBridgeHandler] = None
+
+
+def install_stdlib_bridge(
+    level: int = logging.INFO, logger: str = ""
+) -> StdlibBridgeHandler:
+    """Attach the bridge to stdlib *logger* (root by default); idempotent."""
+    global _BRIDGE
+    target = logging.getLogger(logger)
+    if _BRIDGE is None:
+        _BRIDGE = StdlibBridgeHandler()
+    if _BRIDGE not in target.handlers:
+        target.addHandler(_BRIDGE)
+    _BRIDGE.setLevel(level)
+    if target.level == logging.NOTSET or target.level > level:
+        target.setLevel(level)
+    return _BRIDGE
+
+
+def uninstall_stdlib_bridge(logger: str = "") -> None:
+    """Detach the bridge installed by :func:`install_stdlib_bridge`."""
+    global _BRIDGE
+    if _BRIDGE is not None:
+        logging.getLogger(logger).removeHandler(_BRIDGE)
+        _BRIDGE = None

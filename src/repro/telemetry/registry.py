@@ -68,6 +68,8 @@ __all__ = [
     "SERVE_COALESCED",
     "SERVE_REJECTED",
     "SERVE_LATENCY",
+    "LOG_RECORD",
+    "PROFILER_SAMPLE",
     "OBSERVATIONAL_PREFIXES",
     "is_solver_counter",
     "LOOKUP_LATENCY",
@@ -148,14 +150,24 @@ SERVE_CACHE_MISS = "serve_cache_miss"
 SERVE_COALESCED = "serve_coalesced"
 SERVE_REJECTED = "serve_rejected"
 
+#: Operational-observability counters (PR 8; see
+#: :mod:`repro.telemetry.logs` and :mod:`repro.telemetry.profiler`).
+#: Structured log records tick ``log_record`` (+ per-level tag) and the
+#: sampling profiler ticks ``profiler_sample`` per captured stack.
+LOG_RECORD = "log_record"
+PROFILER_SAMPLE = "profiler_sample"
+
 #: Counter-name prefixes that *observe* rather than record solver work:
 #: the ``table_lookup*`` coverage family (PR 4), the ``circuit_*`` /
-#: ``netlist_lint*`` simulation-observability families (PR 5) and the
-#: ``serve_*`` daemon families (PR 6).  Warm lookups, transient step
-#: counts, netlist lints and served requests legitimately tick these,
-#: so zero-solve totals must not count them.
+#: ``netlist_lint*`` simulation-observability families (PR 5), the
+#: ``serve_*`` daemon families (PR 6) and the ``log_*`` / ``slo_*`` /
+#: ``profiler_*`` operational families (PR 8).  Warm lookups, transient
+#: step counts, netlist lints, served requests, log lines and profiler
+#: samples legitimately tick these, so zero-solve totals must not count
+#: them.
 OBSERVATIONAL_PREFIXES: Tuple[str, ...] = (
     "table_lookup", "circuit_", "netlist_lint", "serve_",
+    "log_", "slo_", "profiler_",
 )
 
 
@@ -229,8 +241,11 @@ class HistogramSnapshot:
     def quantile(self, q: float) -> float:
         """Approximate *q*-quantile from the bucket histogram.
 
-        Returns the upper bound of the bucket containing the quantile
-        (the last finite bound for the overflow bucket); 0.0 when empty.
+        Returns the upper bound of the first *non-empty* bucket whose
+        cumulative count reaches the quantile target (so ``q=0`` is the
+        bound of the smallest observed bucket, not the smallest bucket
+        that exists), the last finite bound when the quantile falls in
+        the overflow bucket, and 0.0 when the histogram is empty.
         """
         if not 0.0 <= q <= 1.0:
             raise TelemetryError("quantile must be in [0, 1]")
@@ -240,7 +255,7 @@ class HistogramSnapshot:
         running = 0
         for bound, n in zip(self.buckets, self.counts):
             running += n
-            if running >= target:
+            if n and running >= target:
                 return bound
         return self.buckets[-1]
 

@@ -42,12 +42,15 @@ __all__ = [
 #: Bump when the report JSON layout changes incompatibly.
 #: v2 (PR 4) added the ``coverage`` and ``table_health`` sections; v3
 #: (PR 5) added the ``simulation`` section (transient diagnostics +
-#: netlist-health summaries).  v1/v2 reports still load (they migrate
+#: netlist-health summaries); v4 (PR 8) added the ``slo`` section
+#: (rolling burn-rate summary from :class:`repro.telemetry.slo.SLOMonitor`)
+#: and the ``profile`` section (sampling-profiler header +
+#: collapsed-stack hot list).  Older reports still load (they migrate
 #: to empty sections).
-REPORT_SCHEMA_VERSION = 3
+REPORT_SCHEMA_VERSION = 4
 
 #: Older schema versions :meth:`RunReport.from_dict` accepts and migrates.
-_COMPATIBLE_SCHEMA_VERSIONS = (1, 2, REPORT_SCHEMA_VERSION)
+_COMPATIBLE_SCHEMA_VERSIONS = (1, 2, 3, REPORT_SCHEMA_VERSION)
 
 
 @dataclass
@@ -77,6 +80,14 @@ class RunReport:
     #: label (``"rc"`` / ``"rlc"`` for the skew and fig1 experiments).
     #: Empty for non-simulating runs and for migrated v1/v2 reports.
     simulation: Dict[str, dict] = field(default_factory=dict)
+    #: SLO section (v4): the burn-rate summary a serving session ended
+    #: with (see :meth:`repro.telemetry.slo.SLOMonitor.summary`); empty
+    #: for non-serving runs and migrated pre-v4 reports.
+    slo: Dict[str, object] = field(default_factory=dict)
+    #: Profile section (v4): sampling-profiler header + hottest stacks
+    #: (see :meth:`repro.telemetry.profiler.SamplingProfiler.summary`);
+    #: empty unless the run passed ``--profile``.
+    profile: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def totals(self) -> MetricsSnapshot:
@@ -102,6 +113,8 @@ class RunReport:
             "coverage": self.coverage,
             "table_health": self.table_health,
             "simulation": self.simulation,
+            "slo": self.slo,
+            "profile": self.profile,
         }
         if self.worker_metrics is not None:
             data["worker_metrics"] = self.worker_metrics.to_dict()
@@ -127,10 +140,13 @@ class RunReport:
             spans=list(data.get("spans", [])),
             meta=dict(data.get("meta", {})),
             # v1 reports predate the quality sections, v1/v2 the
-            # simulation section: all migrate to empty.
+            # simulation section, pre-v4 the slo/profile sections: all
+            # migrate to empty.
             coverage=list(data.get("coverage", [])),
             table_health=list(data.get("table_health", [])),
             simulation=dict(data.get("simulation", {})),
+            slo=dict(data.get("slo", {})),
+            profile=dict(data.get("profile", {})),
         )
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -166,6 +182,8 @@ class TelemetrySession:
         self.worker_spans: List[dict] = []
         self.table_health: List[dict] = []
         self.simulation: Dict[str, dict] = {}
+        self.slo: Dict[str, object] = {}
+        self.profile: Dict[str, object] = {}
         #: The finished report; available after the ``with`` block exits.
         self.report: Optional[RunReport] = None
 
@@ -216,6 +234,25 @@ class TelemetrySession:
         for label, section in sections.items():
             self.simulation[str(label)] = dict(section)
 
+    def add_slo(self, summary: Dict[str, object]) -> None:
+        """Attach an SLO summary (schema v4).
+
+        *summary* is :meth:`repro.telemetry.slo.SLOMonitor.summary`
+        output; the serve daemon calls this at drain so the report
+        records the burn-rate state the session ended with.
+        """
+        self.slo = dict(summary)
+
+    def add_profile(self, summary: Dict[str, object]) -> None:
+        """Attach a sampling-profiler summary (schema v4).
+
+        *summary* is
+        :meth:`repro.telemetry.profiler.SamplingProfiler.summary`
+        output (sample counts + hottest stacks); the full collapsed
+        stacks live in the ``--profile`` output file, not the report.
+        """
+        self.profile = dict(summary)
+
 
 @contextmanager
 def telemetry_session(command: str) -> Iterator[TelemetrySession]:
@@ -265,6 +302,8 @@ def telemetry_session(command: str) -> Iterator[TelemetrySession]:
             coverage=coverage,
             table_health=list(session.table_health),
             simulation=dict(session.simulation),
+            slo=dict(session.slo),
+            profile=dict(session.profile),
         )
 
 
@@ -367,6 +406,44 @@ def render_report(report: RunReport, max_spans: int = 200) -> str:
     if report.simulation:
         lines.append("")
         lines.append(_render_simulation(report.simulation).rstrip("\n"))
+    if report.slo:
+        lines.append("")
+        lines.append(_render_slo(report.slo).rstrip("\n"))
+    if report.profile:
+        lines.append("")
+        lines.append(_render_profile(report.profile).rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def _render_slo(slo: Dict[str, object]) -> str:
+    """Render the v4 ``slo`` section (burn-rate state per endpoint)."""
+    lines = [f"slo status: {slo.get('status', '?')}"]
+    endpoints = slo.get("endpoints") or {}
+    for endpoint in sorted(endpoints):
+        slis = endpoints[endpoint].get("slis", {})
+        parts = []
+        for sli in sorted(slis):
+            info = slis[sli]
+            parts.append(
+                f"{sli}={info.get('status', '?')}"
+                f" (burn {info.get('burn_rate', 0.0)})"
+            )
+        lifetime = endpoints[endpoint].get("lifetime", {})
+        total = lifetime.get("total", 0)
+        lines.append(f"  {endpoint}: {'  '.join(parts)}  [{total} req]")
+    return "\n".join(lines) + "\n"
+
+
+def _render_profile(profile: Dict[str, object]) -> str:
+    """Render the v4 ``profile`` section (hottest sampled stacks)."""
+    lines = [
+        "profile: "
+        f"{profile.get('samples', 0)} samples "
+        f"@ {profile.get('interval_seconds', 0.0)} s interval, "
+        f"{profile.get('distinct_stacks', 0)} distinct stack(s)"
+    ]
+    for entry in profile.get("hottest", [])[:10]:
+        lines.append(f"  {entry.get('count', 0):>8}  {entry.get('leaf', '?')}")
     return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,327 @@
+"""Rolling-window SLO monitor with multi-window burn-rate status.
+
+Tracks two service-level indicators per endpoint, each over sliding
+windows of 1 minute / 10 minutes / 1 hour:
+
+* **availability** -- fraction of requests that did not fail
+  (HTTP < 500, admission rejections count as failures);
+* **latency** -- fraction of requests completing under the configured
+  threshold (default 500 ms).
+
+Status follows the multi-window burn-rate recipe: with an objective
+``target`` (say 99 %), the *burn rate* of a window is::
+
+    burn = bad_fraction / (1 - target)
+
+i.e. burn 1.0 consumes the error budget exactly at the sustainable
+rate.  The monitor reports, per endpoint and SLI:
+
+* ``page`` when both the short (1 m) and mid (10 m) windows burn above
+  :attr:`SLOConfig.page_burn` -- fast, real, actionable;
+* ``warn`` when both the mid (10 m) and long (1 h) windows burn above
+  :attr:`SLOConfig.warn_burn` -- slow sustained burn;
+* ``ok`` otherwise.
+
+Observations land in per-second buckets on a ring sized by the longest
+window, so memory is O(window seconds) regardless of traffic, and a
+window read is one pass over at most 3600 buckets.  The clock is
+injectable so tests can drive window expiry deterministically.
+
+The serve layer feeds the monitor from the same measurements that feed
+``serve_latency_seconds`` (see ``ExtractionService.handle``), and its
+summary surfaces in ``/healthz``, ``/statusz``, ``/metrics`` (as
+``slo_*`` gauges) and schema-v4 run reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry.registry import get_registry
+
+__all__ = [
+    "SLOConfig",
+    "WindowStats",
+    "SLOMonitor",
+    "STATUS_ORDER",
+]
+
+#: Severity ordering for aggregation (worst wins).
+STATUS_ORDER: Tuple[str, ...] = ("ok", "warn", "page")
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objectives and window geometry for one :class:`SLOMonitor`."""
+
+    #: Availability objective (fraction of requests that must succeed).
+    availability_target: float = 0.99
+    #: Latency objective (fraction of requests under the threshold).
+    latency_target: float = 0.95
+    #: Latency threshold in seconds for the latency SLI.
+    latency_threshold: float = 0.5
+    #: Sliding windows in seconds, short to long.
+    windows: Tuple[int, ...] = (60, 600, 3600)
+    #: Burn rate over (short, mid) windows that pages.
+    page_burn: float = 14.4
+    #: Burn rate over (mid, long) windows that warns.
+    warn_burn: float = 6.0
+    #: Ignore windows with fewer observations than this (avoids paging
+    #: on the very first failed request of a quiet service).
+    min_events: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability_target < 1.0:
+            raise ValueError("availability_target must be in (0, 1)")
+        if not 0.0 < self.latency_target < 1.0:
+            raise ValueError("latency_target must be in (0, 1)")
+        if self.latency_threshold <= 0.0:
+            raise ValueError("latency_threshold must be positive")
+        if len(self.windows) != 3 or list(self.windows) != sorted(
+            set(self.windows)
+        ):
+            raise ValueError("windows must be 3 strictly increasing spans")
+
+
+@dataclass
+class WindowStats:
+    """Aggregate of one SLI over one sliding window."""
+
+    window: int
+    total: int = 0
+    bad: int = 0
+
+    @property
+    def bad_fraction(self) -> float:
+        return (self.bad / self.total) if self.total else 0.0
+
+    def burn_rate(self, target: float) -> float:
+        """Error-budget burn rate (1.0 = budget consumed exactly on pace)."""
+        return self.bad_fraction / (1.0 - target)
+
+    def to_dict(self, target: float) -> dict:
+        return {
+            "window_seconds": self.window,
+            "total": self.total,
+            "bad": self.bad,
+            "bad_fraction": round(self.bad_fraction, 6),
+            "burn_rate": round(self.burn_rate(target), 3),
+        }
+
+
+class _SecondRing:
+    """Per-second ``(total, avail_bad, latency_bad)`` buckets.
+
+    A plain list ring indexed by ``epoch_second % size``; a bucket is
+    lazily zeroed when the clock first lands on a new second, so stale
+    laps of the ring never leak into a window sum.
+    """
+
+    __slots__ = ("size", "seconds", "totals", "avail_bad", "latency_bad")
+
+    def __init__(self, size: int):
+        self.size = size
+        self.seconds = [-1] * size          # epoch second owning the slot
+        self.totals = [0] * size
+        self.avail_bad = [0] * size
+        self.latency_bad = [0] * size
+
+    def add(self, second: int, ok: bool, fast: bool) -> None:
+        idx = second % self.size
+        if self.seconds[idx] != second:
+            self.seconds[idx] = second
+            self.totals[idx] = 0
+            self.avail_bad[idx] = 0
+            self.latency_bad[idx] = 0
+        self.totals[idx] += 1
+        if not ok:
+            self.avail_bad[idx] += 1
+        if not fast:
+            self.latency_bad[idx] += 1
+
+    def window_sums(
+        self, now_second: int, window: int
+    ) -> Tuple[int, int, int]:
+        """``(total, avail_bad, latency_bad)`` over the last *window* s."""
+        total = avail = latency = 0
+        span = min(window, self.size)
+        for second in range(now_second - span + 1, now_second + 1):
+            idx = second % self.size
+            if self.seconds[idx] == second:
+                total += self.totals[idx]
+                avail += self.avail_bad[idx]
+                latency += self.latency_bad[idx]
+        return total, avail, latency
+
+
+class SLOMonitor:
+    """Per-endpoint rolling SLO tracking; thread-safe.
+
+    ``observe()`` is the single write path (called once per request,
+    including admission rejections).  ``status()`` / ``summary()`` are
+    the read paths for health endpoints and reports;
+    ``export_gauges()`` publishes ``slo_*`` gauges to the registry so
+    the burn rates ride the existing Prometheus text endpoint.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SLOConfig] = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._rings: Dict[str, _SecondRing] = {}
+        self._totals: Dict[str, Dict[str, int]] = {}
+        self.started_at = clock()
+
+    # -- write path ----------------------------------------------------
+    def observe(
+        self, endpoint: str, latency: float, ok: bool = True
+    ) -> None:
+        """Record one finished request for *endpoint*.
+
+        *ok* is the availability outcome (False for 5xx and admission
+        rejections); the latency SLI compares *latency* against the
+        configured threshold.  Rejected requests are by definition not
+        latency-compliant from the client's point of view, so ``ok=False``
+        also marks the latency SLI bad regardless of how quickly the
+        rejection was produced.
+        """
+        fast = ok and latency < self.config.latency_threshold
+        second = int(self._clock())
+        with self._lock:
+            ring = self._rings.get(endpoint)
+            if ring is None:
+                ring = self._rings[endpoint] = _SecondRing(
+                    self.config.windows[-1]
+                )
+                self._totals[endpoint] = {"total": 0, "bad": 0, "slow": 0}
+            ring.add(second, ok, fast)
+            totals = self._totals[endpoint]
+            totals["total"] += 1
+            if not ok:
+                totals["bad"] += 1
+            if not fast:
+                totals["slow"] += 1
+
+    # -- read paths ----------------------------------------------------
+    def windows(self, endpoint: str) -> Dict[str, List[WindowStats]]:
+        """Availability and latency :class:`WindowStats` per window."""
+        now_second = int(self._clock())
+        with self._lock:
+            ring = self._rings.get(endpoint)
+            if ring is None:
+                return {"availability": [], "latency": []}
+            sums = [
+                (w,) + ring.window_sums(now_second, w)
+                for w in self.config.windows
+            ]
+        return {
+            "availability": [
+                WindowStats(window=w, total=t, bad=a) for w, t, a, _ in sums
+            ],
+            "latency": [
+                WindowStats(window=w, total=t, bad=s) for w, t, _, s in sums
+            ],
+        }
+
+    def _sli_status(
+        self, stats: List[WindowStats], target: float
+    ) -> Tuple[str, float]:
+        """(status, worst considered burn) for one SLI's window trio."""
+        cfg = self.config
+        burns = [s.burn_rate(target) for s in stats]
+        counted = [s.total >= cfg.min_events for s in stats]
+        short, mid, long_ = burns
+        if (counted[0] and counted[1]
+                and short >= cfg.page_burn and mid >= cfg.page_burn):
+            return "page", max(short, mid)
+        if (counted[1] and counted[2]
+                and mid >= cfg.warn_burn and long_ >= cfg.warn_burn):
+            return "warn", max(mid, long_)
+        considered = [b for b, c in zip(burns, counted) if c]
+        return "ok", max(considered) if considered else 0.0
+
+    def status(self, endpoint: str) -> Dict[str, dict]:
+        """Per-SLI status dict for one endpoint."""
+        cfg = self.config
+        windows = self.windows(endpoint)
+        out: Dict[str, dict] = {}
+        for sli, target in (
+            ("availability", cfg.availability_target),
+            ("latency", cfg.latency_target),
+        ):
+            stats = windows[sli]
+            if not stats:
+                out[sli] = {"status": "ok", "burn_rate": 0.0,
+                            "target": target, "windows": []}
+                continue
+            state, burn = self._sli_status(stats, target)
+            out[sli] = {
+                "status": state,
+                "burn_rate": round(burn, 3),
+                "target": target,
+                "windows": [s.to_dict(target) for s in stats],
+            }
+        return out
+
+    def endpoints(self) -> List[str]:
+        with self._lock:
+            return sorted(self._rings)
+
+    def overall_status(self) -> str:
+        """Worst status across every endpoint and SLI."""
+        worst = "ok"
+        for endpoint in self.endpoints():
+            for sli in self.status(endpoint).values():
+                if STATUS_ORDER.index(sli["status"]) > STATUS_ORDER.index(worst):
+                    worst = sli["status"]
+        return worst
+
+    def summary(self) -> dict:
+        """The JSON summary embedded in /healthz, /statusz and reports."""
+        cfg = self.config
+        endpoints = {}
+        with self._lock:
+            lifetime = {k: dict(v) for k, v in self._totals.items()}
+        for endpoint in self.endpoints():
+            endpoints[endpoint] = {
+                "slis": self.status(endpoint),
+                "lifetime": lifetime.get(
+                    endpoint, {"total": 0, "bad": 0, "slow": 0}
+                ),
+            }
+        return {
+            "status": self.overall_status(),
+            "config": {
+                "availability_target": cfg.availability_target,
+                "latency_target": cfg.latency_target,
+                "latency_threshold_seconds": cfg.latency_threshold,
+                "windows_seconds": list(cfg.windows),
+                "page_burn": cfg.page_burn,
+                "warn_burn": cfg.warn_burn,
+            },
+            "endpoints": endpoints,
+        }
+
+    def export_gauges(self, registry=None) -> None:
+        """Publish ``slo_*`` gauges (burn rate, status code) per endpoint."""
+        registry = registry or get_registry()
+        status_code = {name: i for i, name in enumerate(STATUS_ORDER)}
+        for endpoint in self.endpoints():
+            for sli, info in self.status(endpoint).items():
+                registry.set_gauge(
+                    f"slo_burn_rate.{endpoint}.{sli}", info["burn_rate"]
+                )
+                registry.set_gauge(
+                    f"slo_status.{endpoint}.{sli}",
+                    status_code[info["status"]],
+                )
+        registry.set_gauge(
+            "slo_status", status_code[self.overall_status()]
+        )

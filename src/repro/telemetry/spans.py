@@ -41,6 +41,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
+from repro.telemetry.logs import current_correlation
 from repro.telemetry.registry import MetricsRegistry, get_registry
 
 __all__ = [
@@ -150,6 +151,14 @@ class Tracer:
             return
         registry = self.registry
         sp = Span(name, tags)
+        # Correlation ids (request_id / chunk_id) ride onto every span so
+        # a slow request found in the access log can be opened as a trace.
+        # Tuple iteration keeps the no-correlation hot path allocation-free
+        # (the tier-1 overhead guard holds span cost under 5 %).
+        correlation = current_correlation()
+        if correlation:
+            for key, value in correlation:
+                sp.tags.setdefault(key, value)
         stack = self._stack()
         start_counters = registry.counters_snapshot()
         stack.append(sp)

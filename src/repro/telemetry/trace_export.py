@@ -14,7 +14,10 @@ Format notes (the subset emitted here):
 * each root span tree gets its own ``tid`` lane, so worker span trees
   shipped into a parallel build's report render side by side instead of
   stacking into one false hierarchy,
-* ``"ph": "M"`` metadata events name the process and the lanes.
+* ``"ph": "M"`` metadata events name the process and the lanes,
+* an optional sampling profile merges as ``"ph": "i"`` *instant* events
+  on a dedicated ``profiler`` lane, one per captured stack sample, so a
+  slow span lines up visually with what the interpreter was executing.
 
 Clock hygiene: a span records its start as epoch seconds
 (``time.time``) but its duration on the monotonic clock
@@ -36,6 +39,7 @@ from repro.ioutil import atomic_write_text
 __all__ = [
     "chrome_trace_events",
     "chrome_trace",
+    "profiler_trace_events",
     "write_chrome_trace",
 ]
 
@@ -136,16 +140,65 @@ def chrome_trace_events(
     return events
 
 
+#: Lane id for merged profiler samples (far from real span lanes).
+_PROFILER_TID = 10_000
+
+
+def profiler_trace_events(
+    timeline: List[Dict[str, Any]],
+    epoch_zero: float,
+    pid: int = 1,
+    tid: int = _PROFILER_TID,
+) -> List[Dict[str, Any]]:
+    """Profiler timeline samples as ``"ph": "i"`` instant events.
+
+    *timeline* is
+    :meth:`~repro.telemetry.profiler.SamplingProfiler.timeline_events`
+    output (``{"ts": epoch_s, "stack": (frame, ...)}``); events land on
+    their own named lane with the leaf frame as the event name and the
+    full collapsed stack in ``args`` -- zooming into a slow span shows
+    exactly which kernel frame the sampler kept catching.
+    """
+    if not timeline:
+        return []
+    events: List[Dict[str, Any]] = [{
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": "profiler samples"},
+    }]
+    for sample in timeline:
+        stack = tuple(sample.get("stack", ()))
+        if not stack:
+            continue
+        events.append({
+            "name": stack[-1],
+            "cat": "profiler",
+            "ph": "i",
+            "s": "t",
+            "ts": round((float(sample["ts"]) - epoch_zero) * _US, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": {"stack": ";".join(stack)},
+        })
+    return events
+
+
 def chrome_trace(
     source,
     process_name: Optional[str] = None,
+    profile: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """Build the top-level trace JSON object.
 
     *source* is either a list of span-tree dicts or anything with
     ``.spans`` (a :class:`~repro.telemetry.report.RunReport`); the
     report's command names the process and its metadata lands in
-    ``otherData`` so the context survives into the viewer.
+    ``otherData`` so the context survives into the viewer.  *profile*,
+    when given, is a profiler timeline
+    (:meth:`~repro.telemetry.profiler.SamplingProfiler.timeline_events`)
+    merged onto a dedicated lane.
     """
     other: Dict[str, Any] = {}
     if hasattr(source, "spans"):
@@ -158,8 +211,22 @@ def chrome_trace(
     else:
         spans = list(source)
         name = process_name or "repro"
+    events = chrome_trace_events(spans, process_name=name)
+    if profile:
+        # Share the span lanes' time origin (earliest root start) so the
+        # profiler lane lines up; samples taken before any span land at
+        # negative ts, which the viewers accept.
+        if spans:
+            epoch_zero = min(
+                float(root.get("started_at", 0.0)) for root in spans
+            )
+        else:
+            epoch_zero = min(
+                (float(s["ts"]) for s in profile if "ts" in s), default=0.0
+            )
+        events.extend(profiler_trace_events(profile, epoch_zero))
     trace: Dict[str, Any] = {
-        "traceEvents": chrome_trace_events(spans, process_name=name),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
     }
     if other:
@@ -171,10 +238,14 @@ def write_chrome_trace(
     source,
     path: Union[str, Path],
     process_name: Optional[str] = None,
+    profile: Optional[List[Dict[str, Any]]] = None,
 ) -> Path:
     """Atomically write a Chrome trace JSON file and return its path."""
     path = Path(path)
     atomic_write_text(
-        path, json.dumps(chrome_trace(source, process_name=process_name))
+        path,
+        json.dumps(
+            chrome_trace(source, process_name=process_name, profile=profile)
+        ),
     )
     return path

@@ -1,0 +1,222 @@
+"""Structured logging: correlation scopes, ring, sinks, stdlib bridge."""
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    LOG_RECORD,
+    LogRing,
+    bind_correlation,
+    configure_logging,
+    correlation_ids,
+    correlation_scope,
+    current_correlation,
+    get_log_ring,
+    get_logger,
+    get_registry,
+    get_tracer,
+    install_stdlib_bridge,
+    new_request_id,
+    recent_logs,
+    span,
+    uninstall_stdlib_bridge,
+)
+from repro.telemetry.logs import log_to_stream
+
+
+@pytest.fixture(autouse=True)
+def clean_logging_state():
+    get_registry().reset()
+    get_tracer().reset()
+    get_log_ring().clear()
+    configure_logging(stream=None, path=None, level="info")
+    yield
+    uninstall_stdlib_bridge()
+    get_log_ring().clear()
+    configure_logging(stream=None, path=None, level="info")
+    get_registry().reset()
+    get_tracer().reset()
+
+
+class TestCorrelation:
+    def test_request_ids_are_greppable_and_unique(self):
+        rid = new_request_id()
+        assert rid.startswith("req-")
+        assert len(rid) == 16
+        assert rid != new_request_id()
+
+    def test_scope_sets_and_restores(self):
+        assert current_correlation() == ()
+        with correlation_scope(request_id="req-1") as ids:
+            assert ids == {"request_id": "req-1"}
+            assert correlation_ids() == {"request_id": "req-1"}
+        assert current_correlation() == ()
+
+    def test_scopes_nest_and_merge(self):
+        with correlation_scope(request_id="req-1"):
+            with correlation_scope(chunk_id="c7"):
+                assert correlation_ids() == {
+                    "request_id": "req-1", "chunk_id": "c7",
+                }
+            assert correlation_ids() == {"request_id": "req-1"}
+
+    def test_inner_scope_can_shadow(self):
+        with correlation_scope(request_id="outer"):
+            with correlation_scope(request_id="inner"):
+                assert correlation_ids() == {"request_id": "inner"}
+            assert correlation_ids() == {"request_id": "outer"}
+
+    def test_bind_returns_reset_token(self):
+        token = bind_correlation(request_id="req-x")
+        assert correlation_ids() == {"request_id": "req-x"}
+        from repro.telemetry.logs import _CORRELATION
+
+        _CORRELATION.reset(token)
+        assert correlation_ids() == {}
+
+    def test_new_threads_start_unscoped(self):
+        """ContextVar isolation: a request's id never leaks to another
+        thread -- the property ThreadingHTTPServer relies on."""
+        seen = {}
+
+        def worker():
+            seen["ids"] = correlation_ids()
+
+        with correlation_scope(request_id="req-main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["ids"] == {}
+
+    def test_correlation_lands_on_spans(self):
+        with correlation_scope(request_id="req-9"):
+            with span("serve.extract") as sp:
+                pass
+        assert sp.tags["request_id"] == "req-9"
+        # explicit tags win over the ambient correlation
+        with correlation_scope(request_id="ambient"):
+            with span("x", request_id="explicit") as sp2:
+                pass
+        assert sp2.tags["request_id"] == "explicit"
+
+
+class TestEmission:
+    def test_records_are_json_lines_with_correlation(self):
+        stream = io.StringIO()
+        with log_to_stream(stream):
+            with correlation_scope(request_id="req-2"):
+                get_logger("t").info("hello", answer=42)
+        record = json.loads(stream.getvalue().strip())
+        assert record["event"] == "hello"
+        assert record["level"] == "info"
+        assert record["logger"] == "t"
+        assert record["answer"] == 42
+        assert record["request_id"] == "req-2"
+        assert record["ts"] > 0
+
+    def test_min_level_filters(self):
+        stream = io.StringIO()
+        with log_to_stream(stream, level="warning"):
+            get_logger("t").debug("quiet")
+            get_logger("t").info("quiet")
+            get_logger("t").warning("loud")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "loud"
+
+    def test_file_sink_appends_json_lines(self, tmp_path):
+        path = tmp_path / "serve.log"
+        configure_logging(path=path, level="info")
+        get_logger("t").info("one")
+        get_logger("t").info("two")
+        configure_logging(stream=None, path=None)  # closes the file
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(l)["event"] for l in lines] == ["one", "two"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="loud")
+
+    def test_log_record_counters_tick(self):
+        get_logger("t").info("a")
+        get_logger("t").warning("b")
+        snap = get_registry().snapshot()
+        assert snap.counter(LOG_RECORD) == 2
+        assert snap.counter(f"{LOG_RECORD}.info") == 1
+        assert snap.counter(f"{LOG_RECORD}.warning") == 1
+
+    def test_unserializable_fields_fall_back_to_str(self):
+        stream = io.StringIO()
+        with log_to_stream(stream):
+            get_logger("t").info("obj", path=object())
+        record = json.loads(stream.getvalue().strip())
+        assert "object" in record["path"]
+
+
+class TestRing:
+    def test_ring_keeps_most_recent_and_counts_drops(self):
+        ring = LogRing(capacity=3)
+        for i in range(5):
+            ring.append({"level": "info", "event": f"e{i}"})
+        events = [r["event"] for r in ring.records()]
+        assert events == ["e2", "e3", "e4"]
+        assert ring.dropped == 2
+
+    def test_records_filter_by_level_and_limit(self):
+        ring = LogRing(capacity=10)
+        ring.append({"level": "info", "event": "a"})
+        ring.append({"level": "warning", "event": "b"})
+        ring.append({"level": "error", "event": "c"})
+        warnings = ring.records(min_level="warning")
+        assert [r["event"] for r in warnings] == ["b", "c"]
+        assert [r["event"] for r in ring.records(limit=1)] == ["c"]
+
+    def test_global_ring_feeds_recent_logs(self):
+        get_logger("t").warning("trouble", detail="x")
+        records = recent_logs(min_level="warning")
+        assert records[-1]["event"] == "trouble"
+        assert records[-1]["detail"] == "x"
+
+    def test_ring_capacity_reconfigurable(self):
+        configure_logging(ring_capacity=2)
+        for i in range(4):
+            get_logger("t").info(f"e{i}")
+        assert len(recent_logs()) == 2
+
+
+class TestStdlibBridge:
+    def test_stdlib_records_come_out_structured(self):
+        stream = io.StringIO()
+        install_stdlib_bridge()
+        with log_to_stream(stream):
+            with correlation_scope(request_id="req-b"):
+                logging.getLogger("third.party").warning(
+                    "served %s in %dms", "/extract", 12
+                )
+        record = json.loads(stream.getvalue().strip())
+        assert record["logger"] == "third.party"
+        assert record["event"] == "served /extract in 12ms"
+        assert record["level"] == "warning"
+        assert record["request_id"] == "req-b"
+
+    def test_bridge_is_idempotent_and_uninstalls(self):
+        h1 = install_stdlib_bridge()
+        h2 = install_stdlib_bridge()
+        assert h1 is h2
+        root = logging.getLogger("")
+        assert root.handlers.count(h1) == 1
+        uninstall_stdlib_bridge()
+        assert h1 not in root.handlers
+
+    def test_bridge_captures_exception_name(self):
+        install_stdlib_bridge()
+        try:
+            raise KeyError("missing")
+        except KeyError:
+            logging.getLogger("x").error("boom", exc_info=True)
+        record = recent_logs(min_level="error")[-1]
+        assert record["exception"] == "KeyError"

@@ -1,0 +1,182 @@
+"""Sampling profiler: collapsed stacks, timeline, Perfetto merge."""
+
+import threading
+import time
+
+import pytest
+
+from repro.constants import um
+from repro.geometry.primitives import Point3D, RectBar
+from repro.peec.hoer_love import bar_self_inductance
+from repro.telemetry import (
+    PROFILER_SAMPLE,
+    SamplingProfiler,
+    chrome_trace,
+    get_registry,
+    get_tracer,
+    profiling,
+)
+from repro.telemetry.profiler import MAX_STACK_DEPTH, _frame_stack
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    get_registry().reset()
+    get_tracer().reset()
+    yield
+    get_registry().reset()
+    get_tracer().reset()
+
+
+def kernel_burner(stop: threading.Event) -> None:
+    """Loop a real extraction kernel so samples name a kernel frame."""
+    bar = RectBar(Point3D(0.0, 0.0, 0.0), 1e-3, um(1), um(1), "x")
+    while not stop.is_set():
+        bar_self_inductance(bar)
+
+
+def profile_kernel(seconds: float = 0.3) -> SamplingProfiler:
+    stop = threading.Event()
+    burner = threading.Thread(target=kernel_burner, args=(stop,))
+    burner.start()
+    try:
+        with profiling(interval=0.002) as prof:
+            time.sleep(seconds)
+    finally:
+        stop.set()
+        burner.join()
+    return prof
+
+
+class TestFrameStack:
+    def test_labels_are_module_dot_function(self):
+        import sys
+
+        frame = sys._getframe()
+        stack = _frame_stack(frame)
+        assert stack[-1].endswith(".test_labels_are_module_dot_function")
+        assert all("." in label for label in stack)
+
+    def test_depth_is_bounded(self):
+        def recurse(n):
+            if n == 0:
+                import sys
+
+                return _frame_stack(sys._getframe())
+            return recurse(n - 1)
+
+        stack = recurse(MAX_STACK_DEPTH + 40)
+        assert len(stack) == MAX_STACK_DEPTH
+        # innermost frames are the ones kept
+        assert stack[-1].endswith(".recurse")
+
+
+class TestSampling:
+    def test_collapsed_stacks_name_the_kernel(self):
+        """Acceptance: non-empty collapsed output whose hottest stacks
+        include a real solver frame."""
+        prof = profile_kernel()
+        assert prof.samples > 0
+        collapsed = prof.collapsed()
+        assert collapsed.strip()
+        for line in collapsed.strip().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in stack or "." in stack
+        assert "repro.peec.hoer_love" in collapsed
+
+    def test_summary_and_counters(self):
+        prof = profile_kernel()
+        summary = prof.summary()
+        assert summary["samples"] == prof.samples > 0
+        assert summary["distinct_stacks"] >= 1
+        assert summary["timeline_samples"] >= summary["distinct_stacks"]
+        assert summary["duration_seconds"] > 0
+        assert summary["interval_seconds"] == 0.002
+        leaves = [h["leaf"] for h in summary["hottest"]]
+        assert any("hoer_love" in leaf for leaf in leaves)
+        assert get_registry().counter_value(PROFILER_SAMPLE) >= prof.samples
+
+    def test_profiler_excludes_itself(self):
+        prof = profile_kernel(seconds=0.1)
+        assert all(
+            "profiler._run" not in ";".join(stack) for stack in prof.stacks
+        )
+
+    def test_write_collapsed(self, tmp_path):
+        prof = profile_kernel(seconds=0.1)
+        out = tmp_path / "profile.collapsed"
+        prof.write_collapsed(str(out))
+        assert out.read_text() == prof.collapsed()
+
+    def test_min_count_filters(self):
+        prof = SamplingProfiler()
+        prof.stacks[("a.f", "b.g")] = 5
+        prof.stacks[("a.f", "c.h")] = 1
+        assert "c.h" in prof.collapsed(min_count=1)
+        assert "c.h" not in prof.collapsed(min_count=2)
+        assert prof.collapsed(min_count=10) == ""
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler(interval=0.05)
+        prof.start()
+        try:
+            with pytest.raises(RuntimeError):
+                prof.start()
+        finally:
+            prof.stop()
+        assert not prof.running
+
+    def test_stop_is_idempotent(self):
+        prof = SamplingProfiler(interval=0.05)
+        prof.start()
+        prof.stop()
+        prof.stop()
+        assert not prof.running
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+    def test_timeline_is_bounded(self):
+        prof = SamplingProfiler()
+        prof.MAX_TIMELINE = 3
+        # simulate the sampler appending past the bound
+        for i in range(10):
+            stack = (f"m.f{i}",)
+            prof.stacks[stack] += 1
+            if len(prof.timeline) < prof.MAX_TIMELINE:
+                prof._stack_ids[stack] = len(prof._stacks_by_id)
+                prof._stacks_by_id.append(stack)
+                prof.timeline.append((float(i), prof._stack_ids[stack]))
+        assert len(prof.timeline) == 3
+        assert sum(prof.stacks.values()) == 10  # aggregation continues
+
+
+class TestPerfettoMerge:
+    def test_timeline_events_resolve_stacks(self):
+        prof = profile_kernel(seconds=0.1)
+        events = prof.timeline_events()
+        assert len(events) == prof.summary()["timeline_samples"]
+        for event in events:
+            assert event["ts"] > 0
+            assert isinstance(event["stack"], tuple)
+
+    def test_chrome_trace_gains_profiler_lane(self):
+        tracer = get_tracer()
+        with tracer.span("serve.extract"):
+            prof = profile_kernel(seconds=0.1)
+        spans = [root.to_dict() for root in tracer.drain()]
+        trace = chrome_trace(spans, profile=prof.timeline_events())
+        instants = [e for e in trace["traceEvents"]
+                    if e.get("cat") == "profiler"]
+        assert instants
+        assert all(e["ph"] == "i" for e in instants)
+        assert any("hoer_love" in e["args"]["stack"] for e in instants)
+        lanes = [e for e in trace["traceEvents"]
+                 if e.get("name") == "thread_name"]
+        assert any(
+            e["args"]["name"] == "profiler samples" for e in lanes
+        )

@@ -112,6 +112,51 @@ class TestHistogramBuckets:
             hist.quantile(1.5)
 
 
+class TestQuantileEdgeCases:
+    """PR-8 hardening: quantile() on degenerate histograms."""
+
+    def test_empty_histogram_is_zero_everywhere(self):
+        empty = HistogramSnapshot(buckets=(1.0, 2.0), counts=(0, 0, 0),
+                                  sum=0.0, count=0)
+        assert empty.quantile(0.0) == 0.0
+        assert empty.quantile(0.5) == 0.0
+        assert empty.quantile(1.0) == 0.0
+
+    def test_single_bucket_histogram(self):
+        hist = HistogramSnapshot(buckets=(1.0,), counts=(3, 0), sum=1.5,
+                                 count=3)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 1.0
+
+    def test_q_zero_skips_empty_leading_buckets(self):
+        """q=0 lands on the first bucket that actually holds mass."""
+        hist = HistogramSnapshot(buckets=(1.0, 10.0, 100.0),
+                                 counts=(0, 4, 0, 0), sum=20.0, count=4)
+        assert hist.quantile(0.0) == 10.0
+        assert hist.quantile(1.0) == 10.0
+
+    def test_all_overflow_returns_last_finite_bound(self):
+        """Every observation above the largest bound: the +Inf bucket
+        holds all the mass, and the best finite answer is the last
+        bound (a known lower bound on the true quantile)."""
+        reg = MetricsRegistry()
+        for _ in range(5):
+            reg.observe("h", 1e6, buckets=(1.0, 10.0))
+        hist = reg.snapshot().histogram("h")
+        assert hist.counts == (0, 0, 5)
+        assert hist.quantile(0.5) == 10.0
+        assert hist.quantile(1.0) == 10.0
+
+    def test_quantile_out_of_range_rejected(self):
+        hist = HistogramSnapshot(buckets=(1.0,), counts=(1, 0), sum=0.5,
+                                 count=1)
+        with pytest.raises(TelemetryError):
+            hist.quantile(-0.1)
+        with pytest.raises(TelemetryError):
+            hist.quantile(1.5)
+
+
 class TestSnapshotAlgebra:
     def test_minus_gives_deltas(self):
         reg = MetricsRegistry()

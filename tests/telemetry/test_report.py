@@ -168,14 +168,34 @@ class TestSchemaMigration:
         assert "lookup-domain coverage" not in text
         assert "table health" not in text
 
-    def test_saved_reports_are_v3(self, tmp_path):
-        path = tmp_path / "v3.json"
+    def test_saved_reports_are_v4(self, tmp_path):
+        path = tmp_path / "v4.json"
         RunReport(command="x").save(path)
         data = json.loads(path.read_text())
-        assert data["schema_version"] == 3
+        assert data["schema_version"] == 4
         assert data["coverage"] == []
         assert data["table_health"] == []
         assert data["simulation"] == {}
+        assert data["slo"] == {}
+        assert data["profile"] == {}
+
+    def test_v3_report_loads_with_empty_observability_sections(
+        self, tmp_path
+    ):
+        data = RunReport(
+            command="repro serve",
+            simulation={"rc": {"netlist_health": {"clean": True}}},
+        ).to_dict()
+        # rewind to the v3 shape: no slo / profile sections
+        data["schema_version"] = 3
+        del data["slo"]
+        del data["profile"]
+        path = tmp_path / "v3.json"
+        path.write_text(json.dumps(data))
+        report = load_report(path)
+        assert report.slo == {}
+        assert report.profile == {}
+        assert report.simulation["rc"]["netlist_health"]["clean"] is True
 
     def test_v2_report_loads_with_empty_simulation(self, tmp_path):
         data = RunReport(
@@ -190,6 +210,41 @@ class TestSchemaMigration:
         report = load_report(path)
         assert report.simulation == {}
         assert report.coverage == [{"table": "t", "lookups": 1}]
+
+    def test_v4_observability_sections_roundtrip(self, tmp_path):
+        report = RunReport(
+            command="repro serve",
+            slo={
+                "status": "warn",
+                "endpoints": {
+                    "extract": {
+                        "slis": {
+                            "availability": {"status": "warn",
+                                             "burn_rate": 7.5,
+                                             "target": 0.99,
+                                             "windows": []},
+                        },
+                        "lifetime": {"total": 120, "bad": 3, "slow": 9},
+                    },
+                },
+            },
+            profile={"interval_seconds": 0.005, "samples": 321,
+                     "distinct_stacks": 17, "timeline_samples": 321,
+                     "duration_seconds": 2.0,
+                     "hottest": [{"leaf": "repro.peec.hoer_love."
+                                          "mutual_inductance_batch",
+                                  "count": 200}]},
+        )
+        path = tmp_path / "r.json"
+        report.save(path)
+        loaded = load_report(path)
+        assert loaded.slo == report.slo
+        assert loaded.profile == report.profile
+        text = render_report(loaded)
+        assert "slo status: warn" in text
+        assert "extract: availability=warn (burn 7.5)" in text
+        assert "profile: 321 samples" in text
+        assert "mutual_inductance_batch" in text
 
     def test_v3_simulation_section_roundtrips(self, tmp_path):
         report = RunReport(

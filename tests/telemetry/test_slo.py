@@ -1,0 +1,275 @@
+"""SLO monitor: window arithmetic, burn-rate status, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    SLOConfig,
+    SLOMonitor,
+    WindowStats,
+)
+
+
+class FakeClock:
+    """Deterministic injectable clock for window expiry tests."""
+
+    def __init__(self, start: float = 1_000_000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def monitor(clock=None, **overrides) -> SLOMonitor:
+    return SLOMonitor(SLOConfig(**overrides), clock=clock or FakeClock())
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        cfg = SLOConfig()
+        assert cfg.windows == (60, 600, 3600)
+        assert cfg.page_burn > cfg.warn_burn
+
+    @pytest.mark.parametrize("kwargs", [
+        {"availability_target": 0.0},
+        {"availability_target": 1.0},
+        {"latency_target": 1.5},
+        {"latency_threshold": 0.0},
+        {"windows": (60, 600)},
+        {"windows": (600, 60, 3600)},
+        {"windows": (60, 60, 3600)},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOConfig(**kwargs)
+
+
+class TestWindowStats:
+    def test_bad_fraction_and_burn(self):
+        stats = WindowStats(window=60, total=100, bad=2)
+        assert stats.bad_fraction == pytest.approx(0.02)
+        # 2% failures against a 99% target burns budget at 2x pace
+        assert stats.burn_rate(0.99) == pytest.approx(2.0)
+        assert WindowStats(window=60).bad_fraction == 0.0
+
+    def test_to_dict(self):
+        d = WindowStats(window=600, total=10, bad=5).to_dict(target=0.99)
+        assert d["window_seconds"] == 600
+        assert d["bad_fraction"] == pytest.approx(0.5)
+        assert d["burn_rate"] == pytest.approx(50.0)
+
+
+class TestWindowArithmetic:
+    def test_observations_roll_off_each_window(self):
+        clock = FakeClock()
+        mon = monitor(clock)
+        for _ in range(10):
+            mon.observe("extract", 0.01, ok=False)
+        windows = mon.windows("extract")
+        assert [w.total for w in windows["availability"]] == [10, 10, 10]
+        assert [w.bad for w in windows["availability"]] == [10, 10, 10]
+
+        clock.advance(61)  # out of the 1m window, still in 10m and 1h
+        windows = mon.windows("extract")
+        assert [w.total for w in windows["availability"]] == [0, 10, 10]
+
+        clock.advance(600)  # out of 10m too
+        windows = mon.windows("extract")
+        assert [w.total for w in windows["availability"]] == [0, 0, 10]
+
+        clock.advance(3600)  # everything expired
+        windows = mon.windows("extract")
+        assert [w.total for w in windows["availability"]] == [0, 0, 0]
+
+    def test_ring_lap_does_not_resurrect_stale_buckets(self):
+        """An observation 1h+ later reuses the same ring slot; the old
+        second's counts must not leak into the new window sums."""
+        clock = FakeClock()
+        mon = monitor(clock)
+        mon.observe("extract", 0.01, ok=False)
+        clock.advance(3600)  # exactly one full lap: same slot index
+        mon.observe("extract", 0.01, ok=True)
+        windows = mon.windows("extract")
+        assert [w.total for w in windows["availability"]] == [1, 1, 1]
+        assert [w.bad for w in windows["availability"]] == [0, 0, 0]
+
+    def test_latency_sli_counts_slow_and_rejected(self):
+        clock = FakeClock()
+        mon = monitor(clock, latency_threshold=0.5)
+        mon.observe("extract", 0.1, ok=True)    # fast
+        mon.observe("extract", 0.9, ok=True)    # slow
+        mon.observe("extract", 0.0, ok=False)   # rejected: slow by fiat
+        windows = mon.windows("extract")
+        assert windows["latency"][0].total == 3
+        assert windows["latency"][0].bad == 2
+        assert windows["availability"][0].bad == 1
+
+    def test_unknown_endpoint_is_empty(self):
+        mon = monitor()
+        assert mon.windows("nope") == {"availability": [], "latency": []}
+        status = mon.status("nope")
+        assert status["availability"]["status"] == "ok"
+        assert status["availability"]["windows"] == []
+
+
+class TestBurnRateStatus:
+    def test_healthy_service_is_ok(self):
+        mon = monitor()
+        for _ in range(100):
+            mon.observe("extract", 0.01, ok=True)
+        assert mon.status("extract")["availability"]["status"] == "ok"
+        assert mon.overall_status() == "ok"
+
+    def test_total_outage_pages(self):
+        mon = monitor()
+        for _ in range(50):
+            mon.observe("extract", 0.01, ok=False)
+        status = mon.status("extract")["availability"]
+        assert status["status"] == "page"
+        # 100% bad against 99% target = burn 100
+        assert status["burn_rate"] == pytest.approx(100.0)
+        assert mon.overall_status() == "page"
+
+    def test_ok_to_page_transition_on_fault_injection(self):
+        """The acceptance scenario: healthy traffic, then a fault."""
+        clock = FakeClock()
+        mon = monitor(clock)
+        for _ in range(20):
+            mon.observe("extract", 0.01, ok=True)
+            clock.advance(1)
+        assert mon.overall_status() == "ok"
+        for _ in range(20):
+            mon.observe("extract", 0.01, ok=False)
+            clock.advance(1)
+        assert mon.overall_status() == "page"
+
+    def test_page_clears_when_short_window_recovers(self):
+        clock = FakeClock()
+        mon = monitor(clock)
+        for _ in range(50):
+            mon.observe("extract", 0.01, ok=False)
+        assert mon.overall_status() == "page"
+        clock.advance(61)  # failures leave the 1m window
+        for _ in range(50):
+            mon.observe("extract", 0.01, ok=True)
+        # mid window still burns, but the page condition needs both
+        assert mon.status("extract")["availability"]["status"] != "page"
+
+    def test_sustained_slow_burn_warns_not_pages(self):
+        """~8% bad for over 10 minutes: burn 8 against 99% target sits
+        between warn (6) and page (14.4)."""
+        clock = FakeClock()
+        mon = monitor(clock)
+        for _ in range(700):
+            for _ in range(11):
+                mon.observe("extract", 0.01, ok=True)
+            mon.observe("extract", 0.01, ok=False)
+            clock.advance(1)
+        status = mon.status("extract")["availability"]
+        assert status["status"] == "warn"
+
+    def test_min_events_guard_suppresses_noise(self):
+        """One failed request on a quiet service must not page."""
+        mon = monitor(min_events=5)
+        mon.observe("extract", 0.01, ok=False)
+        assert mon.status("extract")["availability"]["status"] == "ok"
+
+    def test_endpoints_are_independent(self):
+        mon = monitor()
+        for _ in range(50):
+            mon.observe("bad", 0.01, ok=False)
+            mon.observe("good", 0.01, ok=True)
+        assert mon.status("bad")["availability"]["status"] == "page"
+        assert mon.status("good")["availability"]["status"] == "ok"
+        assert mon.endpoints() == ["bad", "good"]
+        assert mon.overall_status() == "page"
+
+
+class TestSummaryAndGauges:
+    def test_summary_shape(self):
+        mon = monitor()
+        mon.observe("extract", 0.8, ok=True)
+        summary = mon.summary()
+        assert summary["status"] in ("ok", "warn", "page")
+        assert summary["config"]["windows_seconds"] == [60, 600, 3600]
+        ep = summary["endpoints"]["extract"]
+        assert ep["lifetime"] == {"total": 1, "bad": 0, "slow": 1}
+        assert set(ep["slis"]) == {"availability", "latency"}
+        for sli in ep["slis"].values():
+            assert len(sli["windows"]) == 3
+
+    def test_export_gauges(self):
+        reg = MetricsRegistry()
+        mon = monitor()
+        for _ in range(50):
+            mon.observe("extract", 0.01, ok=False)
+        mon.export_gauges(reg)
+        gauges = reg.snapshot().gauges
+        assert gauges["slo_burn_rate.extract.availability"] == pytest.approx(
+            100.0
+        )
+        assert gauges["slo_status.extract.availability"] == 2  # page
+        assert gauges["slo_status"] == 2
+
+
+class TestConcurrency:
+    def test_concurrent_observers_lose_nothing(self):
+        """Satellite (c): hammer the single write path from many threads
+        and assert the window sums and lifetime totals are exact."""
+        clock = FakeClock()
+        mon = monitor(clock)
+        per_thread = 2000
+        threads = 4
+
+        def hammer(tid: int):
+            for i in range(per_thread):
+                mon.observe("extract", 0.01, ok=(i % 2 == 0))
+                mon.observe(f"ep{tid}", 0.9, ok=True)
+
+        workers = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+        windows = mon.windows("extract")
+        total = threads * per_thread
+        assert [w.total for w in windows["availability"]] == [total] * 3
+        assert [w.bad for w in windows["availability"]] == [total // 2] * 3
+        summary = mon.summary()
+        assert summary["endpoints"]["extract"]["lifetime"]["total"] == total
+        for t in range(threads):
+            ep = summary["endpoints"][f"ep{t}"]["lifetime"]
+            assert ep == {
+                "total": per_thread, "bad": 0, "slow": per_thread,
+            }
+
+    def test_readers_race_writers_without_crashing(self):
+        clock = FakeClock()
+        mon = monitor(clock)
+        stop = threading.Event()
+        errors = []
+
+        def read_loop():
+            try:
+                while not stop.is_set():
+                    mon.summary()
+                    mon.overall_status()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        for i in range(5000):
+            mon.observe("extract", 0.01, ok=(i % 3 != 0))
+        stop.set()
+        reader.join()
+        assert errors == []
+        assert mon.windows("extract")["availability"][0].total == 5000

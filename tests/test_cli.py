@@ -154,7 +154,7 @@ class TestLintCLI:
         assert main(["lint", str(deck), "--telemetry", str(out)]) == 0
         capsys.readouterr()
         report = load_report(out)
-        assert report.to_dict()["schema_version"] == 3
+        assert report.to_dict()["schema_version"] == 4
         health = report.simulation[deck.name]["netlist_health"]
         assert health["findings"] == []
         assert main(["report", str(out)]) == 0
@@ -169,7 +169,7 @@ class TestSimulationTelemetry:
         assert main(["skew", "--telemetry", str(out)]) == 0
         capsys.readouterr()
         report = load_report(out)
-        assert report.to_dict()["schema_version"] == 3
+        assert report.to_dict()["schema_version"] == 4
         assert set(report.simulation) == {"rc", "rlc"}
         for label in ("rc", "rlc"):
             section = report.simulation[label]
@@ -244,3 +244,59 @@ class TestServeCLI:
             main(["--version"])
         assert excinfo.value.code == 0
         assert get_version() in capsys.readouterr().out
+
+
+class TestObservabilityCLI:
+    def test_serve_parser_observability_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--library", "kit", "--log-file", "serve.log",
+             "--log-level", "debug", "--slo-latency-ms", "250",
+             "--profile", "prof.txt", "--profile-interval", "2"])
+        assert args.log_file == "serve.log"
+        assert args.log_level == "debug"
+        assert args.slo_latency_ms == 250.0
+        assert args.profile == "prof.txt"
+        assert args.profile_interval == 2.0
+
+    def test_serve_rejects_bad_log_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--library", "kit", "--log-level", "loud"])
+
+    def test_serve_rejects_bad_slo_latency(self, capsys):
+        from repro.telemetry.logs import configure_logging
+
+        try:
+            assert main(["serve", "--library", "/nonexistent",
+                         "--slo-latency-ms", "0"]) == 2
+        finally:
+            configure_logging(stream=None, path=None, level="info")
+        assert "--slo-latency-ms" in capsys.readouterr().err
+
+    def test_library_build_profile_writes_collapsed_stacks(
+        self, tmp_path, capsys
+    ):
+        from repro.telemetry import load_report
+
+        profile = tmp_path / "build.collapsed"
+        report_path = tmp_path / "build.json"
+        assert main([
+            "library", "build", "--root", str(tmp_path / "kit"),
+            "--widths", "6", "10", "--lengths", "500", "1500",
+            "--serial", "--quiet",
+            "--profile", str(profile), "--profile-interval", "1",
+            "--telemetry", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profile (" in out
+        text = profile.read_text()
+        assert text.strip()
+        for line in text.strip().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert "." in stack
+        # the run report embeds the same profile summary (schema v4)
+        report = load_report(report_path)
+        assert report.profile["samples"] > 0
+        assert report.profile["interval_seconds"] == pytest.approx(1e-3)
+        assert report.profile["hottest"]
