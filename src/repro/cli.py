@@ -9,32 +9,21 @@ family.
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from typing import List, Optional
 
 
 from repro.constants import GHz, to_GHz, to_nH, to_pF, to_ps, um
 
-
-def _cmd_fig1(args: argparse.Namespace) -> int:
-    from repro.experiments import run_fig1
-
-    result = run_fig1(drive_resistance=args.drive_resistance)
-    print("Fig. 1 co-planar waveguide clock net (6000 um)")
-    print(f"  extracted R = {result.rlc.resistance:8.2f} ohm")
-    print(f"  extracted L = {to_nH(result.rlc.inductance):8.3f} nH")
-    print(f"  extracted C = {to_pF(result.rlc.capacitance):8.3f} pF")
-    print(f"  delay RC   = {to_ps(result.delay_rc):7.2f} ps   (paper: 28.01 ps)")
-    print(f"  delay RLC  = {to_ps(result.delay_rlc):7.2f} ps   (paper: 47.60 ps)")
-    print(f"  delay ratio = {result.delay_ratio:5.2f}          (paper: 1.70)")
-    print(f"  overshoot  = {result.overshoot_rlc * 100.0:5.1f} %")
-    print(f"  undershoot = {result.undershoot_rlc * 100.0:5.1f} %")
-    _emit_simulation(args, result.simulation_reports())
-    return 0
+#: ``--PARAM=value`` scenario override (pycomex style): UPPERCASE name,
+#: pre-extracted in :func:`main` because argparse cannot accept unknown
+#: option names per-scenario.
+_PARAM_OVERRIDE = re.compile(r"^--([A-Z][A-Z0-9_]*)=(.*)$", re.DOTALL)
 
 
-def _emit_simulation(args: argparse.Namespace, sections) -> None:
-    """Print simulation-health one-liners and feed the v3 report section."""
+def _print_simulation_health(sections) -> None:
+    """Print the per-netlist simulation-health one-liners."""
     for label in sorted(sections):
         section = sections[label]
         diag = section.get("diagnostics")
@@ -50,9 +39,41 @@ def _emit_simulation(args: argparse.Namespace, sections) -> None:
                 parts.append("dt UNDERSAMPLED")
         if parts:
             print(f"  [{label}] " + ", ".join(parts))
-    session = getattr(args, "_telemetry_session", None)
-    if session is not None:
-        session.add_simulation(sections)
+
+
+def _run_scenario_alias(args: argparse.Namespace, name: str,
+                        overrides: dict) -> int:
+    """Legacy experiment commands routed through the scenario runner.
+
+    Aliases always execute (``force=True``) and always record a
+    provenance-stamped ledger run; skip-if-done is a ``repro run``
+    behavior.  Output is the scenario's own ``render`` plus the
+    simulation-health one-liners, so the console contract is unchanged.
+    """
+    from repro.scenarios import get_scenario, run_scenario
+
+    telemetry_path = getattr(args, "telemetry", None)
+    outcome = run_scenario(
+        name, overrides,
+        force=True,
+        command=f"repro {args.command}",
+        telemetry_path=telemetry_path,
+    )
+    scenario = get_scenario(name)
+    if scenario.render is not None:
+        print(scenario.render(outcome.metrics))
+    if outcome.report is not None and outcome.report.simulation:
+        _print_simulation_health(outcome.report.simulation)
+    if telemetry_path:
+        print(f"telemetry report -> {telemetry_path}")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    return _run_scenario_alias(
+        args, "fig1-delay",
+        {"DRIVE_RESISTANCE": args.drive_resistance},
+    )
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
@@ -103,21 +124,13 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_skew(args: argparse.Namespace) -> int:
-    from repro.experiments import run_htree_skew
-
-    result = run_htree_skew(
-        library=getattr(args, "library", None),
-        solver=getattr(args, "solver", "auto"),
+    return _run_scenario_alias(
+        args, "htree-skew",
+        {
+            "LIBRARY": getattr(args, "library", None) or "",
+            "SOLVER": getattr(args, "solver", "auto"),
+        },
     )
-    print("H-tree clock skew, RC-only vs RLC netlist (Sec. V)")
-    print(f"  sinks: {result.htree.num_sinks}, levels: {result.htree.num_levels}")
-    print(f"  skew RC  = {to_ps(result.rc_skew):7.2f} ps")
-    print(f"  skew RLC = {to_ps(result.rlc_skew):7.2f} ps")
-    print(f"  skew discrepancy  = {result.skew_discrepancy_percent:5.1f} % "
-          "(paper: can exceed 10 %)")
-    print(f"  delay discrepancy = {result.delay_discrepancy_percent:5.1f} %")
-    _emit_simulation(args, result.comparison.simulation_reports())
-    return 0
 
 
 def _cmd_variation(args: argparse.Namespace) -> int:
@@ -134,18 +147,162 @@ def _cmd_variation(args: argparse.Namespace) -> int:
 
 
 def _cmd_accuracy(args: argparse.Namespace) -> int:
-    from repro.experiments import run_table_accuracy
+    return _run_scenario_alias(args, "table-accuracy", {})
 
-    result = run_table_accuracy()
-    print("Table-based extraction accuracy and speed (Sec. III)")
-    print(f"  characterization time: {result.characterization_time:.2f} s")
-    print(f"  {'width [um]':>11} {'length [um]':>12} {'table [nH]':>11} "
-          f"{'direct [nH]':>12} {'error':>8} {'speedup':>9}")
-    for probe in result.probes:
-        print(f"  {probe.width * 1e6:11.1f} {probe.length * 1e6:12.0f} "
-              f"{to_nH(probe.table_inductance):11.4f} "
-              f"{to_nH(probe.direct_inductance):12.4f} "
-              f"{probe.relative_error * 100.0:7.2f}% {probe.speedup:8.0f}x")
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import ScenarioError, ScenarioRunError
+    from repro.scenarios import (RunLedger, all_scenarios,
+                                 default_ledger_root, get_scenario,
+                                 run_scenario)
+
+    if args.list_scenarios or args.scenario is None:
+        group = None
+        for scenario in all_scenarios():
+            if scenario.figure != group:
+                group = scenario.figure
+                print(f"[{group}]")
+            print(f"  {scenario.name:<20} {scenario.description}")
+            knobs = ", ".join(f"{k}={v!r}" for k, v in
+                              sorted(scenario.defaults.items()))
+            if knobs:
+                print(f"  {'':<20} params: {knobs}")
+        if args.scenario is None and not args.list_scenarios:
+            print("\nusage: repro run <scenario> [--PARAM=value ...]",
+                  file=sys.stderr)
+            return 2
+        return 0
+
+    ledger_root = args.ledger or default_ledger_root()
+    ledger = RunLedger(ledger_root)
+    try:
+        outcome = run_scenario(
+            args.scenario,
+            getattr(args, "param_overrides", None),
+            ledger=ledger,
+            force=args.force,
+            telemetry_path=args.telemetry,
+        )
+    except ScenarioRunError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        import json as _json
+
+        print(_json.dumps({
+            "run_id": outcome.run_id,
+            "run_key": outcome.run_key,
+            "skipped": outcome.skipped,
+            "params": outcome.params,
+            "metrics": outcome.metrics,
+        }, indent=1, default=str))
+        return 0
+    if outcome.skipped:
+        print(f"run {args.scenario}: ledger hit {outcome.run_id} "
+              "(identical request already completed; --force to rerun)")
+    scenario = get_scenario(args.scenario)
+    if scenario.render is not None:
+        print(scenario.render(outcome.metrics))
+    if outcome.report is not None and outcome.report.simulation:
+        _print_simulation_health(outcome.report.simulation)
+    if not outcome.skipped:
+        print(f"run recorded: {outcome.run_id} -> {ledger.root}")
+    if args.telemetry and not outcome.skipped:
+        print(f"telemetry report -> {args.telemetry}")
+    return 0
+
+
+def _scenario_guard(func):
+    """Turn ScenarioError from a `runs` subcommand into a usage error."""
+    def wrapper(args: argparse.Namespace) -> int:
+        from repro.errors import ScenarioError
+
+        try:
+            return func(args)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    wrapper.__name__ = getattr(func, "__name__", "runs_command")
+    return wrapper
+
+
+def _runs_ledger(args: argparse.Namespace):
+    from repro.scenarios import RunLedger, default_ledger_root
+
+    return RunLedger(args.ledger or default_ledger_root(), create=False)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.scenarios import render_entries
+
+    ledger = _runs_ledger(args)
+    since = (_time.time() - args.since * 86400.0
+             if args.since is not None else None)
+    entries = ledger.entries(scenario=args.scenario, sha=args.sha,
+                             since=since, status=args.status)
+    print(f"ledger {ledger.root}: {len(entries)} run(s)")
+    print(render_entries(entries), end="")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    from repro.scenarios import render_run
+
+    ledger = _runs_ledger(args)
+    entry = ledger.resolve(args.run)
+    run = ledger.load_run(entry.run_id)
+    print(render_run(run), end="")
+    if args.report:
+        report = ledger.load_report(entry.run_id)
+        if report is None:
+            print("(no telemetry report captured)")
+        else:
+            from repro.telemetry import render_report
+
+            print(render_report(report, max_spans=args.max_spans), end="")
+    if args.logs:
+        import json as _json
+
+        for record in ledger.load_logs(entry.run_id):
+            print(_json.dumps(record, sort_keys=True, default=str))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.scenarios import diff_runs
+
+    ledger = _runs_ledger(args)
+    baseline = ledger.resolve(args.baseline)
+    candidate = ledger.resolve(args.candidate)
+    diff = diff_runs(
+        ledger.load_run(baseline.run_id),
+        ledger.load_run(candidate.run_id),
+        threshold=args.threshold, mad_k=args.mad_k,
+    )
+    print(f"baseline  {baseline.run_id} ({baseline.scenario} "
+          f"@ {baseline.git_sha[:12]})")
+    print(f"candidate {candidate.run_id} ({candidate.scenario} "
+          f"@ {candidate.git_sha[:12]})")
+    print(diff.render(), end="")
+    return 0 if diff.passed else 1
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    ledger = _runs_ledger(args)
+    if args.max_age_days is None and args.keep is None:
+        print("runs gc needs --max-age-days and/or --keep", file=sys.stderr)
+        return 2
+    removed = ledger.gc(max_age_days=args.max_age_days, keep=args.keep)
+    print(f"ledger {ledger.root}: pruned {len(removed)} run(s), "
+          f"{len(ledger)} kept")
+    for entry in removed:
+        print(f"  removed {entry.run_id} ({entry.scenario}, {entry.status})")
     return 0
 
 
@@ -687,7 +844,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig1 = sub.add_parser("fig1", help="Figs. 1-3 delay comparison")
     p_fig1.add_argument("--drive-resistance", type=float, default=15.0)
     _add_telemetry_arg(p_fig1)
-    p_fig1.set_defaults(func=_cmd_fig1)
+    p_fig1.set_defaults(func=_cmd_fig1, manages_telemetry=True)
 
     p_fig5 = sub.add_parser("fig5", help="Fig. 5 loop-L matrix + Foundations")
     p_fig5.add_argument("--traces", type=int, default=5)
@@ -707,14 +864,93 @@ def build_parser() -> argparse.ArgumentParser:
                         help="MNA factorization backend (auto picks dense "
                              "for small trees, sparse at chip scale)")
     _add_telemetry_arg(p_skew)
-    p_skew.set_defaults(func=_cmd_skew)
+    p_skew.set_defaults(func=_cmd_skew, manages_telemetry=True)
     sub.add_parser("variation", help="process variation study").set_defaults(
         func=_cmd_variation
     )
     p_accuracy = sub.add_parser("accuracy",
                                 help="table accuracy and speedup")
     _add_telemetry_arg(p_accuracy)
-    p_accuracy.set_defaults(func=_cmd_accuracy)
+    p_accuracy.set_defaults(func=_cmd_accuracy, manages_telemetry=True)
+
+    p_run = sub.add_parser(
+        "run",
+        help="run a registered scenario through the run ledger "
+             "(skip-if-done, provenance, telemetry)")
+    p_run.add_argument("scenario", nargs="?", default=None,
+                       help="scenario name (see --list); parameters are "
+                            "overridden with --PARAM=value tokens")
+    p_run.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="list registered scenarios and their params")
+    p_run.add_argument("--force", action="store_true",
+                       help="execute even when an identical completed "
+                            "run is already in the ledger")
+    p_run.add_argument("--ledger", default=None, metavar="DIR",
+                       help="run-ledger directory (default: $REPRO_LEDGER "
+                            "or .repro/runs)")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit run id/key/params/metrics as JSON")
+    _add_telemetry_arg(p_run)
+    p_run.set_defaults(func=_cmd_run, manages_telemetry=True)
+
+    p_runs = sub.add_parser(
+        "runs", help="inspect the run ledger: list / show / diff / gc")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    def _ledger_arg(p):
+        p.add_argument("--ledger", default=None, metavar="DIR",
+                       help="run-ledger directory (default: $REPRO_LEDGER "
+                            "or .repro/runs)")
+
+    p_rlist = runs_sub.add_parser("list", help="list recorded runs")
+    _ledger_arg(p_rlist)
+    p_rlist.add_argument("--scenario", default=None,
+                         help="only runs of this scenario")
+    p_rlist.add_argument("--sha", default=None,
+                         help="only runs from a git sha (prefix ok)")
+    p_rlist.add_argument("--since", type=float, default=None, metavar="DAYS",
+                         help="only runs started in the last DAYS days")
+    p_rlist.add_argument("--status", default=None,
+                         choices=["completed", "failed"])
+    p_rlist.set_defaults(func=_scenario_guard(_cmd_runs_list))
+
+    p_rshow = runs_sub.add_parser(
+        "show", help="render one run: provenance, params, metrics")
+    _ledger_arg(p_rshow)
+    p_rshow.add_argument("run",
+                         help="run id prefix, <scenario> (latest), or "
+                              "<scenario>@<sha-prefix>")
+    p_rshow.add_argument("--report", action="store_true",
+                         help="also render the captured telemetry report")
+    p_rshow.add_argument("--max-spans", type=int, default=40,
+                         help="span-tree lines when rendering --report")
+    p_rshow.add_argument("--logs", action="store_true",
+                         help="also dump captured structured logs (JSONL)")
+    p_rshow.set_defaults(func=_scenario_guard(_cmd_runs_show))
+
+    p_rdiff = runs_sub.add_parser(
+        "diff",
+        help="compare two runs' metrics; exits 1 when a "
+             "direction-aware metric regressed")
+    _ledger_arg(p_rdiff)
+    p_rdiff.add_argument("baseline",
+                         help="run id prefix, <scenario>, or "
+                              "<scenario>@<sha-prefix>")
+    p_rdiff.add_argument("candidate", help="same selector forms")
+    p_rdiff.add_argument("--threshold", type=float, default=0.25,
+                         help="relative regression gate per metric")
+    p_rdiff.add_argument("--mad-k", type=float, default=3.0,
+                         help="MAD multiplier widening the gate")
+    p_rdiff.set_defaults(func=_scenario_guard(_cmd_runs_diff))
+
+    p_rgc = runs_sub.add_parser(
+        "gc", help="prune old runs by age and/or count")
+    _ledger_arg(p_rgc)
+    p_rgc.add_argument("--max-age-days", type=float, default=None,
+                       help="drop runs older than this many days")
+    p_rgc.add_argument("--keep", type=int, default=None,
+                       help="keep at most this many newest runs")
+    p_rgc.set_defaults(func=_scenario_guard(_cmd_runs_gc))
 
     p_xtalk = sub.add_parser("crosstalk", help="bus aggressor/victim noise")
     p_xtalk.add_argument("--traces", type=int, default=7)
@@ -878,10 +1114,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _extract_param_overrides(argv: List[str]):
+    """Split ``--PARAM=value`` scenario overrides out of *argv*.
+
+    argparse cannot model per-scenario parameter names, so UPPERCASE
+    ``--NAME=value`` tokens are lifted before parsing and handed to the
+    scenario runner, which validates them against the scenario's typed
+    defaults.
+    """
+    overrides = {}
+    rest = []
+    for token in argv:
+        match = _PARAM_OVERRIDE.match(token)
+        if match:
+            overrides[match.group(1)] = match.group(2)
+        else:
+            rest.append(token)
+    return overrides, rest
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = build_parser()
+    if argv is None:
+        argv = sys.argv[1:]
+    overrides, argv = _extract_param_overrides(list(argv))
     args = parser.parse_args(argv)
+    if overrides and args.command != "run":
+        print("error: --PARAM=value overrides are only valid with "
+              "`repro run <scenario>`", file=sys.stderr)
+        return 2
+    args.param_overrides = overrides
     profile_path = getattr(args, "profile", None)
     profiler = None
     if profile_path:
@@ -902,7 +1165,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _dispatch(args: argparse.Namespace, profiler=None) -> int:
     """Run the selected command, inside a telemetry session if asked."""
     telemetry_path = getattr(args, "telemetry", None)
-    if telemetry_path is None:
+    if telemetry_path is None or getattr(args, "manages_telemetry", False):
+        # Scenario-routed commands open their own session (the runner
+        # records it in the ledger); nesting a second one here would
+        # double-wrap the tracer.
         return args.func(args)
 
     from repro.telemetry import telemetry_session

@@ -59,3 +59,20 @@ class ServeError(ReproError):
 
 class QualityError(ReproError):
     """A quality artifact (health report, bench record) is malformed."""
+
+
+class ScenarioError(ReproError):
+    """A scenario, its parameters, or a run-ledger query is invalid."""
+
+
+class ScenarioRunError(ScenarioError):
+    """A scenario run raised; the failure was recorded in the ledger.
+
+    Carries the ledger ``run_id`` of the recorded failed run (empty when
+    recording itself was impossible) and the original exception as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, run_id: str = ""):
+        super().__init__(message)
+        self.run_id = run_id

@@ -29,6 +29,7 @@ front end; it exits nonzero on any regression, which is what the CI
 from __future__ import annotations
 
 import json
+import os
 import platform
 import statistics
 import subprocess
@@ -110,7 +111,42 @@ def record_bench(path: Union[str, Path], update: dict) -> dict:
     data.update(update)
     data["meta"] = run_metadata()
     path.write_text(json.dumps(data, indent=1) + "\n")
+    _ledger_bench(path, data)
     return data
+
+
+def _ledger_bench(path: Path, data: dict) -> None:
+    """Mirror a bench record into the run ledger when one is active.
+
+    Gated on ``$REPRO_LEDGER`` so plain unit-test runs stay side-effect
+    free; CI exports it, and every benchmark then lands as a
+    ``bench:<stem>`` scenario run that ``repro runs diff`` can compare
+    across shas.  Best-effort: a broken ledger never fails a benchmark.
+    """
+    root = os.environ.get("REPRO_LEDGER", "").strip()
+    if not root:
+        return
+    try:
+        from repro.library.store import cache_key
+        from repro.scenarios.ledger import RunLedger
+
+        scenario = f"bench:{path.stem}"
+        metrics = {k: v for k, v in data.items() if k != "meta"}
+        run_key = cache_key({
+            "kind": "bench-record",
+            "scenario": scenario,
+            "git_sha": data.get("meta", {}).get("git_sha", "unknown"),
+            "metric_names": sorted(metrics),
+        })
+        RunLedger(root).record(
+            scenario=scenario,
+            run_key=run_key,
+            params={"record": path.name},
+            metrics=metrics,
+            meta=data.get("meta"),
+        )
+    except Exception:  # noqa: BLE001 -- observability must not gate
+        pass
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""Scenario registry + content-addressed run ledger.
+
+Every experiment in this repo is a declarative
+:class:`~repro.scenarios.spec.Scenario` -- a name, typed default
+parameters, and a ``run(params, session)`` function -- discovered from
+:mod:`repro.scenarios.catalog` and executed through one runner that
+records provenance, telemetry and metrics in an append-only
+:class:`~repro.scenarios.ledger.RunLedger`.  Identical requests (same
+scenario + code version + canonical params + design-kit sha) are
+**skipped**: the ledger replays the recorded metrics with zero field
+solves.  ``repro runs list|show|diff|gc`` inspects the ledger; ``diff``
+reuses the direction-aware regression gate of
+:mod:`repro.quality.regress`.
+
+Quick use::
+
+    from repro.scenarios import run_scenario
+    outcome = run_scenario("htree-skew", {"TOTAL_LENGTH": "4e-3"})
+    outcome.metrics["skew_rlc_ps"]     # recorded in the ledger
+    run_scenario("htree-skew", {"TOTAL_LENGTH": "0.004"}).skipped  # True
+"""
+
+from repro.scenarios.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerEntry,
+    RunLedger,
+    diff_runs,
+    render_entries,
+    render_run,
+)
+from repro.scenarios.registry import (
+    all_scenarios,
+    discover,
+    get_scenario,
+    register,
+    scenario_names,
+    unregister,
+)
+from repro.scenarios.runner import (
+    RunOutcome,
+    compute_run_key,
+    default_ledger_root,
+    kit_manifest_sha,
+    run_scenario,
+)
+from repro.scenarios.spec import Scenario, canonical_params, coerce_param
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerEntry",
+    "RunLedger",
+    "RunOutcome",
+    "Scenario",
+    "all_scenarios",
+    "canonical_params",
+    "coerce_param",
+    "compute_run_key",
+    "default_ledger_root",
+    "diff_runs",
+    "discover",
+    "get_scenario",
+    "kit_manifest_sha",
+    "register",
+    "render_entries",
+    "render_run",
+    "run_scenario",
+    "scenario_names",
+    "unregister",
+]

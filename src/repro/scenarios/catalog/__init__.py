@@ -1,0 +1,8 @@
+"""Scenario catalog: modules here are auto-discovered by the registry.
+
+Each module registers one or more :class:`~repro.scenarios.spec.Scenario`
+objects at import time via :func:`repro.scenarios.registry.register`.
+``paper`` wraps the seven ``repro.experiments`` reproduction modules;
+``extras`` carries the workloads promoted from the examples (bus
+crosstalk, statistical variation skew).
+"""

@@ -1,0 +1,78 @@
+"""Scenario discovery: every catalog module self-registers on import.
+
+Modeled on experimaestro-ir's ``PapersCli`` MultiCommand: the registry
+``pkgutil``-walks :mod:`repro.scenarios.catalog`, imports each module,
+and collects the :class:`~repro.scenarios.spec.Scenario` objects those
+modules pass to :func:`register` at import time.  Adding an experiment
+is therefore one new catalog module (or one ``register`` call) -- the
+CLI, the ledger and ``repro run --list`` pick it up with no further
+wiring.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from typing import Dict, List
+
+from repro.errors import ScenarioError
+from repro.scenarios.spec import Scenario
+
+__all__ = ["register", "unregister", "get_scenario", "all_scenarios",
+           "scenario_names", "discover"]
+
+_REGISTRY: Dict[str, Scenario] = {}
+_DISCOVERED = False
+
+
+def register(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add *scenario* to the registry (catalog modules call this)."""
+    if not scenario.name:
+        raise ScenarioError("scenario needs a non-empty name")
+    if scenario.run is None:
+        raise ScenarioError(f"scenario {scenario.name!r} has no run function")
+    if scenario.name in _REGISTRY and not replace:
+        raise ScenarioError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister(name: str) -> None:
+    """Remove one scenario (test harness helper)."""
+    _REGISTRY.pop(name, None)
+
+
+def discover() -> None:
+    """Import every module under ``repro.scenarios.catalog`` once."""
+    global _DISCOVERED
+    if _DISCOVERED:
+        return
+    from repro.scenarios import catalog
+
+    for info in pkgutil.iter_modules(catalog.__path__):
+        importlib.import_module(f"{catalog.__name__}.{info.name}")
+    _DISCOVERED = True
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look one scenario up by exact name (after discovery)."""
+    discover()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise ScenarioError(
+            f"unknown scenario {name!r} (known: {known})"
+        ) from None
+
+
+def all_scenarios() -> List[Scenario]:
+    """Every registered scenario, sorted by (figure group, name)."""
+    discover()
+    return sorted(_REGISTRY.values(), key=lambda s: (s.figure, s.name))
+
+
+def scenario_names() -> List[str]:
+    """Sorted registry names."""
+    discover()
+    return sorted(_REGISTRY)

@@ -152,3 +152,28 @@ class TestLoadBench:
         path.write_text("[1, 2]")
         with pytest.raises(QualityError):
             load_bench(path)
+
+
+class TestBenchLedgerMirror:
+    def test_record_bench_mirrors_into_active_ledger(self, tmp_path,
+                                                     monkeypatch):
+        from repro.quality.regress import record_bench
+        from repro.scenarios import RunLedger
+
+        root = tmp_path / "bench-ledger"
+        monkeypatch.setenv("REPRO_LEDGER", str(root))
+        record_bench(tmp_path / "BENCH_demo.json",
+                     {"assembly": {"speedup": 3.0}})
+        entries = RunLedger(root, create=False).entries()
+        assert [e.scenario for e in entries] == ["bench:BENCH_demo"]
+        run = RunLedger(root).load_run(entries[0].run_id)
+        assert run["metrics"]["assembly"]["speedup"] == 3.0
+        assert run["params"]["record"] == "BENCH_demo.json"
+
+    def test_record_bench_without_ledger_env_writes_nothing(self, tmp_path,
+                                                            monkeypatch):
+        from repro.quality.regress import record_bench
+
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        record_bench(tmp_path / "BENCH_demo.json", {"x": 1.0})
+        assert not (tmp_path / ".repro").exists()

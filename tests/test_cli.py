@@ -300,3 +300,92 @@ class TestObservabilityCLI:
         assert report.profile["samples"] > 0
         assert report.profile["interval_seconds"] == pytest.approx(1e-3)
         assert report.profile["hottest"]
+
+
+class TestRunCLI:
+    def test_run_records_then_skips(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger")
+        args = ["run", "fig1-delay", "--SECTIONS=4", "--ledger", ledger]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1 co-planar waveguide clock net" in out
+        assert "run recorded:" in out
+        # equivalent spelling of the same request -> ledger hit
+        assert main(["run", "fig1-delay", "--SECTIONS=4.0",
+                     "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "ledger hit" in out
+        assert "run recorded:" not in out
+        # --force executes again
+        assert main(args + ["--force"]) == 0
+        assert "run recorded:" in capsys.readouterr().out
+
+    def test_run_list_shows_catalog(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "htree-skew" in out
+        assert "TOTAL_LENGTH" in out
+
+    def test_run_without_scenario_is_usage_error(self, capsys):
+        assert main(["run"]) == 2
+        assert "usage: repro run" in capsys.readouterr().err
+
+    def test_unknown_scenario_and_param_are_errors(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger")
+        assert main(["run", "nope", "--ledger", ledger]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+        assert main(["run", "fig1-delay", "--NOPE=1",
+                     "--ledger", ledger]) == 2
+        assert "no parameter 'NOPE'" in capsys.readouterr().err
+
+    def test_param_override_rejected_outside_run(self, capsys):
+        assert main(["fig1", "--SECTIONS=4"]) == 2
+        assert "only valid with" in capsys.readouterr().err
+
+    def test_runs_list_show_diff_roundtrip(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger")
+        assert main(["run", "fig1-delay", "--SECTIONS=4",
+                     "--ledger", ledger]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "fig1-delay" in out and "completed" in out
+        assert main(["runs", "show", "fig1-delay", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "SECTIONS" in out and "delay_ratio" in out
+        assert main(["runs", "diff", "fig1-delay", "fig1-delay",
+                     "--ledger", ledger]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_runs_gc_prunes(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger")
+        assert main(["run", "fig1-delay", "--SECTIONS=4",
+                     "--ledger", ledger]) == 0
+        assert main(["run", "fig1-delay", "--SECTIONS=5",
+                     "--ledger", ledger]) == 0
+        capsys.readouterr()
+        assert main(["runs", "gc", "--keep", "1", "--ledger", ledger]) == 0
+        assert "pruned 1 run(s)" in capsys.readouterr().out
+        assert main(["runs", "list", "--ledger", ledger]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+
+    def test_runs_missing_ledger_is_usage_error(self, tmp_path, capsys):
+        assert main(["runs", "list", "--ledger",
+                     str(tmp_path / "absent")]) == 2
+        assert "no run ledger" in capsys.readouterr().err
+
+    def test_alias_records_provenance_run(self, tmp_path, monkeypatch,
+                                          capsys):
+        from repro.scenarios import RunLedger
+
+        root = tmp_path / "alias-ledger"
+        monkeypatch.setenv("REPRO_LEDGER", str(root))
+        assert main(["fig1"]) == 0
+        entries = RunLedger(root).entries(scenario="fig1-delay")
+        assert len(entries) == 1
+        assert entries[0].status == "completed"
+        # aliases always execute -- no skip message even when repeated
+        capsys.readouterr()
+        assert main(["fig1"]) == 0
+        assert "ledger hit" not in capsys.readouterr().out
+        assert len(RunLedger(root).entries(scenario="fig1-delay")) == 2

@@ -1,5 +1,6 @@
 """The shipped examples stay importable and the quick ones run."""
 
+import os
 import py_compile
 import subprocess
 import sys
@@ -9,6 +10,21 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = EXAMPLES_DIR.parent / "src"
+
+
+def _example_env() -> dict:
+    """Subprocess env with an absolute import path for ``repro``.
+
+    The examples run with a throwaway cwd, so a relative
+    ``PYTHONPATH=src`` inherited from the test invocation would no
+    longer resolve.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                          else []))
+    return env
 
 
 def test_examples_exist():
@@ -18,24 +34,28 @@ def test_examples_exist():
 
 
 @pytest.mark.parametrize("script", ALL_EXAMPLES, ids=lambda p: p.name)
-def test_example_compiles(script):
-    py_compile.compile(str(script), doraise=True)
+def test_example_compiles(script, tmp_path):
+    # Compile into tmp so the check never litters examples/__pycache__.
+    py_compile.compile(str(script), cfile=str(tmp_path / (script.name + "c")),
+                       doraise=True)
 
 
-def test_quickstart_runs_end_to_end():
+def test_quickstart_runs_end_to_end(tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-        capture_output=True, text=True, timeout=300,
+        capture_output=True, text=True, timeout=300, cwd=tmp_path,
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr
     assert "delay with inductance" in result.stdout
     assert "extracted L" in result.stdout
 
 
-def test_shielding_example_runs_end_to_end():
+def test_shielding_example_runs_end_to_end(tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "shielding_cascading.py")],
-        capture_output=True, text=True, timeout=300,
+        capture_output=True, text=True, timeout=300, cwd=tmp_path,
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr
     assert "Foundation 1 error" in result.stdout
