@@ -1,0 +1,90 @@
+"""Sweep-campaign economics: parallel fan-out + ledger-replay resume.
+
+Two claims the sweep orchestrator makes, measured on a real 2x2
+``fig1-delay`` grid:
+
+1. **Workers help.**  Grid points are independent scenario runs, so a
+   process pool should raise campaign throughput (pt/s) over the
+   serial loop on a multi-core host; on a single-core host it can only
+   expose pool overhead, which must stay bounded.
+2. **Resume is free.**  Re-running the identical campaign must replay
+   every point from the run ledger -- zero solver calls -- and finish
+   in a small fraction of the cold wall time.
+
+The measured numbers are recorded into ``BENCH_sweep.json`` at the
+repo root and gated by ``repro bench diff`` in CI.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from conftest import record_bench, report
+
+from repro.scenarios import RunLedger, SweepSpec, run_sweep
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+SPEC = SweepSpec(
+    "fig1-delay",
+    grid={"DRIVE_RESISTANCE": [10.0, 20.0], "SECTIONS": [4, 6]},
+)
+WORKERS = 4
+
+
+def test_sweep_throughput_and_resume(tmp_path):
+    """Serial cold vs pooled cold vs ledger-replayed resume."""
+    t0 = time.perf_counter()
+    serial = run_sweep(SPEC, ledger=RunLedger(tmp_path / "serial"))
+    serial_time = time.perf_counter() - t0
+    assert serial.completed == 4 and serial.failed_count == 0
+
+    parallel_ledger = RunLedger(tmp_path / "parallel")
+    t0 = time.perf_counter()
+    parallel = run_sweep(SPEC, ledger=parallel_ledger, workers=WORKERS)
+    parallel_time = time.perf_counter() - t0
+    assert parallel.completed == 4 and parallel.failed_count == 0
+
+    t0 = time.perf_counter()
+    resumed = run_sweep(SPEC, ledger=parallel_ledger, workers=WORKERS)
+    resume_time = time.perf_counter() - t0
+    assert resumed.skipped_count == 4
+    assert resumed.solver_call_count == 0, \
+        "an identical re-run must replay from the ledger, not re-solve"
+
+    speedup = serial_time / parallel_time if parallel_time > 0 else 0.0
+    report(
+        f"sweep campaign: 4-point fig1-delay grid, {WORKERS} workers",
+        [
+            ["serial cold", f"{serial_time:8.2f} s",
+             f"{serial.points_per_second:6.2f} pt/s"],
+            [f"pool({WORKERS}) cold", f"{parallel_time:8.2f} s",
+             f"{parallel.points_per_second:6.2f} pt/s"],
+            ["resume (replay)", f"{resume_time:8.2f} s",
+             f"{resumed.points_per_second:6.2f} pt/s"],
+        ],
+        header=["mode", "wall time", "throughput"],
+    )
+    cpus = os.cpu_count() or 1
+    record_bench(RESULTS_PATH, {"sweep_campaign": {
+        "points": serial.total,
+        "workers": WORKERS,
+        "cpu_count": cpus,
+        "serial_seconds": round(serial_time, 4),
+        "parallel_seconds": round(parallel_time, 4),
+        "parallel_speedup": round(speedup, 2),
+        "points_per_second_serial": round(serial.points_per_second, 3),
+        "points_per_second_workers4": round(
+            parallel.points_per_second, 3),
+        "resume_latency_seconds": round(resume_time, 4),
+        "resume_points_per_second": round(resumed.points_per_second, 3),
+        "resume_solver_calls": resumed.solver_call_count,
+    }})
+
+    # Shape assertions: resume must crush cold, and the pool must not
+    # lose badly to serial (single-core hosts only bound the overhead).
+    assert resume_time < serial_time * 0.5
+    if cpus >= 2:
+        assert parallel_time < serial_time * 1.2
+    else:
+        assert parallel_time < serial_time * 1.6

@@ -246,6 +246,12 @@ def _cmd_runs_list(args: argparse.Namespace) -> int:
              if args.since is not None else None)
     entries = ledger.entries(scenario=args.scenario, sha=args.sha,
                              since=since, status=args.status)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps([e.to_dict() for e in entries], indent=1,
+                          default=str))
+        return 0
     print(f"ledger {ledger.root}: {len(entries)} run(s)")
     print(render_entries(entries), end="")
     return 0
@@ -257,6 +263,11 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
     ledger = _runs_ledger(args)
     entry = ledger.resolve(args.run)
     run = ledger.load_run(entry.run_id)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(run, indent=1, default=str))
+        return 0
     print(render_run(run), end="")
     if args.report:
         report = ledger.load_report(entry.run_id)
@@ -290,6 +301,10 @@ def _cmd_runs_diff(args: argparse.Namespace) -> int:
     print(f"candidate {candidate.run_id} ({candidate.scenario} "
           f"@ {candidate.git_sha[:12]})")
     print(diff.render(), end="")
+    if diff.nothing_compared:
+        # A "pass" with zero common metrics is a silent lie -- make it
+        # a distinct, scriptable outcome.
+        return 3
     return 0 if diff.passed else 1
 
 
@@ -304,6 +319,170 @@ def _cmd_runs_gc(args: argparse.Namespace) -> int:
     for entry in removed:
         print(f"  removed {entry.run_id} ({entry.scenario}, {entry.status})")
     return 0
+
+
+def _parse_sweep_spec(args: argparse.Namespace):
+    """Build a SweepSpec from ``repro sweep run`` arguments."""
+    from repro.errors import ScenarioError
+    from repro.scenarios import SweepSpec
+    from repro.scenarios.sweep import MonteCarloAxis
+
+    grid = {}
+    for token in args.grid or []:
+        name, sep, values = token.partition("=")
+        levels = [v for v in values.split(",") if v.strip() != ""]
+        if not sep or not name or not levels:
+            raise ScenarioError(
+                f"bad --grid {token!r} -- expected PARAM=v1,v2,...")
+        grid[name] = levels
+    explicit = []
+    for token in args.point or []:
+        point = {}
+        for assign in token.split(","):
+            name, sep, value = assign.partition("=")
+            if not sep or not name or value.strip() == "":
+                raise ScenarioError(
+                    f"bad --point {token!r} -- expected "
+                    "PARAM=v[,PARAM=v...]")
+            point[name] = value
+        explicit.append(point)
+    mc = {}
+    for token in args.mc or []:
+        name, sep, dist = token.partition("=")
+        if not sep or not name:
+            raise ScenarioError(
+                f"bad --mc {token!r} -- expected PARAM=normal(mu,sigma)")
+        mc[name] = MonteCarloAxis.parse(dist)
+    return SweepSpec(
+        args.scenario,
+        grid=grid,
+        explicit=explicit,
+        mc=mc,
+        samples=args.samples,
+        seed=args.seed,
+        base=dict(getattr(args, "param_overrides", None) or {}),
+    )
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import ScenarioError
+    from repro.scenarios import RunLedger, SweepRunner, default_ledger_root
+
+    def show_progress(p) -> None:
+        # Progress goes to stderr so `--json | tee` stays clean.
+        eta = (f"{p.eta_seconds:5.0f}s" if p.eta_seconds is not None
+               else "    ?")
+        print(f"  sweep {p.done}/{p.total}  failed {p.failed}  "
+              f"replayed {p.skipped}  {p.points_per_second:6.2f} pt/s  "
+              f"eta {eta}  solver calls {p.solver_calls}  "
+              f"memo hit {p.memo_hit_rate:.0%}", file=sys.stderr)
+
+    try:
+        spec = _parse_sweep_spec(args)
+        ledger = RunLedger(args.ledger or default_ledger_root())
+        runner = SweepRunner(
+            spec,
+            ledger=ledger,
+            workers=args.workers,
+            force=args.force,
+            progress=None if args.quiet else show_progress,
+        )
+        report = runner.run()
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    code = 1 if report.failed_count else 0
+    if args.telemetry:
+        from repro.telemetry.registry import MetricsSnapshot
+        from repro.telemetry.report import RunReport
+
+        run_report = RunReport(
+            command=f"repro sweep run {args.scenario}",
+            started_at=report.started_at,
+            duration=report.duration,
+            metrics=MetricsSnapshot.from_dict(report.telemetry),
+            meta={"exit_code": code, "campaign_id": report.campaign_id},
+            campaign=report.summary(),
+        )
+        run_report.save(args.telemetry)
+    if args.json:
+        print(_json.dumps(report.summary(), indent=1, default=str))
+        return code
+    print(f"sweep {args.scenario}: {report.total} point(s), "
+          f"{report.completed} completed, {report.failed_count} failed, "
+          f"{report.skipped_count} replayed from ledger")
+    print(f"  {report.points_per_second:.2f} pt/s over "
+          f"{report.workers} worker(s)  solver calls "
+          f"{report.solver_call_count}  memo hit "
+          f"{report.memo_hit_rate:.1%}")
+    for row in report.failures():
+        print(f"  FAILED point {row.get('index')}: "
+              f"{row.get('error', '?')}", file=sys.stderr)
+    print(f"campaign recorded: {report.campaign_id} -> {ledger.root}")
+    if args.telemetry:
+        print(f"telemetry report -> {args.telemetry}")
+    return code
+
+
+def _sweep_ledger(args: argparse.Namespace):
+    from repro.scenarios import RunLedger, default_ledger_root
+
+    return RunLedger(args.ledger or default_ledger_root(), create=False)
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from repro.scenarios import render_campaign_entries
+
+    ledger = _sweep_ledger(args)
+    rows = ledger.campaign_entries(scenario=args.scenario)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(rows, indent=1, default=str))
+        return 0
+    print(f"ledger {ledger.root}: {len(rows)} campaign(s)")
+    print(render_campaign_entries(rows), end="")
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    from repro.scenarios import CampaignReport, render_campaign
+
+    ledger = _sweep_ledger(args)
+    row = ledger.resolve_campaign(args.campaign)
+    record = ledger.load_campaign(str(row["campaign_id"]))
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(record, indent=1, default=str))
+        return 0
+    print(render_campaign(CampaignReport.from_dict(record)), end="")
+    return 0
+
+
+def _cmd_sweep_diff(args: argparse.Namespace) -> int:
+    from repro.scenarios import CampaignReport, diff_campaigns
+
+    ledger = _sweep_ledger(args)
+    base_row = ledger.resolve_campaign(args.baseline)
+    cand_row = ledger.resolve_campaign(args.candidate)
+    baseline = CampaignReport.from_dict(
+        ledger.load_campaign(str(base_row["campaign_id"])))
+    candidate = CampaignReport.from_dict(
+        ledger.load_campaign(str(cand_row["campaign_id"])))
+    diff = diff_campaigns(baseline, candidate,
+                          threshold=args.threshold, mad_k=args.mad_k)
+    print(f"baseline  campaign {baseline.campaign_id} "
+          f"({baseline.scenario}, {baseline.total} point(s))")
+    print(f"candidate campaign {candidate.campaign_id} "
+          f"({candidate.scenario}, {candidate.total} point(s))")
+    print(diff.render(), end="")
+    if diff.nothing_compared:
+        return 3
+    return 0 if diff.passed else 1
 
 
 def _cmd_crosstalk(args: argparse.Namespace) -> int:
@@ -514,6 +693,8 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
         threshold=args.threshold, mad_k=args.mad_k,
     )
     print(diff.render(), end="")
+    if diff.nothing_compared:
+        return 3
     return 0 if diff.passed else 1
 
 
@@ -912,6 +1093,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="only runs started in the last DAYS days")
     p_rlist.add_argument("--status", default=None,
                          choices=["completed", "failed"])
+    p_rlist.add_argument("--json", action="store_true",
+                         help="emit the index rows as JSON")
     p_rlist.set_defaults(func=_scenario_guard(_cmd_runs_list))
 
     p_rshow = runs_sub.add_parser(
@@ -926,6 +1109,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="span-tree lines when rendering --report")
     p_rshow.add_argument("--logs", action="store_true",
                          help="also dump captured structured logs (JSONL)")
+    p_rshow.add_argument("--json", action="store_true",
+                         help="emit the full run record as JSON")
     p_rshow.set_defaults(func=_scenario_guard(_cmd_runs_show))
 
     p_rdiff = runs_sub.add_parser(
@@ -951,6 +1136,83 @@ def build_parser() -> argparse.ArgumentParser:
     p_rgc.add_argument("--keep", type=int, default=None,
                        help="keep at most this many newest runs")
     p_rgc.set_defaults(func=_scenario_guard(_cmd_runs_gc))
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parameter-sweep campaigns over a scenario: "
+             "run / status / report / diff")
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    p_srun = sweep_sub.add_parser(
+        "run",
+        help="run a grid/Monte-Carlo sweep; every point is one ledger "
+             "run (skip-if-done = free resume)")
+    p_srun.add_argument("scenario",
+                        help="registered scenario name (see `repro run "
+                             "--list`); fixed base overrides are given "
+                             "as --PARAM=value tokens")
+    p_srun.add_argument("--grid", action="append", metavar="PARAM=v1,v2",
+                        help="one cartesian grid axis (repeatable)")
+    p_srun.add_argument("--point", action="append",
+                        metavar="PARAM=v[,PARAM=v...]",
+                        help="one explicit point (repeatable)")
+    p_srun.add_argument("--mc", action="append",
+                        metavar="PARAM=normal(mu,sigma)",
+                        help="one seeded Monte-Carlo axis: normal/"
+                             "uniform/lognormal (repeatable)")
+    p_srun.add_argument("--samples", type=int, default=1,
+                        help="Monte-Carlo samples per grid point")
+    p_srun.add_argument("--seed", type=int, default=0,
+                        help="Monte-Carlo seed (draws are fully "
+                             "deterministic given the seed)")
+    p_srun.add_argument("--workers", type=int, default=1,
+                        help="process count; each point runs in its "
+                             "own worker")
+    p_srun.add_argument("--force", action="store_true",
+                        help="re-execute points the ledger already has")
+    p_srun.add_argument("--ledger", default=None, metavar="DIR",
+                        help="run-ledger directory (default: "
+                             "$REPRO_LEDGER or .repro/runs)")
+    p_srun.add_argument("--json", action="store_true",
+                        help="emit the campaign summary as JSON")
+    p_srun.add_argument("--quiet", action="store_true",
+                        help="suppress the live progress line (stderr)")
+    _add_telemetry_arg(p_srun)
+    p_srun.set_defaults(func=_cmd_sweep_run, manages_telemetry=True)
+
+    p_sstat = sweep_sub.add_parser(
+        "status", help="list recorded sweep campaigns")
+    p_sstat.add_argument("--ledger", default=None, metavar="DIR")
+    p_sstat.add_argument("--scenario", default=None,
+                         help="only campaigns over this scenario")
+    p_sstat.add_argument("--json", action="store_true",
+                         help="emit the campaign index rows as JSON")
+    p_sstat.set_defaults(func=_scenario_guard(_cmd_sweep_status))
+
+    p_srep = sweep_sub.add_parser(
+        "report",
+        help="render one campaign: point table, per-axis marginals, "
+             "best/worst points, failures")
+    p_srep.add_argument("campaign",
+                        help="campaign id prefix, <scenario> (latest), "
+                             "or sweep-id prefix")
+    p_srep.add_argument("--ledger", default=None, metavar="DIR")
+    p_srep.add_argument("--json", action="store_true",
+                        help="emit the full campaign record as JSON")
+    p_srep.set_defaults(func=_scenario_guard(_cmd_sweep_report))
+
+    p_sdiff = sweep_sub.add_parser(
+        "diff",
+        help="compare two campaigns point-by-point; exits 1 on a "
+             "direction-aware regression, 3 when nothing compared")
+    p_sdiff.add_argument("baseline", help="campaign selector")
+    p_sdiff.add_argument("candidate", help="campaign selector")
+    p_sdiff.add_argument("--ledger", default=None, metavar="DIR")
+    p_sdiff.add_argument("--threshold", type=float, default=0.25,
+                         help="relative regression gate per metric")
+    p_sdiff.add_argument("--mad-k", type=float, default=3.0,
+                         help="MAD multiplier widening the gate")
+    p_sdiff.set_defaults(func=_scenario_guard(_cmd_sweep_diff))
 
     p_xtalk = sub.add_parser("crosstalk", help="bus aggressor/victim noise")
     p_xtalk.add_argument("--traces", type=int, default=7)
@@ -1140,9 +1402,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     overrides, argv = _extract_param_overrides(list(argv))
     args = parser.parse_args(argv)
-    if overrides and args.command != "run":
+    if overrides and args.command not in ("run", "sweep"):
         print("error: --PARAM=value overrides are only valid with "
-              "`repro run <scenario>`", file=sys.stderr)
+              "`repro run <scenario>` or `repro sweep run <scenario>`",
+              file=sys.stderr)
         return 2
     args.param_overrides = overrides
     profile_path = getattr(args, "profile", None)

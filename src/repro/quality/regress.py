@@ -264,6 +264,11 @@ class BenchDiff:
     deltas: List[MetricDelta] = field(default_factory=list)
     candidate_meta: Dict[str, object] = field(default_factory=dict)
     baseline_meta: List[dict] = field(default_factory=list)
+    #: Metric names the *caller* injected into both sides (e.g. the run
+    #: wall ``duration`` that :func:`repro.scenarios.ledger.diff_runs`
+    #: adds to every view).  They are always shared, so they must not
+    #: count as evidence that the two records were actually comparable.
+    synthetic: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[MetricDelta]:
@@ -272,6 +277,16 @@ class BenchDiff:
     @property
     def improvements(self) -> List[MetricDelta]:
         return [d for d in self.deltas if d.improved]
+
+    @property
+    def nothing_compared(self) -> bool:
+        """True when baseline and candidate share no real metrics.
+
+        A diff with zero (non-synthetic) common metrics used to render a
+        vacuous PASS; callers should treat this as a distinct warning
+        status (the CLI exits 3) because nothing was actually gated.
+        """
+        return not [d for d in self.deltas if d.name not in self.synthetic]
 
     @property
     def passed(self) -> bool:
@@ -301,6 +316,13 @@ class BenchDiff:
                 f"{delta.baseline_median:12.4g} -> {delta.candidate:12.4g} "
                 f"({rel_text})  {mark}".rstrip()
             )
+        if self.nothing_compared:
+            lines.append(
+                "  WARNING: baseline and candidate share no common "
+                "metrics -- nothing compared"
+            )
+            lines.append("  verdict: NOTHING COMPARED")
+            return "\n".join(lines) + "\n"
         verdict = "PASS" if self.passed else (
             f"FAIL ({len(self.regressions)} regression(s))"
         )

@@ -31,6 +31,7 @@ same semantics as the bench watchdog.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import time
 from dataclasses import dataclass, field
@@ -43,6 +44,7 @@ from repro.ioutil import atomic_write_text
 __all__ = [
     "LEDGER_SCHEMA_VERSION",
     "LedgerEntry",
+    "LedgerLock",
     "RunLedger",
     "diff_runs",
     "render_entries",
@@ -55,6 +57,64 @@ __all__ = [
 LEDGER_SCHEMA_VERSION = 1
 
 _STATUSES = ("completed", "failed")
+
+
+class LedgerLock:
+    """Cross-process mutex guarding the ledger's index read-modify-write.
+
+    ``atomic_write_text`` keeps each index *write* all-or-nothing, but
+    appending is load -> mutate -> store: two processes recording at
+    once (a parallel sweep fans out exactly this) would each read the
+    same snapshot and the second write would silently drop the first
+    row.  The lock is an ``O_CREAT | O_EXCL`` lockfile -- atomic on
+    every platform and filesystem the repo targets -- with bounded
+    retry and stale-lock breaking (a holder that died keeps its pid in
+    the file but stops refreshing the mtime).
+    """
+
+    def __init__(self, path: Union[str, Path], timeout: float = 10.0,
+                 stale_after: float = 30.0):
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self.stale_after = float(stale_after)
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "LedgerLock":
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                self._fd = os.open(
+                    str(self.path),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+                os.write(self._fd, str(os.getpid()).encode("ascii"))
+                return self
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                    if age > self.stale_after:
+                        # Holder died without releasing: break the lock
+                        # (best effort -- a concurrent breaker losing
+                        # the unlink race just retries).
+                        self.path.unlink()
+                        continue
+                except OSError:
+                    continue  # released between the open and the stat
+                if time.monotonic() >= deadline:
+                    raise ScenarioError(
+                        f"timed out after {self.timeout:.1f} s waiting "
+                        f"for ledger lock {self.path} (stale locks are "
+                        f"broken after {self.stale_after:.0f} s)")
+                time.sleep(0.005)
+
+    def __exit__(self, *exc_info) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        try:
+            self.path.unlink()
+        except OSError:  # pragma: no cover - already broken as stale
+            pass
 
 
 @dataclass(frozen=True)
@@ -100,16 +160,25 @@ class RunLedger:
     """Directory-rooted, content-addressed store of experiment runs."""
 
     INDEX_NAME = "index.json"
+    LOCK_NAME = "index.lock"
     RUNS_DIR = "runs"
+    CAMPAIGNS_DIR = "campaigns"
+    CAMPAIGN_INDEX_NAME = "campaigns.json"
 
     def __init__(self, root: Union[str, Path], create: bool = True):
         self.root = Path(root)
         self.index_path = self.root / self.INDEX_NAME
         self.runs_root = self.root / self.RUNS_DIR
+        self.campaigns_root = self.root / self.CAMPAIGNS_DIR
+        self.campaign_index_path = self.root / self.CAMPAIGN_INDEX_NAME
         if create:
             self.runs_root.mkdir(parents=True, exist_ok=True)
         elif not self.index_path.exists():
             raise ScenarioError(f"no run ledger at {self.root}")
+
+    def _lock(self) -> LedgerLock:
+        """The mutex serializing every index read-modify-write."""
+        return LedgerLock(self.root / self.LOCK_NAME)
 
     # ------------------------------------------------------------------
     # index I/O
@@ -168,6 +237,36 @@ class RunLedger:
             from repro.quality.regress import run_metadata
 
             meta = run_metadata()
+        with self._lock():
+            return self._record_locked(
+                scenario=scenario, run_key=run_key, params=params,
+                metrics=metrics, status=status, error=error, meta=meta,
+                kit_manifest_sha=kit_manifest_sha, duration=duration,
+                started_at=started_at, report=report, logs=logs,
+            )
+
+    def _record_locked(
+        self,
+        scenario: str,
+        run_key: str,
+        params: Optional[dict],
+        metrics: Optional[dict],
+        status: str,
+        error: Optional[str],
+        meta: dict,
+        kit_manifest_sha: str,
+        duration: float,
+        started_at: Optional[float],
+        report,
+        logs: Optional[List[dict]],
+    ) -> LedgerEntry:
+        """The append body; the caller holds the index lock.
+
+        Sequence numbering (``<run_key[:12]>-NN``) and the index
+        read-append-write both happen under the lock, so concurrent
+        recorders -- parallel sweep workers -- can never mint the same
+        run id or drop each other's rows.
+        """
         entries = self._load_index()
         seq = sum(1 for e in entries if e.run_key == run_key) + 1
         run_id = f"{run_key[:12]}-{seq:02d}"
@@ -324,22 +423,141 @@ class RunLedger:
             raise ScenarioError("max_age_days must be >= 0")
         if keep is not None and keep < 0:
             raise ScenarioError("keep must be >= 0")
-        rows = self.entries()
-        removed: List[LedgerEntry] = []
-        if max_age_days is not None:
-            cutoff = (time.time() if now is None else now) \
-                - max_age_days * 86400.0
-            removed.extend(e for e in rows if e.started_at < cutoff)
-            rows = [e for e in rows if e.started_at >= cutoff]
-        if keep is not None and len(rows) > keep:
-            overflow = len(rows) - keep
-            removed.extend(rows[:overflow])
-            rows = rows[overflow:]
-        for entry in removed:
-            shutil.rmtree(self.run_dir(entry.run_id), ignore_errors=True)
-        if removed:
-            self._save_index(rows)
+        with self._lock():
+            rows = self.entries()
+            removed: List[LedgerEntry] = []
+            if max_age_days is not None:
+                cutoff = (time.time() if now is None else now) \
+                    - max_age_days * 86400.0
+                removed.extend(e for e in rows if e.started_at < cutoff)
+                rows = [e for e in rows if e.started_at >= cutoff]
+            if keep is not None and len(rows) > keep:
+                overflow = len(rows) - keep
+                removed.extend(rows[:overflow])
+                rows = rows[overflow:]
+            for entry in removed:
+                shutil.rmtree(self.run_dir(entry.run_id),
+                              ignore_errors=True)
+            if removed:
+                self._save_index(rows)
         return removed
+
+    # ------------------------------------------------------------------
+    # campaign records (sweep-level artifacts; see scenarios/sweep.py)
+    # ------------------------------------------------------------------
+    def _load_campaign_index(self) -> List[dict]:
+        if not self.campaign_index_path.exists():
+            return []
+        try:
+            data = json.loads(self.campaign_index_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ScenarioError(
+                f"unreadable campaign index {self.campaign_index_path}: "
+                f"{exc}")
+        rows = data.get("campaigns", []) if isinstance(data, dict) else []
+        return [dict(row) for row in rows]
+
+    def _save_campaign_index(self, rows: List[dict]) -> None:
+        payload = {
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "campaigns": rows,
+        }
+        atomic_write_text(self.campaign_index_path,
+                          json.dumps(payload, indent=1))
+
+    def campaign_dir(self, campaign_id: str) -> Path:
+        return self.campaigns_root / campaign_id
+
+    def record_campaign(self, report) -> dict:
+        """Persist one sweep campaign; returns its index row.
+
+        *report* is a :class:`repro.scenarios.campaign.CampaignReport`
+        (or its dict form).  The campaign id (``<sweep_id[:12]>-NN``)
+        is minted under the index lock -- reruns of the same sweep spec
+        coexist as separate campaign records, which is exactly what
+        ``repro sweep diff`` compares.  When *report* is the dataclass,
+        its ``campaign_id`` is filled in.
+        """
+        data = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+        sweep_id = str(data.get("sweep_id", ""))
+        if not sweep_id:
+            raise ScenarioError("campaign record has no sweep_id")
+        points = list(data.get("points") or [])
+        with self._lock():
+            rows = self._load_campaign_index()
+            seq = sum(1 for r in rows if r.get("sweep_id") == sweep_id) + 1
+            campaign_id = f"{sweep_id[:12]}-{seq:02d}"
+            data["campaign_id"] = campaign_id
+            atomic_write_text(
+                self.campaign_dir(campaign_id) / "campaign.json",
+                json.dumps(data, indent=1, default=str))
+            row = {
+                "campaign_id": campaign_id,
+                "sweep_id": sweep_id,
+                "scenario": str(data.get("scenario", "")),
+                "points": len(points),
+                "failed": sum(1 for p in points
+                              if p.get("status") == "failed"),
+                "skipped": sum(1 for p in points if p.get("skipped")),
+                "workers": int(data.get("workers", 1)),
+                "git_sha": str((data.get("meta") or {}).get(
+                    "git_sha", "unknown")),
+                "started_at": float(data.get("started_at", 0.0)),
+                "duration": float(data.get("duration", 0.0)),
+            }
+            self._save_campaign_index(rows + [row])
+        if hasattr(report, "campaign_id"):
+            report.campaign_id = campaign_id
+        return row
+
+    def campaign_entries(self, scenario: Optional[str] = None) -> List[dict]:
+        """Campaign index rows, oldest first, optionally by scenario."""
+        rows = sorted(self._load_campaign_index(),
+                      key=lambda r: r.get("started_at", 0.0))
+        if scenario is not None:
+            rows = [r for r in rows if r.get("scenario") == scenario]
+        return rows
+
+    def load_campaign(self, campaign_id: str) -> dict:
+        """The full ``campaign.json`` record of one campaign."""
+        path = self.campaign_dir(campaign_id) / "campaign.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ScenarioError(
+                f"unreadable campaign record {path}: {exc}")
+
+    def resolve_campaign(self, selector: str) -> dict:
+        """Resolve a CLI selector to one campaign index row.
+
+        Accepted forms, tried in order: a ``campaign_id`` prefix
+        (unique match required); ``<scenario>`` -- that scenario's
+        latest campaign; a ``sweep_id`` prefix -- the latest campaign
+        of that sweep spec.
+        """
+        rows = self.campaign_entries()
+        if not rows:
+            raise ScenarioError(
+                f"no campaigns recorded in ledger {self.root}")
+        matches = [r for r in rows
+                   if str(r.get("campaign_id", "")).startswith(selector)]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            ids = ", ".join(str(r["campaign_id"]) for r in matches[-5:])
+            raise ScenarioError(
+                f"campaign selector {selector!r} is ambiguous "
+                f"({ids}, ...)")
+        by_scenario = [r for r in rows if r.get("scenario") == selector]
+        if by_scenario:
+            return by_scenario[-1]
+        by_sweep = [r for r in rows
+                    if str(r.get("sweep_id", "")).startswith(selector)]
+        if by_sweep:
+            return by_sweep[-1]
+        raise ScenarioError(
+            f"no campaign matches {selector!r} "
+            "(try `repro sweep status`)")
 
 
 # ----------------------------------------------------------------------
@@ -366,8 +584,12 @@ def diff_runs(baseline: dict, candidate: dict,
     """
     from repro.quality.regress import diff_benches
 
-    return diff_benches([_bench_view(baseline)], _bench_view(candidate),
+    diff = diff_benches([_bench_view(baseline)], _bench_view(candidate),
                         threshold=threshold, mad_k=mad_k)
+    # The bench view always injects wall-clock "duration", so it alone
+    # must not count as "we compared something".
+    diff.synthetic = ["duration"]
+    return diff
 
 
 # ----------------------------------------------------------------------

@@ -37,6 +37,15 @@ _HELP = {
     "profiler_sample": "Stacks captured by the sampling profiler",
     "slo_burn_rate": "SLO error-budget burn rate (worst considered window)",
     "slo_status": "SLO status code (0=ok, 1=warn, 2=page)",
+    "sweep_running": "Whether a sweep campaign is currently running",
+    "sweep_points_total": "Grid points in the running sweep campaign",
+    "sweep_points_done": "Sweep points finished (any status)",
+    "sweep_points_failed": "Sweep points that failed",
+    "sweep_points_skipped": "Sweep points replayed from the run ledger",
+    "sweep_points_per_second": "Sweep campaign throughput",
+    "sweep_eta_seconds": "Estimated seconds until the sweep completes",
+    "sweep_memo_hit_rate": "Merged Lp memo hit rate across sweep points",
+    "sweep_solver_calls": "Merged solver-call count across sweep points",
 }
 
 

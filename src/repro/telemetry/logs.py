@@ -52,6 +52,7 @@ __all__ = [
     "correlation_ids",
     "bind_correlation",
     "correlation_scope",
+    "sweep_scope",
     "StructuredLogger",
     "get_logger",
     "LogRing",
@@ -113,6 +114,20 @@ def correlation_scope(**ids: str) -> Iterator[Dict[str, str]]:
         yield correlation_ids()
     finally:
         _CORRELATION.reset(token)
+
+
+@contextmanager
+def sweep_scope(sweep_id: str, **extra: str) -> Iterator[Dict[str, str]]:
+    """Stamp a sweep-campaign correlation id onto logs and spans.
+
+    The campaign-level sibling of the request/chunk ids: every log
+    record and tracer span inside the block carries ``sweep_id`` (plus
+    any *extra* ids, e.g. ``point=7``), so one grep connects a campaign
+    to every per-point scenario run it fanned out -- across processes,
+    because pool workers re-enter the scope with the same id.
+    """
+    with correlation_scope(sweep_id=str(sweep_id), **extra) as ids:
+        yield ids
 
 
 # ----------------------------------------------------------------------

@@ -70,6 +70,15 @@ __all__ = [
     "SERVE_LATENCY",
     "LOG_RECORD",
     "PROFILER_SAMPLE",
+    "SWEEP_RUNNING",
+    "SWEEP_POINTS_TOTAL",
+    "SWEEP_POINTS_DONE",
+    "SWEEP_POINTS_FAILED",
+    "SWEEP_POINTS_SKIPPED",
+    "SWEEP_POINTS_PER_SECOND",
+    "SWEEP_ETA_SECONDS",
+    "SWEEP_MEMO_HIT_RATE",
+    "SWEEP_SOLVER_CALLS",
     "OBSERVATIONAL_PREFIXES",
     "is_solver_counter",
     "LOOKUP_LATENCY",
@@ -157,6 +166,22 @@ SERVE_REJECTED = "serve_rejected"
 LOG_RECORD = "log_record"
 PROFILER_SAMPLE = "profiler_sample"
 
+#: Sweep-campaign progress gauges (PR 10; see
+#: :mod:`repro.scenarios.sweep`).  The :class:`SweepRunner` publishes
+#: live aggregated progress onto these while a campaign runs -- points
+#: done/failed/skipped, throughput, ETA and the merged memo-hit-rate /
+#: solver-call counters -- so the Prometheus exporter surfaces them as
+#: ``repro_sweep_*`` without any sweep-specific export code.
+SWEEP_RUNNING = "sweep_running"
+SWEEP_POINTS_TOTAL = "sweep_points_total"
+SWEEP_POINTS_DONE = "sweep_points_done"
+SWEEP_POINTS_FAILED = "sweep_points_failed"
+SWEEP_POINTS_SKIPPED = "sweep_points_skipped"
+SWEEP_POINTS_PER_SECOND = "sweep_points_per_second"
+SWEEP_ETA_SECONDS = "sweep_eta_seconds"
+SWEEP_MEMO_HIT_RATE = "sweep_memo_hit_rate"
+SWEEP_SOLVER_CALLS = "sweep_solver_calls"
+
 #: Counter-name prefixes that *observe* rather than record solver work:
 #: the ``table_lookup*`` coverage family (PR 4), the ``circuit_*`` /
 #: ``netlist_lint*`` simulation-observability families (PR 5), the
@@ -164,10 +189,11 @@ PROFILER_SAMPLE = "profiler_sample"
 #: ``profiler_*`` operational families (PR 8).  Warm lookups, transient
 #: step counts, netlist lints, served requests, log lines and profiler
 #: samples legitimately tick these, so zero-solve totals must not count
-#: them.
+#: them.  ``sweep_*`` (PR 10) is campaign-progress bookkeeping, never
+#: solver work.
 OBSERVATIONAL_PREFIXES: Tuple[str, ...] = (
     "table_lookup", "circuit_", "netlist_lint", "serve_",
-    "log_", "slo_", "profiler_",
+    "log_", "slo_", "profiler_", "sweep_",
 )
 
 

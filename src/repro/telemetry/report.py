@@ -45,12 +45,14 @@ __all__ = [
 #: netlist-health summaries); v4 (PR 8) added the ``slo`` section
 #: (rolling burn-rate summary from :class:`repro.telemetry.slo.SLOMonitor`)
 #: and the ``profile`` section (sampling-profiler header +
-#: collapsed-stack hot list).  Older reports still load (they migrate
-#: to empty sections).
-REPORT_SCHEMA_VERSION = 4
+#: collapsed-stack hot list); v5 (PR 10) added the ``campaign`` section
+#: (sweep-campaign summary: per-status point counts, throughput, merged
+#: solver/memo economics from :mod:`repro.scenarios.sweep`).  Older
+#: reports still load (they migrate to empty sections).
+REPORT_SCHEMA_VERSION = 5
 
 #: Older schema versions :meth:`RunReport.from_dict` accepts and migrates.
-_COMPATIBLE_SCHEMA_VERSIONS = (1, 2, 3, REPORT_SCHEMA_VERSION)
+_COMPATIBLE_SCHEMA_VERSIONS = (1, 2, 3, 4, REPORT_SCHEMA_VERSION)
 
 
 @dataclass
@@ -88,6 +90,11 @@ class RunReport:
     #: (see :meth:`repro.telemetry.profiler.SamplingProfiler.summary`);
     #: empty unless the run passed ``--profile``.
     profile: Dict[str, object] = field(default_factory=dict)
+    #: Campaign section (v5): the sweep-campaign summary
+    #: (:meth:`repro.scenarios.campaign.CampaignReport.summary`) when
+    #: the session drove a parameter sweep; empty otherwise and for
+    #: migrated pre-v5 reports.
+    campaign: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def totals(self) -> MetricsSnapshot:
@@ -115,6 +122,7 @@ class RunReport:
             "simulation": self.simulation,
             "slo": self.slo,
             "profile": self.profile,
+            "campaign": self.campaign,
         }
         if self.worker_metrics is not None:
             data["worker_metrics"] = self.worker_metrics.to_dict()
@@ -140,13 +148,14 @@ class RunReport:
             spans=list(data.get("spans", [])),
             meta=dict(data.get("meta", {})),
             # v1 reports predate the quality sections, v1/v2 the
-            # simulation section, pre-v4 the slo/profile sections: all
-            # migrate to empty.
+            # simulation section, pre-v4 the slo/profile sections,
+            # pre-v5 the campaign section: all migrate to empty.
             coverage=list(data.get("coverage", [])),
             table_health=list(data.get("table_health", [])),
             simulation=dict(data.get("simulation", {})),
             slo=dict(data.get("slo", {})),
             profile=dict(data.get("profile", {})),
+            campaign=dict(data.get("campaign", {})),
         )
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -184,6 +193,7 @@ class TelemetrySession:
         self.simulation: Dict[str, dict] = {}
         self.slo: Dict[str, object] = {}
         self.profile: Dict[str, object] = {}
+        self.campaign: Dict[str, object] = {}
         #: The finished report; available after the ``with`` block exits.
         self.report: Optional[RunReport] = None
 
@@ -253,6 +263,17 @@ class TelemetrySession:
         """
         self.profile = dict(summary)
 
+    def add_campaign(self, summary: Dict[str, object]) -> None:
+        """Attach a sweep-campaign summary (schema v5).
+
+        *summary* is
+        :meth:`repro.scenarios.campaign.CampaignReport.summary` output
+        (point counts by status, throughput, merged solver/memo
+        economics); the full per-point table lives in the ledger's
+        campaign record, not the run report.
+        """
+        self.campaign = dict(summary)
+
 
 @contextmanager
 def telemetry_session(command: str) -> Iterator[TelemetrySession]:
@@ -304,6 +325,7 @@ def telemetry_session(command: str) -> Iterator[TelemetrySession]:
             simulation=dict(session.simulation),
             slo=dict(session.slo),
             profile=dict(session.profile),
+            campaign=dict(session.campaign),
         )
 
 
@@ -412,6 +434,27 @@ def render_report(report: RunReport, max_spans: int = 200) -> str:
     if report.profile:
         lines.append("")
         lines.append(_render_profile(report.profile).rstrip("\n"))
+    if report.campaign:
+        lines.append("")
+        lines.append(_render_campaign(report.campaign).rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def _render_campaign(campaign: Dict[str, object]) -> str:
+    """Render the v5 ``campaign`` section (sweep-campaign summary)."""
+    lines = [
+        f"campaign {campaign.get('campaign_id') or '?'}: "
+        f"{campaign.get('scenario', '?')}  "
+        f"{campaign.get('points', 0)} point(s): "
+        f"{campaign.get('completed', 0)} completed, "
+        f"{campaign.get('failed', 0)} failed, "
+        f"{campaign.get('skipped', 0)} skipped"
+    ]
+    lines.append(
+        f"  {float(campaign.get('points_per_second', 0.0)):.2f} pt/s  "
+        f"solver calls {campaign.get('solver_call_count', 0)}  "
+        f"memo hit {float(campaign.get('memo_hit_rate', 0.0)):.0%}"
+    )
     return "\n".join(lines) + "\n"
 
 

@@ -172,7 +172,7 @@ class TestSchemaMigration:
         path = tmp_path / "v4.json"
         RunReport(command="x").save(path)
         data = json.loads(path.read_text())
-        assert data["schema_version"] == 4
+        assert data["schema_version"] == 5
         assert data["coverage"] == []
         assert data["table_health"] == []
         assert data["simulation"] == {}

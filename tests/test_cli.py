@@ -154,7 +154,7 @@ class TestLintCLI:
         assert main(["lint", str(deck), "--telemetry", str(out)]) == 0
         capsys.readouterr()
         report = load_report(out)
-        assert report.to_dict()["schema_version"] == 4
+        assert report.to_dict()["schema_version"] == 5
         health = report.simulation[deck.name]["netlist_health"]
         assert health["findings"] == []
         assert main(["report", str(out)]) == 0
@@ -169,7 +169,7 @@ class TestSimulationTelemetry:
         assert main(["skew", "--telemetry", str(out)]) == 0
         capsys.readouterr()
         report = load_report(out)
-        assert report.to_dict()["schema_version"] == 4
+        assert report.to_dict()["schema_version"] == 5
         assert set(report.simulation) == {"rc", "rlc"}
         for label in ("rc", "rlc"):
             section = report.simulation[label]
@@ -389,3 +389,148 @@ class TestRunCLI:
         assert main(["fig1"]) == 0
         assert "ledger hit" not in capsys.readouterr().out
         assert len(RunLedger(root).entries(scenario="fig1-delay")) == 2
+
+class TestSweepCLI:
+    """`repro sweep run|status|report|diff` + the runs --json satellite."""
+
+    @pytest.fixture
+    def toy(self):
+        from repro.scenarios import Scenario, register, unregister
+        from repro.telemetry.registry import get_registry
+
+        def run(params, session):
+            get_registry().inc("loop_solve")
+            return {"delay_seconds": params["X"] * 2.0}
+
+        register(Scenario(name="test-cli-sweep", figure="test",
+                          description="toy", defaults={"X": 1.0},
+                          run=run))
+        try:
+            yield
+        finally:
+            unregister("test-cli-sweep")
+
+    def test_sweep_run_resume_report_diff(self, toy, tmp_path, capsys):
+        import json
+
+        ledger = str(tmp_path / "ledger")
+        base = ["sweep", "run", "test-cli-sweep", "--grid", "X=1.0,2.0",
+                "--ledger", ledger, "--quiet"]
+        assert main(base + ["--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["completed"] == 2
+        assert first["solver_call_count"] == 2
+        # Equivalent spelling -> full ledger replay, zero solver calls.
+        assert main(["sweep", "run", "test-cli-sweep", "--grid", "X=1,2e0",
+                     "--ledger", ledger, "--quiet", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["skipped"] == 2
+        assert second["solver_call_count"] == 0
+        assert second["sweep_id"] == first["sweep_id"]
+
+        assert main(["sweep", "status", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "2 campaign(s)" in out
+        assert first["campaign_id"] in out
+        assert main(["sweep", "report", "test-cli-sweep",
+                     "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "per-axis" in out and "X=1" in out
+        assert main(["sweep", "diff", first["campaign_id"],
+                     second["campaign_id"], "--ledger", ledger]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_sweep_run_plain_output_and_telemetry(self, toy, tmp_path,
+                                                  capsys):
+        from repro.telemetry import load_report
+
+        ledger = str(tmp_path / "ledger")
+        out_path = tmp_path / "sweep.json"
+        assert main(["sweep", "run", "test-cli-sweep", "--grid", "X=1,2",
+                     "--ledger", ledger, "--quiet",
+                     "--telemetry", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign recorded:" in out
+        assert "2 completed" in out
+        report = load_report(out_path)
+        assert report.campaign["points"] == 2
+        assert report.campaign["solver_call_count"] == 2
+        assert report.metrics.counters["loop_solve"] == 2
+
+    def test_sweep_base_param_overrides(self, toy, tmp_path, capsys):
+        import json
+
+        ledger = str(tmp_path / "ledger")
+        assert main(["sweep", "run", "test-cli-sweep", "--point", "X=5",
+                     "--ledger", ledger, "--quiet", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["completed"] == 1
+
+    def test_sweep_usage_errors(self, toy, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger")
+        assert main(["sweep", "run", "test-cli-sweep",
+                     "--ledger", ledger, "--quiet"]) == 2
+        assert "no points" in capsys.readouterr().err
+        assert main(["sweep", "run", "test-cli-sweep", "--grid", "bogus",
+                     "--ledger", ledger, "--quiet"]) == 2
+        assert "bad --grid" in capsys.readouterr().err
+        assert main(["sweep", "run", "test-cli-sweep",
+                     "--grid", "NOPE=1,2",
+                     "--ledger", ledger, "--quiet"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+        assert main(["sweep", "run", "test-cli-sweep",
+                     "--mc", "X=triangle(1,2)",
+                     "--ledger", ledger, "--quiet"]) == 2
+        assert "Monte-Carlo" in capsys.readouterr().err
+        assert main(["sweep", "report", "nope",
+                     "--ledger", str(tmp_path / "absent")]) == 2
+        assert "no run ledger" in capsys.readouterr().err
+
+    def test_runs_list_and_show_json(self, toy, tmp_path, capsys):
+        import json
+
+        ledger = str(tmp_path / "ledger")
+        assert main(["sweep", "run", "test-cli-sweep", "--grid", "X=1,2",
+                     "--ledger", ledger, "--quiet", "--json"]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--ledger", ledger, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert all(r["scenario"] == "test-cli-sweep" for r in rows)
+        assert main(["runs", "show", rows[0]["run_id"],
+                     "--ledger", ledger, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["run_id"] == rows[0]["run_id"]
+        assert record["metrics"]["delay_seconds"] == 2.0
+
+    def test_runs_diff_nothing_compared_exits_3(self, tmp_path, capsys):
+        from repro.scenarios import Scenario, register, unregister
+
+        ledger = str(tmp_path / "ledger")
+        for name, metric in (("test-cli-a", "alpha"),
+                             ("test-cli-b", "beta")):
+            register(Scenario(name=name, figure="test", description="t",
+                              defaults={},
+                              run=lambda p, s, m=metric: {m: 1.0}))
+        try:
+            assert main(["run", "test-cli-a", "--ledger", ledger]) == 0
+            assert main(["run", "test-cli-b", "--ledger", ledger]) == 0
+            capsys.readouterr()
+            assert main(["runs", "diff", "test-cli-a", "test-cli-b",
+                         "--ledger", ledger]) == 3
+            out = capsys.readouterr().out
+            assert "NOTHING COMPARED" in out
+            assert "no common metrics" in out
+        finally:
+            unregister("test-cli-a")
+            unregister("test-cli-b")
+
+    def test_bench_diff_nothing_compared_exits_3(self, tmp_path, capsys):
+        import json
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"a": {"x_seconds": 1.0}}))
+        new.write_text(json.dumps({"b": {"y_seconds": 1.0}}))
+        assert main(["bench", "diff", str(old), str(new)]) == 3
+        assert "NOTHING COMPARED" in capsys.readouterr().out
